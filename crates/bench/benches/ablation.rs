@@ -1,0 +1,35 @@
+//! Benchmarks for the ablation harness + controller sweep throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_bench::experiments::ablation::{hysteresis_ablation, penalty_ablation};
+use rwc_core::controller::{Controller, ControllerConfig};
+use rwc_topology::wan::LinkId;
+use rwc_util::time::SimTime;
+use rwc_util::units::Db;
+
+fn bench_penalty_ablation(c: &mut Criterion) {
+    c.bench_function("ablation/penalty_policies", |b| {
+        b.iter(|| std::hint::black_box(penalty_ablation()))
+    });
+}
+
+fn bench_hysteresis(c: &mut Criterion) {
+    c.bench_function("ablation/hysteresis_500_ticks", |b| {
+        b.iter(|| std::hint::black_box(hysteresis_ablation(&[0.5], 500)))
+    });
+}
+
+fn bench_controller_sweep(c: &mut Criterion) {
+    let mut wan = rwc_topology::builders::grid(4, 4, 300.0);
+    let readings: Vec<(LinkId, Db)> =
+        wan.links().map(|(id, _)| (id, Db(12.0))).collect();
+    let mut controller = Controller::new(ControllerConfig::default(), wan.n_links(), 1);
+    c.bench_function("controller/sweep_24_links", |b| {
+        b.iter(|| {
+            std::hint::black_box(controller.sweep(&mut wan, &readings, SimTime::EPOCH))
+        })
+    });
+}
+
+criterion_group!(benches, bench_penalty_ablation, bench_hysteresis, bench_controller_sweep);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks for §4's machinery: augmentation, translation, Theorem 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwc_core::augment::{augment, AugmentConfig};
+use rwc_core::penalty::PenaltyPolicy;
+use rwc_core::theorem::check_single_commodity;
+use rwc_te::demand::DemandMatrix;
+use rwc_topology::graph::NodeId;
+use rwc_topology::random::{waxman, WaxmanConfig};
+use rwc_topology::WanTopology;
+use rwc_util::rng::Xoshiro256;
+use rwc_util::units::Db;
+
+fn headroom_wan(n: usize, seed: u64) -> WanTopology {
+    let mut wan = waxman(&WaxmanConfig { n_nodes: n, seed, ..Default::default() });
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for (id, _) in wan.clone().links() {
+        wan.set_snr(id, Db(rng.uniform_in(6.6, 14.5)));
+    }
+    wan
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/augment");
+    for n in [8usize, 16, 24] {
+        let wan = headroom_wan(n, 3);
+        let cfg = AugmentConfig { penalty: PenaltyPolicy::paper_example(), ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wan, |b, wan| {
+            b.iter(|| std::hint::black_box(augment(wan, &DemandMatrix::new(), &cfg, &[])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem(c: &mut Criterion) {
+    let wan = headroom_wan(12, 4);
+    let cfg = AugmentConfig { penalty: PenaltyPolicy::Uniform(10.0), ..Default::default() };
+    c.bench_function("thm1/check_single_commodity_12n", |b| {
+        b.iter(|| std::hint::black_box(check_single_commodity(&wan, &cfg, NodeId(0), NodeId(5))))
+    });
+}
+
+criterion_group!(benches, bench_augment, bench_theorem);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks for Fig. 6's substrate: BVT reconfiguration sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_optics::bvt::{sample_latencies, Bvt, LatencyModel, ReconfigProcedure};
+use rwc_optics::Modulation;
+use rwc_util::rng::Xoshiro256;
+
+fn bench_sampling(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    c.bench_function("fig6b/sample_200_trials_both_procedures", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        b.iter(|| {
+            std::hint::black_box(sample_latencies(ReconfigProcedure::Legacy, &model, 200, &mut rng));
+            std::hint::black_box(sample_latencies(
+                ReconfigProcedure::Efficient,
+                &model,
+                200,
+                &mut rng,
+            ));
+        })
+    });
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    c.bench_function("fig6b/bvt_reconfigure_cycle", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut bvt = Bvt::new(Modulation::DpQpsk100);
+        bvt.set_procedure(ReconfigProcedure::Efficient);
+        b.iter(|| {
+            bvt.reconfigure(Modulation::Dp16Qam200, &mut rng);
+            bvt.reconfigure(Modulation::DpQpsk100, &mut rng);
+        })
+    });
+}
+
+criterion_group!(benches, bench_sampling, bench_state_machine);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Benchmarks for Fig. 5's substrate: AWGN constellation trials.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwc_optics::constellation::{awgn_trial, Constellation};
+use rwc_util::rng::Xoshiro256;
+use rwc_util::units::Db;
+
+fn bench_awgn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/awgn_trial_10k");
+    for (name, constellation) in [
+        ("qpsk", Constellation::qpsk()),
+        ("8qam", Constellation::qam8()),
+        ("16qam", Constellation::qam16()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &constellation, |b, cst| {
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            b.iter(|| std::hint::black_box(awgn_trial(cst, Db(18.0), 10_000, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_awgn);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks for Fig. 3's substrate: threshold-crossing episode scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_telemetry::analysis::episodes_below;
+use rwc_telemetry::{FleetConfig, FleetGenerator};
+use rwc_util::time::SimDuration;
+use rwc_util::units::Db;
+
+fn bench_episode_scan(c: &mut Criterion) {
+    let mut cfg = FleetConfig::paper();
+    cfg.horizon = SimDuration::from_days(913);
+    let link = FleetGenerator::new(cfg).link(11);
+    c.bench_function("fig3/episodes_below_full_horizon", |b| {
+        b.iter(|| std::hint::black_box(episodes_below(&link.trace, Db(12.5))))
+    });
+}
+
+fn bench_all_rungs(c: &mut Criterion) {
+    let mut cfg = FleetConfig::paper();
+    cfg.horizon = SimDuration::from_days(120);
+    let link = FleetGenerator::new(cfg).link(11);
+    c.bench_function("fig3/all_rung_scan_120d", |b| {
+        b.iter(|| {
+            for m in rwc_optics::Modulation::LADDER {
+                std::hint::black_box(episodes_below(&link.trace, m.required_snr()));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_episode_scan, bench_all_rungs);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks for Fig. 2's substrate: HDR + per-link analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwc_optics::ModulationTable;
+use rwc_telemetry::{analysis::LinkAnalysis, hdr::Hdr, FleetConfig, FleetGenerator};
+use rwc_util::time::SimDuration;
+
+fn bench_hdr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a/hdr");
+    for days in [60u64, 913] {
+        let mut cfg = FleetConfig::paper();
+        cfg.horizon = SimDuration::from_days(days);
+        let link = FleetGenerator::new(cfg).link(3);
+        group.bench_with_input(BenchmarkId::new("hdr95", days), &days, |b, _| {
+            b.iter(|| std::hint::black_box(Hdr::paper(&link.trace)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_analysis(c: &mut Criterion) {
+    let mut cfg = FleetConfig::paper();
+    cfg.horizon = SimDuration::from_days(120);
+    let link = FleetGenerator::new(cfg).link(3);
+    let table = ModulationTable::paper_default();
+    c.bench_function("fig2b/link_analysis_120d", |b| {
+        b.iter(|| std::hint::black_box(LinkAnalysis::new(&link.trace, &table)))
+    });
+}
+
+criterion_group!(benches, bench_hdr, bench_link_analysis);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks for the TE solvers on the throughput-gain workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_te::b4::B4Te;
+use rwc_te::cspf::CspfTe;
+use rwc_te::demand::DemandMatrix;
+use rwc_te::problem::TeProblem;
+use rwc_te::swan::SwanTe;
+use rwc_te::TeAlgorithm;
+use rwc_topology::builders;
+use rwc_util::units::Gbps;
+
+fn problem() -> TeProblem {
+    let wan = builders::abilene();
+    let dm = DemandMatrix::gravity(&wan, Gbps(1_000.0), 11);
+    TeProblem::from_wan(&wan, &dm)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let p = problem();
+    c.bench_function("tput/swan_abilene_gravity", |b| {
+        let algo = SwanTe::default();
+        b.iter(|| std::hint::black_box(algo.solve(&p)))
+    });
+    c.bench_function("tput/b4_abilene_gravity", |b| {
+        let algo = B4Te::default();
+        b.iter(|| std::hint::black_box(algo.solve(&p)))
+    });
+    c.bench_function("tput/cspf_abilene_gravity", |b| {
+        let algo = CspfTe::default();
+        b.iter(|| std::hint::black_box(algo.solve(&p)))
+    });
+}
+
+fn bench_flow_kernels(c: &mut Criterion) {
+    let p = problem();
+    c.bench_function("flow/dinic_abilene", |b| {
+        b.iter(|| std::hint::black_box(rwc_flow::max_flow(&p.net, 0, 10)))
+    });
+    c.bench_function("flow/mincost_abilene", |b| {
+        b.iter(|| std::hint::black_box(rwc_flow::min_cost_max_flow(&p.net, 0, 10)))
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_flow_kernels);
+criterion_main!(benches);

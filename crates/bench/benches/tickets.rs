@@ -1,0 +1,28 @@
+//! Benchmarks for Fig. 4's substrate: ticket generation + analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_failures::availability::AvailabilityReport;
+use rwc_failures::{TicketAnalysis, TicketConfig, TicketGenerator};
+use rwc_optics::ModulationTable;
+use rwc_util::units::Gbps;
+
+fn bench_generate(c: &mut Criterion) {
+    let gen = TicketGenerator::new(TicketConfig::paper());
+    c.bench_function("fig4/generate_250_tickets", |b| {
+        b.iter(|| std::hint::black_box(gen.generate()))
+    });
+}
+
+fn bench_analyse(c: &mut Criterion) {
+    let tickets = TicketGenerator::new(TicketConfig::paper()).generate();
+    c.bench_function("fig4/analyse_corpus", |b| {
+        b.iter(|| std::hint::black_box(TicketAnalysis::new(&tickets)))
+    });
+    let table = ModulationTable::paper_default();
+    c.bench_function("avail/replay_corpus", |b| {
+        b.iter(|| std::hint::black_box(AvailabilityReport::replay(&tickets, &table, Gbps(100.0))))
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_analyse);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks for Fig. 1's substrate: SNR trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwc_telemetry::{FleetConfig, FleetGenerator};
+use rwc_util::time::SimDuration;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/trace_gen");
+    for days in [30u64, 120, 913] {
+        let mut cfg = FleetConfig::paper();
+        cfg.horizon = SimDuration::from_days(days);
+        let gen = FleetGenerator::new(cfg);
+        group.bench_with_input(BenchmarkId::new("one_link", days), &days, |b, _| {
+            b.iter(|| std::hint::black_box(gen.link(7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fiber_generation(c: &mut Criterion) {
+    let mut cfg = FleetConfig::paper();
+    cfg.horizon = SimDuration::from_days(60);
+    let gen = FleetGenerator::new(cfg);
+    c.bench_function("fig1/forty_wavelength_fiber_60d", |b| {
+        b.iter(|| std::hint::black_box(gen.fiber(0)))
+    });
+}
+
+criterion_group!(benches, bench_trace_generation, bench_fiber_generation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure-reproduction CLI.
+//!
+//! ```text
+//! repro [--full] [--out DIR] <id>... | all
+//! ```
+//!
+//! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
+//! avail ablation. Default scale is a reduced fleet (fast); `--full` runs
+//! the paper-scale corpus (2,000 links × 2.5 years — takes a while).
+
+use rwc_bench::experiments;
+use rwc_bench::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Quick;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro [--full] [--out DIR] <id>... | all");
+                println!("ids: {} ablation", experiments::ALL.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+        ids.push("ablation".into());
+    }
+
+    for id in &ids {
+        let Some(report) = experiments::run(id, scale) else {
+            eprintln!("unknown experiment id: {id}");
+            return ExitCode::FAILURE;
+        };
+        print!("{}", report.render());
+        match report.write_csv(&out_dir) {
+            Ok(files) => {
+                for f in files {
+                    println!("  -> {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write CSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

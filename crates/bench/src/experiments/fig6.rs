@@ -1,0 +1,85 @@
+//! Fig. 6b: CDF of the time a BVT takes to change modulation — the stock
+//! procedure (laser power-cycled, ~68 s mean) versus the paper's efficient
+//! procedure (laser stays lit, ~35 ms mean). 200 trials each, like the
+//! paper's testbed run.
+
+use crate::report::series_csv;
+use crate::{Report, Scale};
+use rwc_optics::bvt::{sample_latencies, LatencyModel, ReconfigProcedure};
+use rwc_util::rng::Xoshiro256;
+use rwc_util::stats::Ecdf;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report =
+        Report::new("fig6b", "CDF of modulation-change latency: legacy vs efficient");
+    let trials = match scale {
+        Scale::Quick => 200, // the paper's own trial count
+        Scale::Full => 2_000,
+    };
+    let model = LatencyModel::default();
+    let mut rng = Xoshiro256::seed_from_u64(0xF6B);
+    let mut means = Vec::new();
+    for (name, procedure) in [
+        ("mod_change", ReconfigProcedure::Legacy),
+        ("efficient_mod_change", ReconfigProcedure::Efficient),
+    ] {
+        let secs: Vec<f64> = sample_latencies(procedure, &model, trials, &mut rng)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let ecdf = Ecdf::new(secs);
+        report.line(format!(
+            "{name:<22} n={trials}: mean {:.3} s, median {:.3} s, p5 {:.3} s, p95 {:.3} s",
+            ecdf.mean(),
+            ecdf.median(),
+            ecdf.quantile(0.05),
+            ecdf.quantile(0.95)
+        ));
+        means.push(ecdf.mean());
+        report.csv(
+            &format!("fig6b_{name}_cdf.csv"),
+            series_csv("seconds,cdf", &ecdf.series(200)),
+        );
+    }
+    report.line(format!(
+        "speedup: {:.0}× (paper: 68 s → 35 ms ≈ 1900×)",
+        means[0] / means[1]
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_land_on_paper_values() {
+        let r = run(Scale::Full);
+        let text = r.render();
+        let mean_of = |tag: &str| -> f64 {
+            text.lines()
+                .find(|l| l.trim_start().starts_with(tag))
+                .unwrap()
+                .split("mean ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let legacy = mean_of("mod_change");
+        let efficient = mean_of("efficient_mod_change");
+        assert!((55.0..80.0).contains(&legacy), "legacy mean {legacy}");
+        assert!((0.028..0.042).contains(&efficient), "efficient mean {efficient}");
+        assert!(legacy / efficient > 1_000.0);
+    }
+
+    #[test]
+    fn two_cdf_artifacts() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.csv.len(), 2);
+    }
+}

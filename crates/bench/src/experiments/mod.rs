@@ -1,0 +1,46 @@
+//! One module per paper artifact. Every `run(scale)` returns a
+//! [`crate::Report`] carrying the printed series and CSV files.
+
+pub mod ablation;
+pub mod avail;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod scenario;
+pub mod thm1;
+pub mod tput;
+
+use crate::{Report, Scale};
+
+/// All experiment ids, in paper order.
+pub const ALL: [&str; 14] = [
+    "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6b", "fig7", "fig8", "thm1",
+    "tput", "avail", "scenario",
+];
+
+/// Runs one experiment by id (plus the "ablation" extra).
+pub fn run(id: &str, scale: Scale) -> Option<Report> {
+    Some(match id {
+        "fig1" => fig1::run(scale),
+        "fig2a" => fig2::run_2a(scale),
+        "fig2b" => fig2::run_2b(scale),
+        "fig3a" => fig3::run_3a(scale),
+        "fig3b" => fig3::run_3b(scale),
+        "fig4" | "fig4a" | "fig4b" | "fig4c" => fig4::run(scale),
+        "fig5" => fig5::run(scale),
+        "fig6b" | "fig6" => fig6::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "thm1" => thm1::run(scale),
+        "tput" => tput::run(scale),
+        "avail" => avail::run(scale),
+        "scenario" => scenario::run(scale),
+        "ablation" => ablation::run(scale),
+        _ => return None,
+    })
+}

@@ -1,0 +1,131 @@
+//! Theorem 1, executed: min-cost max-flow on the augmented graph G′
+//! equals max-flow on the dynamic-capacity graph G, across hard-coded and
+//! randomised topologies.
+
+use crate::{Report, Scale};
+use rwc_core::augment::AugmentConfig;
+use rwc_core::penalty::PenaltyPolicy;
+use rwc_core::theorem::check_single_commodity;
+use rwc_topology::graph::NodeId;
+use rwc_topology::random::{waxman, WaxmanConfig};
+use rwc_topology::{builders, WanTopology};
+use rwc_util::rng::Xoshiro256;
+use rwc_util::units::Db;
+use std::fmt::Write as _;
+
+fn config() -> AugmentConfig {
+    AugmentConfig { penalty: PenaltyPolicy::Uniform(10.0), ..Default::default() }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report =
+        Report::new("thm1", "Theorem 1: min-cost max-flow on G′ ≡ max-flow on G");
+    let trials = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 200,
+    };
+
+    let mut csv = String::from("case,static_gbps,augmented_gbps,upgraded_gbps,holds\n");
+    let mut all_hold = true;
+    let mut run_case = |name: &str, wan: &WanTopology, src: NodeId, dst: NodeId| {
+        let r = check_single_commodity(wan, &config(), src, dst);
+        all_hold &= r.holds;
+        let _ = writeln!(
+            csv,
+            "{name},{},{},{},{}",
+            r.static_value, r.augmented_value, r.upgraded_value, r.holds
+        );
+        r
+    };
+
+    // Named topologies.
+    let abilene = builders::abilene();
+    let r = run_case(
+        "abilene SEA→NYC",
+        &abilene,
+        abilene.node_by_name("SEA").unwrap(),
+        abilene.node_by_name("NYC").unwrap(),
+    );
+    report.line(format!(
+        "abilene SEA→NYC: static {:.0} G, dynamic {:.0} G, holds={}",
+        r.static_value, r.augmented_value, r.holds
+    ));
+    let b4 = builders::b4_like();
+    let r = run_case("b4 US-W1→EU-1", &b4, NodeId(0), NodeId(6));
+    report.line(format!(
+        "b4-like US-W1→EU-1: static {:.0} G, dynamic {:.0} G, holds={}",
+        r.static_value, r.augmented_value, r.holds
+    ));
+
+    // Randomised sweep.
+    let mut rng = Xoshiro256::seed_from_u64(0x7733);
+    let mut held = 0usize;
+    let mut gains = Vec::new();
+    for seed in 0..trials as u64 {
+        let mut wan =
+            waxman(&WaxmanConfig { seed, n_nodes: 10, ..WaxmanConfig::default() });
+        for (id, _) in wan.clone().links() {
+            wan.set_snr(id, Db(rng.uniform_in(6.6, 14.5)));
+        }
+        let src = NodeId(rng.below(wan.n_nodes()));
+        let mut dst = NodeId(rng.below(wan.n_nodes()));
+        if dst == src {
+            dst = NodeId((src.0 + 1) % wan.n_nodes());
+        }
+        let r = run_case(&format!("waxman#{seed}"), &wan, src, dst);
+        if r.holds {
+            held += 1;
+        }
+        if r.static_value > 0.0 {
+            gains.push(r.augmented_value / r.static_value - 1.0);
+        }
+    }
+    report.line(format!("random Waxman sweep: {held}/{trials} equivalences hold"));
+    if !gains.is_empty() {
+        let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+        report.line(format!(
+            "mean single-pair max-flow gain from dynamic capacities: {:.0}%",
+            100.0 * mean_gain
+        ));
+    }
+    // Multicommodity corollary on the Fig. 7 scenario.
+    {
+        use rwc_core::theorem::check_multicommodity;
+        let mut wan = builders::fig7_example();
+        for (id, _) in wan.clone().links() {
+            wan.set_snr(id, Db(7.5));
+        }
+        wan.set_snr(rwc_topology::wan::LinkId(0), Db(13.0));
+        wan.set_snr(rwc_topology::wan::LinkId(1), Db(13.0));
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = rwc_te::demand::DemandMatrix::new();
+        dm.add(a, b, rwc_util::units::Gbps(125.0), rwc_te::demand::Priority::Elastic);
+        dm.add(c, d, rwc_util::units::Gbps(125.0), rwc_te::demand::Priority::Elastic);
+        let mc = check_multicommodity(&wan, &config(), &dm);
+        all_hold &= mc.holds;
+        report.line(format!(
+            "multicommodity corollary (Fig. 7 demands): static {:.0} G, augmented {:.0} G, \
+             upgraded {:.0} G, holds={}",
+            mc.static_total, mc.augmented_total, mc.upgraded_total, mc.holds
+        ));
+    }
+    report.line(format!("ALL CASES HOLD: {all_hold}"));
+    report.csv("thm1_equivalence.csv", csv);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_hold() {
+        let text = run(Scale::Quick).render();
+        assert!(text.contains("ALL CASES HOLD: true"), "{text}");
+        assert!(text.contains("20/20"));
+    }
+}

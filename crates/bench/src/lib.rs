@@ -1,0 +1,21 @@
+//! # rwc-bench
+//!
+//! The figure-reproduction harness: one experiment per table/figure of the
+//! paper, shared between the `repro` binary (which prints the series and
+//! writes CSV artifacts) and the Criterion benches (which time the
+//! underlying kernels).
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p rwc-bench --release --bin repro -- all
+//! cargo run -p rwc-bench --release --bin repro -- --full fig2a   # paper-scale fleet
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+
+pub use report::{Report, Scale};

@@ -1,0 +1,99 @@
+//! Parallel fleet analysis.
+//!
+//! The `--full` reproduction sweeps 2,000 links × 87,600 samples. Links
+//! are generated independently from `(seed, link_id)`, so the sweep is
+//! embarrassingly parallel: each worker analyses a stripe of link ids into
+//! its own [`FleetAccumulator`], and the stripes merge at the end.
+//! Determinism is preserved — the merged statistics are identical to a
+//! sequential sweep regardless of thread count.
+
+use rwc_optics::ModulationTable;
+use rwc_telemetry::analysis::LinkAnalysis;
+use rwc_telemetry::{FleetAccumulator, FleetGenerator};
+
+/// Analyses the whole fleet across `n_threads` workers.
+pub fn parallel_fleet_analysis(
+    gen: &FleetGenerator,
+    table: &ModulationTable,
+    n_threads: usize,
+) -> FleetAccumulator {
+    assert!(n_threads > 0, "need at least one worker");
+    let n_links = gen.n_links();
+    let stripe = n_links.div_ceil(n_threads);
+    let mut partials: Vec<FleetAccumulator> = Vec::with_capacity(n_threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut acc = FleetAccumulator::new();
+                    let start = w * stripe;
+                    let end = ((w + 1) * stripe).min(n_links);
+                    for link_id in start..end {
+                        let link = gen.link(link_id);
+                        acc.push(&LinkAnalysis::new(&link.trace, table));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    let mut merged = FleetAccumulator::new();
+    for p in partials {
+        merged.merge(p);
+    }
+    merged
+}
+
+/// Picks a sensible worker count for this machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_telemetry::FleetConfig;
+    use rwc_util::time::SimDuration;
+    use rwc_util::units::{Db, Gbps};
+
+    fn small() -> FleetGenerator {
+        FleetGenerator::new(FleetConfig {
+            n_fibers: 2,
+            wavelengths_per_fiber: 10,
+            horizon: SimDuration::from_days(30),
+            ..FleetConfig::paper()
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let gen = small();
+        let table = ModulationTable::paper_default();
+        let sequential = gen.fleet_analysis(&table);
+        for threads in [1, 2, 3, 7] {
+            let parallel = parallel_fleet_analysis(&gen, &table, threads);
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            assert_eq!(parallel.total_gain(), sequential.total_gain(), "threads={threads}");
+            assert_eq!(
+                parallel.fraction_hdr_below(Db(2.0)),
+                sequential.fraction_hdr_below(Db(2.0)),
+                "threads={threads}"
+            );
+            assert_eq!(
+                parallel.fraction_feasible_at_least(Gbps(175.0)),
+                sequential.fraction_feasible_at_least(Gbps(175.0)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_workers_sane() {
+        let w = default_workers();
+        assert!(w >= 1 && w <= 16);
+    }
+}

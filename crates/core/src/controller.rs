@@ -1,0 +1,360 @@
+//! The run/walk/crawl controller.
+//!
+//! The paper's titular policy: drive each link as fast as its SNR allows
+//! (**run**), step it down to an intermediate rate when the signal degrades
+//! (**walk**), fall back to the 50 G floor rather than declaring the link
+//! down (**crawl**), and only fail it when even the floor is infeasible.
+//!
+//! Two safeguards keep the fleet from flapping — the failure mode §2.1
+//! warns about when operating close to threshold:
+//!
+//! - **hysteresis**: stepping *up* requires the SNR to clear the target
+//!   rung's threshold by `upgrade_margin`; stepping down happens as soon
+//!   as the current rung is infeasible (safety is never delayed);
+//! - **dwell**: after any change, upgrades are suppressed for `dwell`
+//!   (downgrades are still immediate).
+//!
+//! Every reconfiguration is executed through the [`rwc_optics::bvt`]
+//! model, so downtime accounting reflects the procedure in use (legacy
+//! ≈ 68 s vs efficient ≈ 35 ms).
+
+use rwc_optics::bvt::{LatencyModel, ReconfigProcedure};
+use rwc_optics::{Modulation, ModulationTable};
+use rwc_topology::wan::{LinkId, WanTopology};
+use rwc_util::rng::Xoshiro256;
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// Controller tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Hardware threshold table.
+    pub table: ModulationTable,
+    /// Extra SNR (beyond the rung threshold) required to step up.
+    pub upgrade_margin: Db,
+    /// Minimum time between *upgrades* on one link.
+    pub dwell: SimDuration,
+    /// BVT procedure used for changes.
+    pub procedure: ReconfigProcedure,
+    /// BVT latency model.
+    pub latency: LatencyModel,
+    /// Whether the controller may step links *up* on its own when margin
+    /// allows (standalone "run" mode). Set false when a TE layer owns the
+    /// upgrade decision through the graph abstraction — the controller
+    /// then only handles safety (walk/crawl/down).
+    pub auto_upgrade: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            table: ModulationTable::paper_default(),
+            upgrade_margin: Db(1.0),
+            dwell: SimDuration::from_hours(1),
+            procedure: ReconfigProcedure::Efficient,
+            latency: LatencyModel::default(),
+            auto_upgrade: true,
+        }
+    }
+}
+
+/// What the controller decided for one link at one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Keep the current rate.
+    Hold,
+    /// Reconfigure to a different rung (up or down).
+    StepTo(Modulation),
+    /// Not even the slowest rung is feasible: the link is down.
+    Down,
+}
+
+#[derive(Debug, Clone)]
+struct LinkState {
+    last_change: Option<SimTime>,
+    down: bool,
+}
+
+/// Outcome of one controller sweep over the fleet.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// `(link, from, to)` for every reconfiguration applied.
+    pub changes: Vec<(LinkId, Modulation, Modulation)>,
+    /// Links newly declared down (no feasible rung).
+    pub went_down: Vec<LinkId>,
+    /// Links recovered from down.
+    pub recovered: Vec<LinkId>,
+    /// Total reconfiguration downtime accrued this sweep.
+    pub downtime: SimDuration,
+    /// Downgrades that would have been *failures* on a fixed-capacity
+    /// link (SNR below the old rung's threshold but above a lower rung's)
+    /// — the paper's "flap instead of fail" count.
+    pub failures_avoided: usize,
+}
+
+/// The run/walk/crawl controller for a fleet of links.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    config: ControllerConfig,
+    states: Vec<LinkState>,
+    rng: Xoshiro256,
+}
+
+impl Controller {
+    /// Creates a controller for `n_links` links.
+    pub fn new(config: ControllerConfig, n_links: usize, seed: u64) -> Self {
+        assert!(config.upgrade_margin.value() >= 0.0, "negative margin");
+        Self {
+            config,
+            states: (0..n_links)
+                .map(|_| LinkState { last_change: None, down: false })
+                .collect(),
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Whether a link is currently declared down.
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.states[link.0].down
+    }
+
+    /// Pure decision logic for one link (no state change).
+    pub fn decide(&self, link: LinkId, current: Modulation, snr: Db, now: SimTime) -> Decision {
+        let table = &self.config.table;
+        let state = &self.states[link.0];
+
+        // Safety first: if the current rung is infeasible, step down (or
+        // die) immediately — dwell never delays a safety action.
+        if !table.supports(snr, current) {
+            return match table.feasible(snr) {
+                Some(slower) => Decision::StepTo(slower),
+                None => Decision::Down,
+            };
+        }
+
+        // Upgrade path: fastest rung whose threshold + margin clears.
+        if !self.config.auto_upgrade {
+            return Decision::Hold;
+        }
+        let dwell_ok = state
+            .last_change
+            .is_none_or(|t| now.saturating_duration_since(t) >= self.config.dwell);
+        if dwell_ok {
+            let target = table
+                .entries()
+                .iter()
+                .rev()
+                .find(|&&(m, threshold)| snr >= threshold + self.config.upgrade_margin && m.capacity() > current.capacity())
+                .map(|&(m, _)| m);
+            if let Some(m) = target {
+                return Decision::StepTo(m);
+            }
+        }
+        Decision::Hold
+    }
+
+    /// Applies one sweep of SNR readings to the topology, reconfiguring
+    /// links as decided and accounting downtime through the BVT model.
+    pub fn sweep(
+        &mut self,
+        wan: &mut WanTopology,
+        readings: &[(LinkId, Db)],
+        now: SimTime,
+    ) -> SweepReport {
+        let mut report = SweepReport::default();
+        for &(link_id, snr) in readings {
+            wan.set_snr(link_id, snr);
+            let current = wan.link(link_id).modulation;
+            let was_down = self.states[link_id.0].down;
+            match self.decide(link_id, current, snr, now) {
+                Decision::Hold => {
+                    if was_down {
+                        // SNR recovered enough for the current rung.
+                        self.states[link_id.0].down = false;
+                        report.recovered.push(link_id);
+                    }
+                }
+                Decision::Down => {
+                    if !was_down {
+                        self.states[link_id.0].down = true;
+                        report.went_down.push(link_id);
+                    }
+                }
+                Decision::StepTo(target) => {
+                    let downgrade = target.capacity() < current.capacity();
+                    if downgrade {
+                        report.failures_avoided += 1;
+                    }
+                    let phases =
+                        self.config.latency.sample_phases(self.config.procedure, &mut self.rng);
+                    let downtime = phases
+                        .iter()
+                        .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
+                    report.downtime += downtime;
+                    wan.set_modulation(link_id, target);
+                    self.states[link_id.0].last_change = Some(now);
+                    if was_down {
+                        self.states[link_id.0].down = false;
+                        report.recovered.push(link_id);
+                    }
+                    report.changes.push((link_id, current, target));
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_topology::builders;
+
+    fn setup() -> (WanTopology, Controller) {
+        let wan = builders::fig7_example();
+        let controller = Controller::new(ControllerConfig::default(), wan.n_links(), 42);
+        (wan, controller)
+    }
+
+    fn t(hours: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn run_when_margin_allows() {
+        let (_, c) = setup();
+        // 14 dB clears 200 G (12.5) + 1 dB margin.
+        let d = c.decide(LinkId(0), Modulation::DpQpsk100, Db(14.0), t(2));
+        assert_eq!(d, Decision::StepTo(Modulation::Dp16Qam200));
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_upgrade() {
+        let (_, c) = setup();
+        // 12.8 dB clears the 200 G threshold but not threshold + 1 dB.
+        let d = c.decide(LinkId(0), Modulation::DpQpsk100, Db(12.8), t(2));
+        // 175 G needs 11.0 + 1.0 = 12.0 ⇒ step to 175, not 200.
+        assert_eq!(d, Decision::StepTo(Modulation::Hybrid175));
+    }
+
+    #[test]
+    fn walk_down_on_degradation() {
+        let (_, c) = setup();
+        // Running at 200 G, SNR drops to 10.0: 150 G is the fastest
+        // feasible rung (9.5 ≤ 10 < 11.0).
+        let d = c.decide(LinkId(0), Modulation::Dp16Qam200, Db(10.0), t(2));
+        assert_eq!(d, Decision::StepTo(Modulation::Dp8Qam150));
+    }
+
+    #[test]
+    fn crawl_at_the_floor() {
+        let (_, c) = setup();
+        let d = c.decide(LinkId(0), Modulation::DpQpsk100, Db(3.5), t(2));
+        assert_eq!(d, Decision::StepTo(Modulation::DpBpsk50));
+    }
+
+    #[test]
+    fn down_when_nothing_feasible() {
+        let (_, c) = setup();
+        let d = c.decide(LinkId(0), Modulation::DpBpsk50, Db(1.0), t(2));
+        assert_eq!(d, Decision::Down);
+    }
+
+    #[test]
+    fn hold_in_the_comfortable_zone() {
+        let (_, c) = setup();
+        let d = c.decide(LinkId(0), Modulation::Dp16Qam200, Db(14.0), t(2));
+        assert_eq!(d, Decision::Hold);
+    }
+
+    #[test]
+    fn dwell_suppresses_rapid_upgrades_but_not_downgrades() {
+        let (mut wan, mut c) = setup();
+        // Sweep 1 at t=0: upgrade link 0 to 200 G.
+        let r = c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0));
+        assert_eq!(r.changes.len(), 1);
+        assert_eq!(wan.link(LinkId(0)).modulation, Modulation::Dp16Qam200);
+        // 15 minutes later SNR recovers after a wobble; dwell (1 h) blocks
+        // an upgrade...
+        wan.set_modulation(LinkId(0), Modulation::Hybrid175);
+        let d = c.decide(LinkId(0), Modulation::Hybrid175, Db(14.0), t(0) + SimDuration::from_minutes(15));
+        assert_eq!(d, Decision::Hold, "dwell must block the upgrade");
+        // ...but a degradation still acts immediately.
+        let d = c.decide(LinkId(0), Modulation::Hybrid175, Db(9.6), t(0) + SimDuration::from_minutes(20));
+        assert_eq!(d, Decision::StepTo(Modulation::Dp8Qam150));
+    }
+
+    #[test]
+    fn sweep_counts_avoided_failures_and_downtime() {
+        let (mut wan, mut c) = setup();
+        // Link 0 degrades to 5 dB (50 G feasible): flap, not failure.
+        // Link 1 dies outright (1 dB).
+        let report = c.sweep(
+            &mut wan,
+            &[(LinkId(0), Db(5.0)), (LinkId(1), Db(1.0))],
+            t(0),
+        );
+        assert_eq!(report.failures_avoided, 1);
+        assert_eq!(report.went_down, vec![LinkId(1)]);
+        assert_eq!(wan.link(LinkId(0)).modulation, Modulation::DpBpsk50);
+        assert!(c.is_down(LinkId(1)));
+        assert!(report.downtime > SimDuration::ZERO);
+        // Efficient procedure: downtime well under a second.
+        assert!(report.downtime < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn recovery_from_down() {
+        let (mut wan, mut c) = setup();
+        c.sweep(&mut wan, &[(LinkId(0), Db(1.0))], t(0));
+        assert!(c.is_down(LinkId(0)));
+        // Light comes back at 8 dB: the link resumes (current rung 50 G is
+        // feasible again after the crawl… it was never reconfigured, it
+        // was down at 100 G; 8 dB supports 100 G so it simply recovers).
+        let report = c.sweep(&mut wan, &[(LinkId(0), Db(8.0))], t(2));
+        assert!(!c.is_down(LinkId(0)));
+        assert_eq!(report.recovered, vec![LinkId(0)]);
+    }
+
+    #[test]
+    fn te_owned_mode_never_upgrades_but_still_protects() {
+        let wan = builders::fig7_example();
+        let c = Controller::new(
+            ControllerConfig { auto_upgrade: false, ..ControllerConfig::default() },
+            wan.n_links(),
+            11,
+        );
+        // Plenty of margin, but upgrades belong to the TE layer now.
+        assert_eq!(
+            c.decide(LinkId(0), Modulation::DpQpsk100, Db(14.0), t(2)),
+            Decision::Hold
+        );
+        // Safety actions still fire.
+        assert_eq!(
+            c.decide(LinkId(0), Modulation::DpQpsk100, Db(5.0), t(2)),
+            Decision::StepTo(Modulation::DpBpsk50)
+        );
+    }
+
+    #[test]
+    fn legacy_procedure_costs_minutes() {
+        let wan = builders::fig7_example();
+        let mut c = Controller::new(
+            ControllerConfig {
+                procedure: ReconfigProcedure::Legacy,
+                ..ControllerConfig::default()
+            },
+            wan.n_links(),
+            7,
+        );
+        let mut wan = wan;
+        let report = c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0));
+        assert!(report.downtime > SimDuration::from_secs(20), "{}", report.downtime);
+    }
+}

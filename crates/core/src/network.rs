@@ -1,0 +1,300 @@
+//! End-to-end dynamic-capacity network orchestration.
+//!
+//! [`DynamicCapacityNetwork`] is the public face of the reproduction: it
+//! owns the WAN topology, the run/walk/crawl [`Controller`], and the
+//! augmentation configuration, and drives the §4 loop:
+//!
+//! 1. ingest SNR telemetry — degraded links *walk/crawl* down instead of
+//!    failing (controller safety sweep);
+//! 2. **augment** the topology (Algorithm 1) with fake upgrade links
+//!    priced by the penalty policy;
+//! 3. run an **unmodified TE algorithm** on the augmented problem;
+//! 4. **translate** its output into upgrade decisions + real flows;
+//! 5. plan **consistent updates** for the upgrades and apply them through
+//!    the BVT model, accounting downtime and churn.
+
+use crate::augment::{augment, AugmentConfig};
+use crate::controller::{Controller, ControllerConfig, SweepReport};
+use crate::translate::{translate, Translation};
+use rwc_te::demand::DemandMatrix;
+use rwc_te::metrics;
+use rwc_te::problem::{TeProblem, TeSolution};
+use rwc_te::updates::{plan_capacity_changes, CapacityChange, UpdatePlan};
+use rwc_te::TeAlgorithm;
+use rwc_topology::wan::{LinkId, WanTopology};
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+
+/// Outcome of one TE round.
+#[derive(Debug, Clone)]
+pub struct TeRound {
+    /// Throughput achieved (on the augmented problem = after upgrades).
+    pub throughput: f64,
+    /// Throughput the same algorithm achieves *without* augmentation (the
+    /// static-capacity baseline, for the paper's gain comparison).
+    pub static_throughput: f64,
+    /// Upgrade decisions applied this round.
+    pub translation: Translation,
+    /// The consistent-update plan (None when no upgrades were needed).
+    pub update_plan: Option<UpdatePlan>,
+    /// BVT downtime accrued applying the upgrades.
+    pub reconfig_downtime: SimDuration,
+    /// Traffic churn versus the previous round's flows.
+    pub churn: f64,
+}
+
+impl TeRound {
+    /// Relative throughput gain of dynamic over static capacity.
+    pub fn gain(&self) -> f64 {
+        if self.static_throughput <= 0.0 {
+            if self.throughput > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.throughput / self.static_throughput - 1.0
+        }
+    }
+}
+
+/// A WAN whose link capacities adapt to SNR, §4-style.
+#[derive(Debug, Clone)]
+pub struct DynamicCapacityNetwork {
+    wan: WanTopology,
+    controller: Controller,
+    augment_config: AugmentConfig,
+    /// Per-link traffic from the previous round (busier direction), used
+    /// by traffic-dependent penalties.
+    link_traffic: Vec<f64>,
+    /// Previous round's real-edge flows, for churn accounting.
+    previous_flows: Option<Vec<f64>>,
+    rng: rwc_util::rng::Xoshiro256,
+}
+
+impl DynamicCapacityNetwork {
+    /// Wraps a topology.
+    pub fn new(
+        wan: WanTopology,
+        augment_config: AugmentConfig,
+        controller_config: ControllerConfig,
+        seed: u64,
+    ) -> Self {
+        let n_links = wan.n_links();
+        Self {
+            wan,
+            controller: Controller::new(controller_config, n_links, seed),
+            augment_config,
+            link_traffic: vec![0.0; n_links],
+            previous_flows: None,
+            rng: rwc_util::rng::Xoshiro256::seed_from_u64(seed ^ 0x7E0),
+        }
+    }
+
+    /// Read access to the topology.
+    pub fn wan(&self) -> &WanTopology {
+        &self.wan
+    }
+
+    /// Read access to the controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Ingests SNR telemetry: updates readings and lets the controller
+    /// walk/crawl degraded links (safety actions only happen here; TE-
+    /// driven upgrades happen in [`Self::te_round`]).
+    pub fn ingest_snr(&mut self, readings: &[(LinkId, Db)], now: SimTime) -> SweepReport {
+        self.controller.sweep(&mut self.wan, readings, now)
+    }
+
+    /// Runs one TE round with the given (unmodified) TE algorithm.
+    pub fn te_round(
+        &mut self,
+        demands: &DemandMatrix,
+        algorithm: &dyn TeAlgorithm,
+        now: SimTime,
+    ) -> TeRound {
+        // Static baseline: same algorithm, no fake links.
+        let static_problem = TeProblem::from_wan(&self.wan, demands);
+        let static_solution = algorithm.solve(&static_problem);
+
+        // Augment + solve + translate.
+        let aug = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
+        let solution = algorithm.solve(&aug.problem);
+        let translation = translate(&aug, &self.wan, &solution);
+
+        // Consistent-update plan + application.
+        let mut reconfig_downtime = SimDuration::ZERO;
+        let update_plan = if translation.upgrades.is_empty() {
+            None
+        } else {
+            let changes: Vec<CapacityChange> = translation
+                .upgrades
+                .iter()
+                .map(|&(link, to)| CapacityChange { link, to })
+                .collect();
+            let hitless = matches!(
+                self.controller.config().procedure,
+                rwc_optics::bvt::ReconfigProcedure::Efficient
+            );
+            let current = self.previous_flows.as_ref().map(|flows| TeSolution {
+                routed: vec![],
+                edge_flows: flows.clone(),
+                total: 0.0,
+            });
+            let plan = plan_capacity_changes(
+                &self.wan,
+                demands,
+                &changes,
+                algorithm,
+                hitless,
+                current.as_ref(),
+            );
+            // Apply the modulation changes through the BVT latency model.
+            for change in &changes {
+                let phases = self
+                    .controller
+                    .config()
+                    .latency
+                    .sample_phases(self.controller.config().procedure, &mut self.rng);
+                reconfig_downtime += phases
+                    .iter()
+                    .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
+                self.wan.set_modulation(change.link, change.to);
+            }
+            Some(plan)
+        };
+
+        // Book-keeping for the next round.
+        let churn = self
+            .previous_flows
+            .as_ref()
+            .map(|prev| metrics::churn(prev, &translation.real_edge_flows))
+            .unwrap_or(0.0);
+        for (id, _) in self.wan.links() {
+            let fwd = translation.real_edge_flows[2 * id.0];
+            let bwd = translation.real_edge_flows[2 * id.0 + 1];
+            self.link_traffic[id.0] = fwd.max(bwd);
+        }
+        self.previous_flows = Some(translation.real_edge_flows.clone());
+        let _ = now;
+
+        TeRound {
+            throughput: solution.total,
+            static_throughput: static_solution.total,
+            translation,
+            update_plan,
+            reconfig_downtime,
+            churn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::penalty::PenaltyPolicy;
+    use rwc_te::demand::Priority;
+    use rwc_te::swan::SwanTe;
+    use rwc_topology::builders;
+    use rwc_util::units::Gbps;
+
+    fn fig7_network() -> DynamicCapacityNetwork {
+        let mut wan = builders::fig7_example();
+        for (id, _) in wan.clone().links() {
+            wan.set_snr(id, Db(7.5));
+        }
+        wan.set_snr(LinkId(0), Db(13.0));
+        wan.set_snr(LinkId(1), Db(13.0));
+        let aug = AugmentConfig {
+            penalty: PenaltyPolicy::paper_example(),
+            ..AugmentConfig::default()
+        };
+        DynamicCapacityNetwork::new(wan, aug, ControllerConfig::default(), 1)
+    }
+
+    fn fig7_demands(wan: &WanTopology, volume: f64) -> DemandMatrix {
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(volume), Priority::Elastic);
+        dm.add(c, d, Gbps(volume), Priority::Elastic);
+        dm
+    }
+
+    #[test]
+    fn round_with_headroom_beats_static() {
+        let mut net = fig7_network();
+        let demands = fig7_demands(net.wan(), 180.0);
+        let round = net.te_round(&demands, &SwanTe::default(), SimTime::EPOCH);
+        assert!(
+            round.throughput > round.static_throughput + 20.0,
+            "dynamic {} vs static {}",
+            round.throughput,
+            round.static_throughput
+        );
+        assert!(round.gain() > 0.05);
+        assert!(round.translation.requires_changes());
+        assert!(round.update_plan.is_some());
+        assert!(round.reconfig_downtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn upgrades_are_applied_to_topology() {
+        let mut net = fig7_network();
+        let demands = fig7_demands(net.wan(), 180.0);
+        let before = net.wan().total_capacity();
+        let round = net.te_round(&demands, &SwanTe::default(), SimTime::EPOCH);
+        assert!(round.translation.requires_changes());
+        assert!(net.wan().total_capacity() > before);
+    }
+
+    #[test]
+    fn light_load_changes_nothing() {
+        let mut net = fig7_network();
+        let demands = fig7_demands(net.wan(), 40.0);
+        let round = net.te_round(&demands, &SwanTe::default(), SimTime::EPOCH);
+        assert!(!round.translation.requires_changes());
+        assert!(round.update_plan.is_none());
+        assert_eq!(round.reconfig_downtime, SimDuration::ZERO);
+        assert!((round.gain()).abs() < 0.01);
+    }
+
+    #[test]
+    fn second_round_reports_churn() {
+        let mut net = fig7_network();
+        let light = fig7_demands(net.wan(), 40.0);
+        let heavy = fig7_demands(net.wan(), 180.0);
+        let r1 = net.te_round(&light, &SwanTe::default(), SimTime::EPOCH);
+        assert_eq!(r1.churn, 0.0, "first round has no predecessor");
+        let r2 = net.te_round(
+            &heavy,
+            &SwanTe::default(),
+            SimTime::EPOCH + SimDuration::from_minutes(15),
+        );
+        assert!(r2.churn > 0.0, "flows moved between rounds");
+    }
+
+    #[test]
+    fn snr_ingest_triggers_walk_down() {
+        let mut net = fig7_network();
+        let report = net.ingest_snr(&[(LinkId(0), Db(5.0))], SimTime::EPOCH);
+        assert_eq!(report.failures_avoided, 1);
+        assert_eq!(
+            net.wan().link(LinkId(0)).modulation,
+            rwc_optics::Modulation::DpBpsk50
+        );
+        // Subsequent TE sees the reduced capacity.
+        let demands = fig7_demands(net.wan(), 180.0);
+        let round = net.te_round(
+            &demands,
+            &SwanTe::default(),
+            SimTime::EPOCH + SimDuration::from_minutes(15),
+        );
+        // The degraded link can no longer be upgraded (SNR 5 dB).
+        assert!(round.translation.upgrade_of(LinkId(0)).is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Predictive run/walk/crawl: act *before* the threshold crossing.
+//!
+//! The reactive [`crate::controller::Controller`] steps a link down at the
+//! first sample below threshold — which means the link spent up to one
+//! telemetry tick (15 minutes) dropping frames before the controller
+//! noticed. This extension wraps each link in a streaming
+//! [`rwc_telemetry::forecast::SnrForecaster`] and walks the
+//! link down as soon as the forecast's lower confidence bound crosses the
+//! threshold, trading a little capacity (earlier downshifts) for fewer
+//! at-risk intervals. This is the natural next step the paper's §3/§6
+//! discussion points towards: making capacity changes cheap enough
+//! (efficient BVT) that acting early costs almost nothing.
+
+use crate::controller::{Controller, ControllerConfig, Decision, SweepReport};
+use rwc_telemetry::forecast::SnrForecaster;
+use rwc_topology::wan::{LinkId, WanTopology};
+use rwc_util::time::SimTime;
+use rwc_util::units::Db;
+
+/// Tuning for the predictive layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictiveConfig {
+    /// Base (reactive) controller configuration.
+    pub base: ControllerConfig,
+    /// How many ticks ahead to look.
+    pub horizon_ticks: u64,
+    /// Confidence width (standard deviations) for the lower bound.
+    pub z: f64,
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        Self { base: ControllerConfig::default(), horizon_ticks: 4, z: 1.5 }
+    }
+}
+
+/// A controller that forecasts each link's SNR and downshifts pre-emptively.
+#[derive(Debug, Clone)]
+pub struct PredictiveController {
+    inner: Controller,
+    forecasters: Vec<SnrForecaster>,
+    horizon_ticks: u64,
+    z: f64,
+    /// Pre-emptive downshifts taken (forecast-triggered, before the SNR
+    /// actually crossed).
+    pub preemptive_downshifts: usize,
+}
+
+impl PredictiveController {
+    /// Creates a predictive controller for `n_links` links.
+    pub fn new(config: PredictiveConfig, n_links: usize, seed: u64) -> Self {
+        assert!(config.horizon_ticks > 0, "horizon must be positive");
+        Self {
+            inner: Controller::new(config.base, n_links, seed),
+            forecasters: vec![SnrForecaster::telemetry_default(); n_links],
+            horizon_ticks: config.horizon_ticks,
+            z: config.z,
+            preemptive_downshifts: 0,
+        }
+    }
+
+    /// Access to the wrapped reactive controller.
+    pub fn reactive(&self) -> &Controller {
+        &self.inner
+    }
+
+    /// One telemetry sweep. Forecasters are updated with the new readings;
+    /// links whose forecast crosses their current rung's threshold are
+    /// downshifted even though the measured SNR is still fine, then the
+    /// reactive controller handles everything else.
+    pub fn sweep(
+        &mut self,
+        wan: &mut WanTopology,
+        readings: &[(LinkId, Db)],
+        now: SimTime,
+    ) -> SweepReport {
+        let table = self.inner.config().table.clone();
+        // Pre-emptive pass: synthesise a degraded reading for links whose
+        // forecast says the current rung will not hold.
+        let mut effective: Vec<(LinkId, Db)> = Vec::with_capacity(readings.len());
+        for &(link, snr) in readings {
+            let f = &mut self.forecasters[link.0];
+            f.observe(snr);
+            let current = wan.link(link).modulation;
+            let threshold = table.threshold(current);
+            let crossing = threshold.is_some_and(|t| {
+                f.samples() > 8 && f.predicts_crossing(t, self.horizon_ticks, self.z)
+            });
+            if crossing && table.supports(snr, current) {
+                // Feed the *forecast lower bound* to the reactive logic so
+                // it walks down now; clamp so we never invent a total
+                // outage out of a forecast.
+                let lb = f
+                    .lower_bound(self.horizon_ticks, self.z)
+                    .expect("forecaster has samples");
+                let degraded = lb.max(Db(3.0)).min(snr);
+                if let Decision::StepTo(target) =
+                    self.inner.decide(link, current, degraded, now)
+                {
+                    if target.capacity() < current.capacity() {
+                        self.preemptive_downshifts += 1;
+                        effective.push((link, degraded));
+                        continue;
+                    }
+                }
+            }
+            effective.push((link, snr));
+        }
+        let report = self.inner.sweep(wan, &effective, now);
+        // Restore truthful SNR readings on the topology (the synthetic
+        // degraded values were only decision inputs).
+        for &(link, snr) in readings {
+            wan.set_snr(link, snr);
+        }
+        report
+    }
+}
+
+/// Counts "at-risk" ticks: samples where a link's measured SNR sits below
+/// the threshold of the rate it is configured at (frames in jeopardy).
+pub fn at_risk_ticks(
+    wan: &WanTopology,
+    table: &rwc_optics::ModulationTable,
+    readings: &[(LinkId, Db)],
+) -> usize {
+    readings
+        .iter()
+        .filter(|&&(link, snr)| !table.supports(snr, wan.link(link).modulation))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_optics::{Modulation, ModulationTable};
+    use rwc_util::time::SimDuration;
+
+    fn one_link_wan() -> WanTopology {
+        let mut wan = WanTopology::new();
+        let a = wan.add_node("A", None);
+        let b = wan.add_node("B", None);
+        wan.add_link(a, b, 500.0);
+        wan.set_modulation(LinkId(0), Modulation::Dp16Qam200);
+        wan
+    }
+
+    /// A slow decay from 14 dB through the 200 G threshold (12.5 dB).
+    fn decaying_readings(n: usize) -> Vec<Db> {
+        (0..n).map(|i| Db(14.0 - 0.05 * i as f64)).collect()
+    }
+
+    #[test]
+    fn predictive_steps_down_before_crossing() {
+        let mut wan = one_link_wan();
+        let mut pc = PredictiveController::new(PredictiveConfig::default(), 1, 1);
+        let mut downshift_snr = None;
+        for (i, snr) in decaying_readings(60).into_iter().enumerate() {
+            let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
+            let report = pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
+            if !report.changes.is_empty() && downshift_snr.is_none() {
+                downshift_snr = Some(snr);
+            }
+        }
+        let at = downshift_snr.expect("must downshift during the decay");
+        assert!(
+            at > Db(12.5),
+            "predictive controller should act above the threshold, acted at {at}"
+        );
+        assert!(pc.preemptive_downshifts > 0);
+    }
+
+    #[test]
+    fn reactive_vs_predictive_at_risk_exposure() {
+        let readings = decaying_readings(60);
+        let table = ModulationTable::paper_default();
+        let run = |predictive: bool| -> usize {
+            let mut wan = one_link_wan();
+            let mut reactive = Controller::new(ControllerConfig::default(), 1, 2);
+            let mut pc = PredictiveController::new(PredictiveConfig::default(), 1, 2);
+            let mut risk = 0;
+            for (i, &snr) in readings.iter().enumerate() {
+                let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
+                // Risk measured BEFORE the controller reacts this tick.
+                risk += at_risk_ticks(&wan, &table, &[(LinkId(0), snr)]);
+                if predictive {
+                    pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
+                } else {
+                    reactive.sweep(&mut wan, &[(LinkId(0), snr)], now);
+                }
+            }
+            risk
+        };
+        let reactive_risk = run(false);
+        let predictive_risk = run(true);
+        assert!(
+            predictive_risk <= reactive_risk,
+            "predictive {predictive_risk} must not exceed reactive {reactive_risk}"
+        );
+        // The reactive controller has >= 1 at-risk tick on this ramp.
+        assert!(reactive_risk >= 1);
+        assert_eq!(predictive_risk, 0, "forecast should eliminate exposure entirely");
+    }
+
+    #[test]
+    fn stable_signal_never_triggers_preemption() {
+        let mut wan = one_link_wan();
+        let mut pc = PredictiveController::new(PredictiveConfig::default(), 1, 3);
+        let mut rng = rwc_util::rng::Xoshiro256::seed_from_u64(5);
+        for i in 0..300 {
+            let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
+            let snr = Db(14.0 + rng.normal(0.0, 0.25));
+            pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
+        }
+        assert_eq!(pc.preemptive_downshifts, 0);
+        assert_eq!(wan.link(LinkId(0)).modulation, Modulation::Dp16Qam200);
+    }
+
+    #[test]
+    fn topology_keeps_truthful_snr() {
+        let mut wan = one_link_wan();
+        let mut pc = PredictiveController::new(PredictiveConfig::default(), 1, 4);
+        for (i, snr) in decaying_readings(50).into_iter().enumerate() {
+            let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
+            pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
+            assert_eq!(wan.link(LinkId(0)).snr, snr, "tick {i}");
+        }
+    }
+}

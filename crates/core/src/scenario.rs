@@ -1,0 +1,304 @@
+//! Multi-period scenario simulation.
+//!
+//! The paper's end state is a WAN where, continuously: telemetry streams
+//! SNR, the controller walks/crawls degraded links instead of failing
+//! them, and each TE round exploits whatever headroom the fleet currently
+//! has through the graph abstraction. [`Scenario`] wires those pieces
+//! together over simulated time:
+//!
+//! - each WAN link is bound to one synthetic telemetry stream;
+//! - every telemetry tick (15 min) the controller ingests SNR readings;
+//! - every `te_interval` a TE round runs with diurnally scaled demands;
+//! - the report accumulates throughput (dynamic vs static), flaps vs hard
+//!   failures, reconfiguration downtime and churn.
+
+use crate::augment::AugmentConfig;
+use crate::controller::ControllerConfig;
+use crate::network::DynamicCapacityNetwork;
+use rwc_te::demand::DemandMatrix;
+use rwc_te::TeAlgorithm;
+use rwc_telemetry::{FleetConfig, FleetGenerator, LinkTelemetry};
+use rwc_topology::wan::{LinkId, WanTopology};
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+
+/// Scenario wiring.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// How often a TE round runs (must be a multiple of the telemetry
+    /// tick; SWAN-era controllers ran every few minutes to hours).
+    pub te_interval: SimDuration,
+    /// Peak-to-mean swing of the diurnal demand cycle (0 = flat).
+    pub demand_diurnal_amp: f64,
+    /// Augmentation settings for the TE rounds.
+    pub augment: AugmentConfig,
+    /// Controller settings (hysteresis, BVT procedure).
+    pub controller: ControllerConfig,
+    /// Seed for the network's stochastic parts (BVT latencies).
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            te_interval: SimDuration::from_hours(1),
+            demand_diurnal_amp: 0.3,
+            augment: AugmentConfig::default(),
+            // In a scenario, the TE layer owns upgrades (that is the whole
+            // point of the abstraction); the controller only handles
+            // walk/crawl safety.
+            controller: ControllerConfig { auto_upgrade: false, ..Default::default() },
+            seed: 0x5CE4A210,
+        }
+    }
+}
+
+/// One sampled instant of the simulation (recorded at TE rounds).
+#[derive(Debug, Clone)]
+pub struct ScenarioSample {
+    /// When the TE round ran.
+    pub time: SimTime,
+    /// Demand multiplier in force.
+    pub demand_scale: f64,
+    /// Dynamic-capacity throughput.
+    pub throughput: f64,
+    /// Static-capacity throughput of the same algorithm.
+    pub static_throughput: f64,
+    /// Links upgraded this round.
+    pub upgrades: usize,
+    /// Churn versus the previous round.
+    pub churn: f64,
+}
+
+/// Aggregate outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Per-TE-round samples.
+    pub samples: Vec<ScenarioSample>,
+    /// Degradations ridden out as capacity flaps (would-be failures).
+    pub flaps: usize,
+    /// Links that went hard-down (no feasible rung).
+    pub hard_downs: usize,
+    /// Total reconfiguration downtime across the fleet.
+    pub reconfig_downtime: SimDuration,
+}
+
+impl ScenarioReport {
+    /// Mean throughput gain of dynamic over static across samples.
+    pub fn mean_gain(&self) -> f64 {
+        let gains: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.static_throughput > 0.0)
+            .map(|s| s.throughput / s.static_throughput - 1.0)
+            .collect();
+        if gains.is_empty() {
+            0.0
+        } else {
+            gains.iter().sum::<f64>() / gains.len() as f64
+        }
+    }
+
+    /// Total churn across all rounds.
+    pub fn total_churn(&self) -> f64 {
+        self.samples.iter().map(|s| s.churn).sum()
+    }
+}
+
+/// A bound simulation: topology + telemetry + controller + TE.
+pub struct Scenario {
+    network: DynamicCapacityNetwork,
+    /// The counterfactual fleet: modulations pinned at their initial
+    /// rates, links *fail* (capacity 0) whenever SNR drops below their
+    /// rung's threshold — the binary up/down policy the paper argues
+    /// against.
+    static_wan: WanTopology,
+    telemetry: Vec<LinkTelemetry>,
+    demands: DemandMatrix,
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Binds a topology to synthetic telemetry.
+    ///
+    /// `fleet` must provide at least as many links as the topology has;
+    /// WAN link `i` replays telemetry stream `i`. The fleet's horizon
+    /// bounds how long the scenario can run.
+    pub fn new(
+        wan: WanTopology,
+        fleet: FleetConfig,
+        demands: DemandMatrix,
+        config: ScenarioConfig,
+    ) -> Self {
+        assert!(
+            fleet.n_links() >= wan.n_links(),
+            "fleet has {} streams for {} links",
+            fleet.n_links(),
+            wan.n_links()
+        );
+        assert!(
+            config.te_interval.as_millis() % fleet.tick.as_millis() == 0,
+            "TE interval must be a multiple of the telemetry tick"
+        );
+        let gen = FleetGenerator::new(fleet);
+        let telemetry: Vec<LinkTelemetry> =
+            (0..wan.n_links()).map(|i| gen.link(i)).collect();
+        let static_wan = wan.clone();
+        let network = DynamicCapacityNetwork::new(
+            wan,
+            config.augment.clone(),
+            config.controller.clone(),
+            config.seed,
+        );
+        Self { network, static_wan, telemetry, demands, config }
+    }
+
+    /// Read access to the live network state.
+    pub fn network(&self) -> &DynamicCapacityNetwork {
+        &self.network
+    }
+
+    /// Runs for `horizon`, returning the report.
+    pub fn run(&mut self, horizon: SimDuration, algorithm: &dyn TeAlgorithm) -> ScenarioReport {
+        let tick = self.telemetry[0].trace.tick();
+        let n_ticks = horizon.ticks(tick) as usize;
+        let max_ticks = self.telemetry.iter().map(|t| t.trace.len()).min().unwrap();
+        assert!(
+            n_ticks <= max_ticks,
+            "horizon needs {n_ticks} ticks but telemetry has {max_ticks}"
+        );
+        let te_every = (self.config.te_interval.as_millis() / tick.as_millis()) as usize;
+        let day = SimDuration::from_days(1).as_secs_f64();
+
+        let mut report = ScenarioReport {
+            samples: Vec::new(),
+            flaps: 0,
+            hard_downs: 0,
+            reconfig_downtime: SimDuration::ZERO,
+        };
+        for i in 0..n_ticks {
+            let now = SimTime::EPOCH + tick * i as u64;
+            let readings: Vec<(LinkId, Db)> = self
+                .telemetry
+                .iter()
+                .enumerate()
+                .map(|(l, t)| (LinkId(l), t.trace.snr_at(i)))
+                .collect();
+            let sweep = self.network.ingest_snr(&readings, now);
+            report.flaps += sweep.failures_avoided;
+            report.hard_downs += sweep.went_down.len();
+            report.reconfig_downtime += sweep.downtime;
+
+            // Keep the counterfactual fleet's readings current.
+            for &(l, snr) in &readings {
+                self.static_wan.set_snr(l, snr);
+            }
+
+            if i % te_every == 0 {
+                let phase = std::f64::consts::TAU * now.since_epoch().as_secs_f64() / day;
+                let scale = 1.0 + self.config.demand_diurnal_amp * phase.sin();
+                let demands = self.demands.scaled(scale.max(0.0));
+                let round = self.network.te_round(&demands, algorithm, now);
+                report.reconfig_downtime += round.reconfig_downtime;
+
+                // Counterfactual: never-upgraded links under the binary
+                // policy — a link whose SNR is below its (fixed) rung's
+                // threshold is simply down.
+                let table = &self.config.controller.table;
+                let mut static_problem =
+                    rwc_te::problem::TeProblem::from_wan(&self.static_wan, &demands);
+                for (id, link) in self.static_wan.links() {
+                    if !table.supports(link.snr, link.modulation) {
+                        static_problem.override_link_capacity(id, 0.0);
+                    }
+                }
+                let static_solution = algorithm.solve(&static_problem);
+
+                report.samples.push(ScenarioSample {
+                    time: now,
+                    demand_scale: scale,
+                    throughput: round.throughput,
+                    static_throughput: static_solution.total,
+                    upgrades: round.translation.upgrades.len(),
+                    churn: round.churn,
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_te::demand::Priority;
+    use rwc_te::swan::SwanTe;
+    use rwc_topology::builders;
+    use rwc_util::units::Gbps;
+
+    fn scenario(days_capacity: u64) -> Scenario {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(120.0), Priority::Elastic);
+        dm.add(c, d, Gbps(120.0), Priority::Elastic);
+        let fleet = FleetConfig {
+            n_fibers: 1,
+            wavelengths_per_fiber: 4,
+            horizon: SimDuration::from_days(days_capacity),
+            fiber_baseline_mean_db: 13.5,
+            fiber_baseline_sd_db: 0.2,
+            wavelength_jitter_sd_db: 0.3,
+            ..FleetConfig::paper()
+        };
+        Scenario::new(wan, fleet, dm, ScenarioConfig::default())
+    }
+
+    #[test]
+    fn runs_and_samples() {
+        let mut s = scenario(10);
+        let report = s.run(SimDuration::from_days(7), &SwanTe::default());
+        // Hourly TE over 7 days = 168 samples.
+        assert_eq!(report.samples.len(), 168);
+        // Demand swings with the diurnal cycle.
+        let scales: Vec<f64> = report.samples.iter().map(|s| s.demand_scale).collect();
+        let min = scales.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scales.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 1.2 && min < 0.8, "diurnal range [{min},{max}]");
+    }
+
+    #[test]
+    fn dynamic_gains_under_overload() {
+        let mut s = scenario(10);
+        let report = s.run(SimDuration::from_days(3), &SwanTe::default());
+        // Demands (2×120 G, swinging to 156 G) exceed the 100 G links at
+        // peaks; with ~13.5 dB baselines the links upgrade and dynamic
+        // throughput must beat static on average.
+        assert!(report.mean_gain() > 0.02, "gain={}", report.mean_gain());
+        let total_upgrades: usize = report.samples.iter().map(|s| s.upgrades).sum();
+        assert!(total_upgrades >= 1);
+    }
+
+    #[test]
+    fn horizon_validation() {
+        let mut s = scenario(5);
+        // 10 days of simulation needs 10 days of telemetry — must panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run(SimDuration::from_days(10), &SwanTe::default())
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_accumulates_monotonically() {
+        let mut s1 = scenario(10);
+        let short = s1.run(SimDuration::from_days(1), &SwanTe::default());
+        let mut s2 = scenario(10);
+        let long = s2.run(SimDuration::from_days(5), &SwanTe::default());
+        assert!(long.samples.len() > short.samples.len());
+        assert!(long.total_churn() >= 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Synthetic ticket-corpus generation.
+//!
+//! Replaces the paper's seven months of operator tickets (250 events) with
+//! a corpus drawn from the calibrated
+//! [`crate::rootcause::RootCauseMix`]: root causes by weighted
+//! frequency, lognormal outage durations with cause-specific medians, and a
+//! cause-specific SNR-floor mixture (severed/dead paths read the noise
+//! floor; degraded paths keep several dB of signal).
+
+use crate::rootcause::{RootCause, RootCauseMix};
+use crate::ticket::FailureTicket;
+use rwc_util::rng::Xoshiro256;
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a ticket corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TicketConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of unplanned events (the paper analysed 250).
+    pub n_events: usize,
+    /// Reporting window (the paper's was seven months).
+    pub window: SimDuration,
+    /// Number of links events are attributed to.
+    pub n_links: usize,
+    /// Statistical mix of causes/durations/floors.
+    pub mix: RootCauseMix,
+}
+
+impl TicketConfig {
+    /// The paper's corpus shape: 250 events over 7 months across a
+    /// 2,000-link fleet.
+    pub fn paper() -> Self {
+        Self {
+            seed: 0xF41,
+            n_events: 250,
+            window: SimDuration::from_days(213),
+            n_links: 2_000,
+            mix: RootCauseMix::paper(),
+        }
+    }
+}
+
+/// Deterministic ticket-corpus generator.
+#[derive(Debug, Clone)]
+pub struct TicketGenerator {
+    config: TicketConfig,
+}
+
+impl TicketGenerator {
+    /// Validates and wraps a configuration.
+    pub fn new(config: TicketConfig) -> Self {
+        assert!(config.n_events > 0, "empty corpus");
+        assert!(config.n_links > 0, "no links to fail");
+        assert!(config.window > SimDuration::ZERO, "empty window");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TicketConfig {
+        &self.config
+    }
+
+    /// Generates the full corpus, ordered by onset time.
+    pub fn generate(&self) -> Vec<FailureTicket> {
+        let cfg = &self.config;
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+        let mut tickets: Vec<FailureTicket> = (0..cfg.n_events)
+            .map(|i| self.one(i as u32, &mut rng))
+            .collect();
+        tickets.sort_by_key(|t| t.start);
+        for (i, t) in tickets.iter_mut().enumerate() {
+            t.id = i as u32; // renumber in filing order
+        }
+        tickets
+    }
+
+    fn one(&self, id: u32, rng: &mut Xoshiro256) -> FailureTicket {
+        let cfg = &self.config;
+        let mix = &cfg.mix;
+        let cause = RootCause::ALL[rng.weighted_index(&mix.event_weights)];
+        let start = SimTime::EPOCH
+            + SimDuration::from_millis(rng.next_u64() % cfg.window.as_millis());
+        let duration = SimDuration::from_hours_f64(
+            rng.lognormal_median(mix.median_hours(cause), mix.duration_sigma),
+        );
+        let lowest_snr = if rng.chance(mix.lol_prob(cause)) {
+            // Dark path: receiver reads its noise floor.
+            Db(rng.uniform_in(0.05, 0.5))
+        } else {
+            // Degraded but alive: somewhere below the 100 G threshold
+            // (otherwise no ticket would have been filed) but above the
+            // floor. Biased low: partial failures still hurt badly.
+            let u = rng.uniform();
+            Db(0.5 + (6.4 - 0.5) * u.powf(0.85))
+        };
+        FailureTicket {
+            id,
+            root_cause: cause,
+            link_id: rng.below(cfg.n_links),
+            start,
+            duration,
+            lowest_snr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(seed: u64, n: usize) -> Vec<FailureTicket> {
+        let mut cfg = TicketConfig::paper();
+        cfg.seed = seed;
+        cfg.n_events = n;
+        TicketGenerator::new(cfg).generate()
+    }
+
+    #[test]
+    fn corpus_size_and_order() {
+        let tickets = corpus(1, 250);
+        assert_eq!(tickets.len(), 250);
+        assert!(tickets.windows(2).all(|w| w[0].start <= w[1].start));
+        // Renumbered in filing order.
+        assert!(tickets.iter().enumerate().all(|(i, t)| t.id == i as u32));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(corpus(7, 100), corpus(7, 100));
+        assert_ne!(corpus(7, 100), corpus(8, 100));
+    }
+
+    #[test]
+    fn cause_mix_close_to_paper() {
+        let tickets = corpus(2, 10_000);
+        let share = |c: RootCause| {
+            tickets.iter().filter(|t| t.root_cause == c).count() as f64 / tickets.len() as f64
+        };
+        assert!((share(RootCause::MaintenanceCoincident) - 0.25).abs() < 0.02);
+        assert!((share(RootCause::FiberCut) - 0.05).abs() < 0.01);
+        assert!((share(RootCause::HardwareFailure) - 0.40).abs() < 0.02);
+        assert!((share(RootCause::Undocumented) - 0.30).abs() < 0.02);
+    }
+
+    #[test]
+    fn fiber_cuts_read_noise_floor() {
+        let tickets = corpus(3, 5_000);
+        for t in tickets.iter().filter(|t| t.root_cause == RootCause::FiberCut) {
+            assert!(t.lowest_snr.value() < 0.5 + 1e-9, "cut with live signal: {t:?}");
+        }
+    }
+
+    #[test]
+    fn maintenance_events_keep_signal() {
+        let tickets = corpus(4, 5_000);
+        for t in tickets
+            .iter()
+            .filter(|t| t.root_cause == RootCause::MaintenanceCoincident)
+        {
+            assert!(t.lowest_snr.value() >= 0.5, "maintenance went dark: {t:?}");
+        }
+    }
+
+    #[test]
+    fn floors_below_100g_threshold() {
+        // Every ticket is a *failure* at the 100 G rate, so no floor may
+        // reach the 6.5 dB threshold.
+        for t in corpus(5, 5_000) {
+            assert!(t.lowest_snr.value() < 6.5, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn opportunity_fraction_near_quarter() {
+        // The paper: "the lowest SNR in failure events is above 3.0 dB
+        // nearly 25% of the time".
+        let tickets = corpus(6, 20_000);
+        let frac = tickets
+            .iter()
+            .filter(|t| t.signal_survived(Db(3.0)))
+            .count() as f64
+            / tickets.len() as f64;
+        assert!((0.20..0.40).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn durations_last_hours() {
+        // Fig. 3b/4a: failures last several hours on average.
+        let tickets = corpus(7, 5_000);
+        let mean_h = tickets
+            .iter()
+            .map(|t| t.duration.as_hours_f64())
+            .sum::<f64>()
+            / tickets.len() as f64;
+        assert!((3.0..15.0).contains(&mean_h), "mean={mean_h}h");
+    }
+
+    #[test]
+    fn starts_within_window() {
+        let cfg = TicketConfig::paper();
+        for t in corpus(8, 1_000) {
+            assert!(t.start.since_epoch() < cfg.window);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_corpus() {
+        TicketGenerator::new(TicketConfig { n_events: 0, ..TicketConfig::paper() });
+    }
+}

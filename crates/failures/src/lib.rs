@@ -1,0 +1,28 @@
+//! # rwc-failures
+//!
+//! Failure-ticket substrate for the *Run, Walk, Crawl* reproduction.
+//!
+//! The paper manually analyses seven months of unplanned failure tickets
+//! (250 events) filed by WAN field operators, categorising root causes and
+//! measuring each event's SNR floor. That ticket system is proprietary, so
+//! this crate generates a synthetic corpus with the paper's reported
+//! root-cause mix — and the analyses that turn a corpus into the paper's
+//! Fig. 4a (outage-duration share by cause), Fig. 4b (event share by
+//! cause), Fig. 4c (CDF of the lowest SNR during failures) and the §2.2
+//! availability argument (≥25% of failures could have been 50 Gbps flaps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod availability;
+pub mod generator;
+pub mod reliability;
+pub mod rootcause;
+pub mod ticket;
+
+pub use analysis::TicketAnalysis;
+pub use availability::AvailabilityReport;
+pub use generator::{TicketConfig, TicketGenerator};
+pub use rootcause::RootCause;
+pub use ticket::FailureTicket;

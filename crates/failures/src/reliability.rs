@@ -1,0 +1,168 @@
+//! Reliability metrics from ticket corpora: MTBF, MTTR, availability.
+//!
+//! The operator-facing summary of §2.2: how often links fail (mean time
+//! between failures), how long repairs take (mean time to repair), and the
+//! steady-state availability `MTBF / (MTBF + MTTR)` — computed for the
+//! binary policy and for the dynamic policy where flap-able events don't
+//! count as failures at all.
+
+use crate::ticket::FailureTicket;
+use rwc_optics::ModulationTable;
+use rwc_util::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Classic reliability summary of a link population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reliability {
+    /// Mean time between failures (per link).
+    pub mtbf: SimDuration,
+    /// Mean time to repair.
+    pub mttr: SimDuration,
+    /// Steady-state availability `MTBF / (MTBF + MTTR)`.
+    pub availability: f64,
+    /// Failures counted.
+    pub failures: usize,
+}
+
+/// Computes reliability for a population of `n_links` observed over
+/// `window`, counting every ticket as a failure (the binary policy).
+pub fn binary_reliability(
+    tickets: &[FailureTicket],
+    window: SimDuration,
+    n_links: usize,
+) -> Reliability {
+    let outages: Vec<&FailureTicket> = tickets.iter().collect();
+    reliability_of(&outages, window, n_links)
+}
+
+/// Computes reliability under the dynamic policy: events whose SNR floor
+/// still supports some rung become flaps, not failures.
+pub fn dynamic_reliability(
+    tickets: &[FailureTicket],
+    table: &ModulationTable,
+    window: SimDuration,
+    n_links: usize,
+) -> Reliability {
+    let outages: Vec<&FailureTicket> = tickets
+        .iter()
+        .filter(|t| table.feasible(t.lowest_snr).is_none())
+        .collect();
+    reliability_of(&outages, window, n_links)
+}
+
+fn reliability_of(
+    outages: &[&FailureTicket],
+    window: SimDuration,
+    n_links: usize,
+) -> Reliability {
+    assert!(n_links > 0, "no links");
+    assert!(window > SimDuration::ZERO, "empty window");
+    let total_link_time = window.as_hours_f64() * n_links as f64;
+    let total_repair: f64 = outages.iter().map(|t| t.duration.as_hours_f64()).sum();
+    let failures = outages.len();
+    if failures == 0 {
+        return Reliability {
+            mtbf: window * n_links as u64,
+            mttr: SimDuration::ZERO,
+            availability: 1.0,
+            failures: 0,
+        };
+    }
+    let uptime = (total_link_time - total_repair).max(0.0);
+    let mtbf_h = uptime / failures as f64;
+    let mttr_h = total_repair / failures as f64;
+    Reliability {
+        mtbf: SimDuration::from_hours_f64(mtbf_h),
+        mttr: SimDuration::from_hours_f64(mttr_h),
+        availability: mtbf_h / (mtbf_h + mttr_h),
+        failures,
+    }
+}
+
+/// Converts an availability fraction into "nines" (0.999 → 3.0).
+pub fn nines(availability: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&availability), "availability out of [0,1]");
+    if availability >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(1.0 - availability).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TicketConfig, TicketGenerator};
+    use crate::rootcause::RootCause;
+    use rwc_util::time::SimTime;
+    use rwc_util::units::Db;
+
+    fn ticket(hours: u64, snr: f64) -> FailureTicket {
+        FailureTicket {
+            id: 0,
+            root_cause: RootCause::HardwareFailure,
+            link_id: 0,
+            start: SimTime::EPOCH,
+            duration: SimDuration::from_hours(hours),
+            lowest_snr: Db(snr),
+        }
+    }
+
+    #[test]
+    fn hand_computed_mtbf_mttr() {
+        // 1 link, 100 h window, two 10 h outages: uptime 80 h.
+        let tickets = vec![ticket(10, 0.1), ticket(10, 0.2)];
+        let r = binary_reliability(&tickets, SimDuration::from_hours(100), 1);
+        assert_eq!(r.failures, 2);
+        assert!((r.mtbf.as_hours_f64() - 40.0).abs() < 1e-9);
+        assert!((r.mttr.as_hours_f64() - 10.0).abs() < 1e-9);
+        assert!((r.availability - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_discounts_flapable_events() {
+        let table = ModulationTable::paper_default();
+        // One hard outage (0.1 dB) and one flap-able event (4 dB).
+        let tickets = vec![ticket(10, 0.1), ticket(10, 4.0)];
+        let window = SimDuration::from_hours(100);
+        let binary = binary_reliability(&tickets, window, 1);
+        let dynamic = dynamic_reliability(&tickets, &table, window, 1);
+        assert_eq!(binary.failures, 2);
+        assert_eq!(dynamic.failures, 1);
+        assert!(dynamic.availability > binary.availability);
+        assert!(dynamic.mtbf > binary.mtbf);
+    }
+
+    #[test]
+    fn no_failures_is_perfect() {
+        let r = binary_reliability(&[], SimDuration::from_days(30), 10);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.failures, 0);
+        assert_eq!(nines(r.availability), f64::INFINITY);
+    }
+
+    #[test]
+    fn nines_scale() {
+        assert!((nines(0.999) - 3.0).abs() < 1e-9);
+        assert!((nines(0.99999) - 5.0).abs() < 1e-9);
+        assert!((nines(0.5) - 0.301).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_corpus_gains_fraction_of_a_nine() {
+        let cfg = TicketConfig::paper();
+        let tickets = TicketGenerator::new(cfg.clone()).generate();
+        let table = ModulationTable::paper_default();
+        let binary = binary_reliability(&tickets, cfg.window, cfg.n_links);
+        let dynamic = dynamic_reliability(&tickets, &table, cfg.window, cfg.n_links);
+        assert!(binary.availability > 0.999, "fleet-wide: {}", binary.availability);
+        assert!(
+            nines(dynamic.availability) > nines(binary.availability),
+            "dynamic {} vs binary {}",
+            dynamic.availability,
+            binary.availability
+        );
+        // A visible fraction of events is discounted.
+        assert!(dynamic.failures < binary.failures * 9 / 10);
+    }
+}

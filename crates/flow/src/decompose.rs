@@ -1,0 +1,199 @@
+//! Flow decomposition into simple paths.
+//!
+//! Theorem 1's translation step needs the TE solution as *paths* (to
+//! program tunnels) rather than per-edge totals. Any feasible `s`→`t` flow
+//! decomposes into at most `|E|` simple paths plus cycles; cycles carry no
+//! `s`→`t` value and are dropped (min-cost solutions contain none unless
+//! zero-cost cycles exist).
+
+use crate::network::{Flow, FlowNetwork};
+use crate::EPS;
+
+/// One path of a decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowPath {
+    /// Node sequence from source to sink.
+    pub nodes: Vec<usize>,
+    /// Edge indices traversed (into the original network's edge list).
+    pub edges: Vec<usize>,
+    /// Amount of flow carried by this path.
+    pub amount: f64,
+}
+
+/// Decomposes a flow into simple source→sink paths.
+///
+/// Returns paths whose amounts sum to `flow.value` (within tolerance).
+pub fn decompose(net: &FlowNetwork, flow: &Flow, source: usize, sink: usize) -> Vec<FlowPath> {
+    assert_eq!(flow.edge_flows.len(), net.n_edges(), "flow does not match network");
+    let mut remaining = flow.edge_flows.clone();
+    // Adjacency: node -> list of edge indices with remaining flow.
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); net.n_nodes()];
+    for (i, e) in net.edges().iter().enumerate() {
+        if remaining[i] > EPS {
+            out[e.from].push(i);
+        }
+    }
+    let mut paths = Vec::new();
+    loop {
+        // Greedy walk from source along positive-flow edges.
+        let mut nodes = vec![source];
+        let mut edges = Vec::new();
+        let mut visited = vec![false; net.n_nodes()];
+        visited[source] = true;
+        let mut u = source;
+        while u != sink {
+            // First outgoing edge with remaining flow.
+            let Some(&edge_idx) = out[u].iter().find(|&&i| remaining[i] > EPS) else {
+                break;
+            };
+            let v = net.edge(edge_idx).to;
+            if visited[v] {
+                // Cycle: cancel it and restart the walk.
+                let pos = nodes.iter().position(|&n| n == v).unwrap();
+                let cycle_edges: Vec<usize> =
+                    edges[pos..].iter().copied().chain([edge_idx]).collect();
+                let cancel = cycle_edges
+                    .iter()
+                    .map(|&i| remaining[i])
+                    .fold(f64::INFINITY, f64::min);
+                for &i in &cycle_edges {
+                    remaining[i] -= cancel;
+                }
+                nodes.truncate(pos + 1);
+                edges.truncate(pos);
+                // Reset visitation to the truncated prefix.
+                visited.iter_mut().for_each(|x| *x = false);
+                for &n in &nodes {
+                    visited[n] = true;
+                }
+                u = v;
+                continue;
+            }
+            visited[v] = true;
+            nodes.push(v);
+            edges.push(edge_idx);
+            u = v;
+        }
+        if u != sink {
+            break; // no more source→sink flow
+        }
+        let amount = edges.iter().map(|&i| remaining[i]).fold(f64::INFINITY, f64::min);
+        if amount <= EPS {
+            break;
+        }
+        for &i in &edges {
+            remaining[i] -= amount;
+        }
+        paths.push(FlowPath { nodes, edges, amount });
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::max_flow;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0, 0.0);
+        net.add_edge(1, 2, 5.0, 0.0);
+        let f = max_flow(&net, 0, 2);
+        let paths = decompose(&net, &f, 0, 2);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![0, 1, 2]);
+        assert_eq!(paths[0].amount, 5.0);
+    }
+
+    #[test]
+    fn parallel_routes_split() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0, 0.0);
+        net.add_edge(1, 3, 3.0, 0.0);
+        net.add_edge(0, 2, 5.0, 0.0);
+        net.add_edge(2, 3, 5.0, 0.0);
+        let f = max_flow(&net, 0, 3);
+        let paths = decompose(&net, &f, 0, 3);
+        assert_eq!(paths.len(), 2);
+        let total: f64 = paths.iter().map(|p| p.amount).sum();
+        assert!((total - f.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amounts_sum_to_value_on_complex_network() {
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0, 0.0);
+        net.add_edge(0, 2, 13.0, 0.0);
+        net.add_edge(1, 2, 10.0, 0.0);
+        net.add_edge(2, 1, 4.0, 0.0);
+        net.add_edge(1, 3, 12.0, 0.0);
+        net.add_edge(3, 2, 9.0, 0.0);
+        net.add_edge(2, 4, 14.0, 0.0);
+        net.add_edge(4, 3, 7.0, 0.0);
+        net.add_edge(3, 5, 20.0, 0.0);
+        net.add_edge(4, 5, 4.0, 0.0);
+        let f = max_flow(&net, 0, 5);
+        let paths = decompose(&net, &f, 0, 5);
+        let total: f64 = paths.iter().map(|p| p.amount).sum();
+        assert!((total - f.value).abs() < 1e-6, "total={total} value={}", f.value);
+        // Every path is simple and source→sink.
+        for p in &paths {
+            assert_eq!(p.nodes[0], 0);
+            assert_eq!(*p.nodes.last().unwrap(), 5);
+            let mut sorted = p.nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.nodes.len(), "loop in path {:?}", p.nodes);
+            // Edge/node consistency.
+            for (i, &e) in p.edges.iter().enumerate() {
+                assert_eq!(net.edge(e).from, p.nodes[i]);
+                assert_eq!(net.edge(e).to, p.nodes[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_flow_decomposes_to_nothing() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5.0, 0.0);
+        let f = Flow { edge_flows: vec![0.0], value: 0.0 };
+        assert!(decompose(&net, &f, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn pure_cycle_is_cancelled() {
+        // Flow on a cycle not touching source/sink: decomposition must
+        // return no paths and not loop forever.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(1, 2, 5.0, 0.0);
+        net.add_edge(2, 1, 5.0, 0.0);
+        net.add_edge(0, 3, 1.0, 0.0);
+        let f = Flow { edge_flows: vec![2.0, 2.0, 1.0], value: 1.0 };
+        let paths = decompose(&net, &f, 0, 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].amount, 1.0);
+    }
+
+    #[test]
+    fn cycle_attached_to_path_is_cancelled() {
+        // 0→1→2 with a 1→3→1 cycle grafted on.
+        let mut net = FlowNetwork::new(4);
+        let e01 = net.add_edge(0, 1, 5.0, 0.0);
+        let e12 = net.add_edge(1, 2, 5.0, 0.0);
+        let e13 = net.add_edge(1, 3, 5.0, 0.0);
+        let e31 = net.add_edge(3, 1, 5.0, 0.0);
+        let mut flows = vec![0.0; 4];
+        flows[e01] = 3.0;
+        flows[e12] = 3.0;
+        flows[e13] = 2.0;
+        flows[e31] = 2.0;
+        let f = Flow { edge_flows: flows, value: 3.0 };
+        let paths = decompose(&net, &f, 0, 2);
+        let total: f64 = paths.iter().map(|p| p.amount).sum();
+        assert!((total - 3.0).abs() < 1e-9);
+        for p in &paths {
+            assert!(!p.nodes.contains(&3), "cycle node leaked into a path");
+        }
+    }
+}

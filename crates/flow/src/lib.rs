@@ -1,0 +1,38 @@
+//! # rwc-flow
+//!
+//! Flow-algorithm substrate for the *Run, Walk, Crawl* reproduction.
+//!
+//! Theorem 1 of the paper reduces TE-with-dynamic-capacities to **min-cost
+//! max-flow** on an augmented graph, and the TE layer itself needs
+//! max-flow and multicommodity flow. The Rust ecosystem's optimisation
+//! support is thin (the calibration notes call this out), so the solvers
+//! are implemented here from scratch:
+//!
+//! - [`network`]: the shared [`network::FlowNetwork`] representation and
+//!   residual graph;
+//! - [`maxflow`]: Dinic's algorithm;
+//! - [`mincost`]: successive shortest paths with Johnson potentials
+//!   (Bellman–Ford bootstrap, Dijkstra iterations);
+//! - [`mcf`]: multicommodity flow — the Garg–Könemann FPTAS for maximum
+//!   total throughput with per-commodity demand caps, plus a greedy
+//!   baseline;
+//! - [`decompose`]: flow decomposition into simple paths.
+//!
+//! All capacities/costs are `f64`; comparisons use the crate-wide
+//! [`EPS`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod maxflow;
+pub mod mcf;
+pub mod mincost;
+pub mod network;
+
+pub use maxflow::max_flow;
+pub use mincost::min_cost_max_flow;
+pub use network::FlowNetwork;
+
+/// Tolerance for flow comparisons.
+pub const EPS: f64 = 1e-9;

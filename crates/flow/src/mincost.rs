@@ -1,0 +1,312 @@
+//! Min-cost flow via successive shortest paths with Johnson potentials.
+//!
+//! This is the solver Theorem 1 hands the augmented graph to: among all
+//! maximum flows it finds one of minimum total cost, so flow avoids
+//! penalised fake links unless they buy extra throughput. Negative edge
+//! costs are supported (Bellman–Ford bootstrap) as long as the input has no
+//! negative cycle; all subsequent iterations run Dijkstra on reduced costs.
+
+use crate::network::{Flow, FlowNetwork, Residual};
+use crate::EPS;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a min-cost flow computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCostFlow {
+    /// The flow assignment (value = total routed).
+    pub flow: Flow,
+    /// Total cost `Σ flow(e)·cost(e)`.
+    pub cost: f64,
+}
+
+/// Computes a **maximum** `source`→`sink` flow of **minimum cost**.
+///
+/// ```
+/// use rwc_flow::{min_cost_max_flow, FlowNetwork};
+///
+/// // The fake-link pattern: a free real edge and a penalised upgrade edge.
+/// let mut net = FlowNetwork::new(2);
+/// net.add_edge(0, 1, 100.0, 0.0);   // real link
+/// net.add_edge(0, 1, 100.0, 100.0); // fake upgrade edge
+/// let r = min_cost_max_flow(&net, 0, 1);
+/// assert_eq!(r.flow.value, 200.0);
+/// // Only the fake half of the flow pays the penalty.
+/// assert_eq!(r.cost, 100.0 * 100.0);
+/// ```
+pub fn min_cost_max_flow(net: &FlowNetwork, source: usize, sink: usize) -> MinCostFlow {
+    min_cost_flow_up_to(net, source, sink, f64::INFINITY)
+}
+
+/// Computes a minimum-cost flow of value `min(target, maxflow)`.
+///
+/// With `target = ∞` this is min-cost max-flow; with a finite target it
+/// stops once the requested amount is routed (used for demand-capped TE).
+pub fn min_cost_flow_up_to(
+    net: &FlowNetwork,
+    source: usize,
+    sink: usize,
+    target: f64,
+) -> MinCostFlow {
+    assert!(source < net.n_nodes() && sink < net.n_nodes(), "endpoint out of range");
+    assert_ne!(source, sink, "source and sink must differ");
+    assert!(target >= 0.0, "target must be non-negative");
+    let n = net.n_nodes();
+    let mut r = Residual::from_network(net);
+
+    // Johnson potentials via Bellman–Ford (handles negative edge costs).
+    let mut potential = vec![0.0f64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if potential[u] == f64::INFINITY {
+                continue;
+            }
+            for &arc in &r.adj[u] {
+                if r.cap[arc] > EPS {
+                    let v = r.head[arc];
+                    let nd = potential[u] + r.cost[arc];
+                    if nd < potential[v] - EPS {
+                        potential[v] = nd;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut value = 0.0;
+    let mut total_cost = 0.0;
+    let mut remaining = target;
+
+    while remaining > EPS {
+        // Dijkstra on reduced costs.
+        let (dist, parent_arc) = dijkstra(&r, n, source, &potential);
+        if dist[sink].is_infinite() {
+            break;
+        }
+        for (u, d) in dist.iter().enumerate() {
+            if d.is_finite() {
+                potential[u] += d;
+            }
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = remaining;
+        let mut v = sink;
+        while v != source {
+            let arc = parent_arc[v].expect("path must be complete");
+            bottleneck = bottleneck.min(r.cap[arc]);
+            v = r.head[arc ^ 1];
+        }
+        // Apply.
+        let mut v = sink;
+        while v != source {
+            let arc = parent_arc[v].expect("path must be complete");
+            r.cap[arc] -= bottleneck;
+            r.cap[arc ^ 1] += bottleneck;
+            total_cost += bottleneck * r.cost[arc];
+            v = r.head[arc ^ 1];
+        }
+        value += bottleneck;
+        if remaining.is_finite() {
+            remaining -= bottleneck;
+        }
+    }
+
+    MinCostFlow { flow: Flow { edge_flows: r.edge_flows(net), value }, cost: total_cost }
+}
+
+#[derive(PartialEq)]
+struct Entry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn dijkstra(
+    r: &Residual,
+    n: usize,
+    source: usize,
+    potential: &[f64],
+) -> (Vec<f64>, Vec<Option<usize>>) {
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Entry { dist: 0.0, node: source });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] + EPS {
+            continue;
+        }
+        for &arc in &r.adj[u] {
+            if r.cap[arc] <= EPS {
+                continue;
+            }
+            let v = r.head[arc];
+            // Reduced cost is non-negative by the potential invariant;
+            // clamp tiny negatives from float drift.
+            let reduced = (r.cost[arc] + potential[u] - potential[v]).max(0.0);
+            let nd = d + reduced;
+            if nd < dist[v] - EPS {
+                dist[v] = nd;
+                parent[v] = Some(arc);
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    (dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::max_flow;
+
+    #[test]
+    fn prefers_cheap_path() {
+        // Two parallel routes; max flow needs both, but the cheap one must
+        // carry as much as possible.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5.0, 1.0); // cheap route
+        net.add_edge(1, 3, 5.0, 1.0);
+        net.add_edge(0, 2, 5.0, 10.0); // expensive route
+        net.add_edge(2, 3, 5.0, 10.0);
+        let r = min_cost_max_flow(&net, 0, 3);
+        assert_eq!(r.flow.value, 10.0);
+        assert_eq!(r.cost, 5.0 * 2.0 + 5.0 * 20.0);
+        r.flow.validate(&net, 0, 3).unwrap();
+    }
+
+    #[test]
+    fn value_matches_dinic() {
+        // Min-cost max-flow must find the same value as Dinic.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0, 3.0);
+        net.add_edge(0, 2, 13.0, 1.0);
+        net.add_edge(1, 2, 10.0, 2.0);
+        net.add_edge(2, 1, 4.0, 0.0);
+        net.add_edge(1, 3, 12.0, 5.0);
+        net.add_edge(3, 2, 9.0, 1.0);
+        net.add_edge(2, 4, 14.0, 2.0);
+        net.add_edge(4, 3, 7.0, 0.0);
+        net.add_edge(3, 5, 20.0, 1.0);
+        net.add_edge(4, 5, 4.0, 7.0);
+        let mc = min_cost_max_flow(&net, 0, 5);
+        let mf = max_flow(&net, 0, 5);
+        assert!((mc.flow.value - mf.value).abs() < 1e-6);
+        mc.flow.validate(&net, 0, 5).unwrap();
+    }
+
+    #[test]
+    fn capped_flow_stops_at_target() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10.0, 2.0);
+        let r = min_cost_flow_up_to(&net, 0, 1, 4.0);
+        assert_eq!(r.flow.value, 4.0);
+        assert_eq!(r.cost, 8.0);
+    }
+
+    #[test]
+    fn capped_flow_limited_by_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3.0, 1.0);
+        let r = min_cost_flow_up_to(&net, 0, 1, 100.0);
+        assert_eq!(r.flow.value, 3.0);
+    }
+
+    #[test]
+    fn zero_cost_edges_are_free() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0, 0.0);
+        net.add_edge(1, 2, 5.0, 0.0);
+        let r = min_cost_max_flow(&net, 0, 2);
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.flow.value, 5.0);
+    }
+
+    #[test]
+    fn cost_tie_breaks_by_throughput_first() {
+        // The solver maximises value even if every unit is expensive.
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5.0, 1000.0);
+        let r = min_cost_max_flow(&net, 0, 1);
+        assert_eq!(r.flow.value, 5.0);
+        assert_eq!(r.cost, 5000.0);
+    }
+
+    #[test]
+    fn negative_costs_without_cycles() {
+        // A negative-cost edge on the only path: Bellman–Ford bootstrap
+        // must produce valid potentials.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4.0, -2.0);
+        net.add_edge(1, 2, 4.0, 3.0);
+        let r = min_cost_max_flow(&net, 0, 2);
+        assert_eq!(r.flow.value, 4.0);
+        assert_eq!(r.cost, 4.0 * 1.0);
+        r.flow.validate(&net, 0, 2).unwrap();
+    }
+
+    #[test]
+    fn negative_cost_detour_is_preferred() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 2, 10.0, 0.0); // direct, free
+        net.add_edge(0, 1, 10.0, -5.0); // detour with reward
+        net.add_edge(1, 2, 10.0, 1.0);
+        let r = min_cost_max_flow(&net, 0, 2);
+        assert_eq!(r.flow.value, 20.0);
+        // The detour's net cost is -4 per unit; it must be used fully.
+        assert_eq!(r.flow.edge_flows[1], 10.0);
+        assert_eq!(r.cost, 10.0 * 0.0 + 10.0 * -4.0);
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_costs() {
+        // The fake-link pattern: a free real edge and a penalised parallel
+        // fake edge. Flow must exhaust the free one first.
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 100.0, 0.0); // real
+        net.add_edge(0, 1, 100.0, 100.0); // fake (upgrade)
+        let r = min_cost_flow_up_to(&net, 0, 1, 125.0);
+        assert_eq!(r.flow.value, 125.0);
+        assert_eq!(r.flow.edge_flows[0], 100.0);
+        assert_eq!(r.flow.edge_flows[1], 25.0);
+        assert_eq!(r.cost, 2500.0);
+    }
+
+    #[test]
+    fn zero_target_is_empty_flow() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5.0, 1.0);
+        let r = min_cost_flow_up_to(&net, 0, 1, 0.0);
+        assert_eq!(r.flow.value, 0.0);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn unreachable_sink() {
+        let net = FlowNetwork::new(2);
+        let r = min_cost_max_flow(&net, 0, 1);
+        assert_eq!(r.flow.value, 0.0);
+    }
+}

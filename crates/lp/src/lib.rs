@@ -1,0 +1,27 @@
+//! # rwc-lp
+//!
+//! A small, exact linear-programming solver (two-phase dense simplex with
+//! Bland's rule) plus encoders that express flow problems as LPs.
+//!
+//! Why build one: the reproduction's headline theorem says min-cost
+//! max-flow on the augmented graph equals max-flow on the dynamic-capacity
+//! graph. The combinatorial solvers in `rwc-flow` are fast but
+//! approximate in the multicommodity case; this crate provides the *ground
+//! truth* they are validated against in tests and benchmarks (the Rust
+//! ecosystem's optimisation offerings are thin, per the calibration notes,
+//! so this is written from scratch on `std` only).
+//!
+//! - [`model`]: the LP model ([`model::LinearProgram`], built via
+//!   [`model::LpBuilder`]);
+//! - [`simplex`]: the solver;
+//! - [`flows`]: max-flow / min-cost-max-flow / multicommodity encoders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flows;
+pub mod model;
+pub mod simplex;
+
+pub use model::{LinearProgram, LpBuilder, Relation};
+pub use simplex::{solve, LpOutcome, Solution};

@@ -1,0 +1,406 @@
+//! Two-phase primal simplex.
+//!
+//! Dense tableau, Bland's anti-cycling rule, `1e-9` tolerances. Built for
+//! correctness on the small/medium LPs the reproduction cross-validates
+//! against (hundreds of variables), not for industrial scale.
+
+use crate::model::{LinearProgram, Relation};
+
+const TOL: f64 = 1e-9;
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// Outcome of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimum was found.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution; panics otherwise.
+    pub fn expect_optimal(self) -> Solution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal solution, got {other:?}"),
+        }
+    }
+}
+
+struct Tableau {
+    /// Constraint matrix rows (m × n_total).
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (all ≥ 0 by construction).
+    b: Vec<f64>,
+    /// Objective row coefficients (reduced costs), length n_total.
+    obj: Vec<f64>,
+    /// Current objective value.
+    obj_val: f64,
+    /// Basis: basis[row] = column index of the basic variable.
+    basis: Vec<usize>,
+    n_total: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > TOL, "pivot on ~zero element");
+        for x in self.a[row].iter_mut() {
+            *x /= p;
+        }
+        self.b[row] /= p;
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() > TOL {
+                for c in 0..self.n_total {
+                    let v = self.a[row][c];
+                    self.a[r][c] -= factor * v;
+                }
+                self.b[r] -= factor * self.b[row];
+                if self.b[r] < 0.0 && self.b[r] > -TOL {
+                    self.b[r] = 0.0;
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > TOL {
+            for c in 0..self.n_total {
+                self.obj[c] -= factor * self.a[row][c];
+            }
+            // Entering `factor > 0` worth of reduced cost at level b[row]
+            // raises the objective.
+            self.obj_val += factor * self.b[row];
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex to optimality (maximisation: stop when all reduced
+    /// costs ≤ tol). `allowed` masks columns eligible to enter. Returns
+    /// false on unboundedness.
+    fn optimise(&mut self, allowed: &[bool]) -> bool {
+        loop {
+            // Bland: entering = lowest-index column with positive reduced
+            // cost (we keep obj as +c form and maximise).
+            let Some(col) = (0..self.n_total)
+                .find(|&c| allowed[c] && self.obj[c] > TOL)
+            else {
+                return true;
+            };
+            // Ratio test; Bland ties by lowest basis index.
+            let mut best: Option<(f64, usize)> = None;
+            for r in 0..self.a.len() {
+                if self.a[r][col] > TOL {
+                    let ratio = self.b[r] / self.a[r][col];
+                    match best {
+                        None => best = Some((ratio, r)),
+                        Some((br, brow)) => {
+                            if ratio < br - TOL
+                                || (ratio < br + TOL && self.basis[r] < self.basis[brow])
+                            {
+                                best = Some((ratio, r));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((_, row)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves an LP (maximisation, `x ≥ 0`).
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    lp.validate().expect("invalid LP");
+    let n = lp.n_vars();
+    let m = lp.n_constraints();
+
+    // Normalise: make every rhs non-negative by row negation.
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = lp
+        .constraints
+        .iter()
+        .map(|c| (c.coeffs.clone(), c.op, c.rhs))
+        .collect();
+    for (coeffs, op, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for x in coeffs.iter_mut() {
+                *x = -*x;
+            }
+            *rhs = -*rhs;
+            *op = match *op {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    // Count extra columns: slack (Le), surplus+artificial (Ge),
+    // artificial (Eq).
+    let n_slack = rows.iter().filter(|r| r.1 == Relation::Le).count();
+    let n_surplus = rows.iter().filter(|r| r.1 == Relation::Ge).count();
+    let n_artificial = rows.iter().filter(|r| r.1 != Relation::Le).count();
+    let n_total = n + n_slack + n_surplus + n_artificial;
+
+    let mut a = vec![vec![0.0; n_total]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut artificial_cols = Vec::new();
+    let (mut slack_i, mut surplus_i, mut art_i) = (0, 0, 0);
+    for (r, (coeffs, op, rhs)) in rows.iter().enumerate() {
+        a[r][..n].copy_from_slice(coeffs);
+        b[r] = *rhs;
+        match op {
+            Relation::Le => {
+                let col = n + slack_i;
+                slack_i += 1;
+                a[r][col] = 1.0;
+                basis[r] = col;
+            }
+            Relation::Ge => {
+                let scol = n + n_slack + surplus_i;
+                surplus_i += 1;
+                a[r][scol] = -1.0;
+                let acol = n + n_slack + n_surplus + art_i;
+                art_i += 1;
+                a[r][acol] = 1.0;
+                basis[r] = acol;
+                artificial_cols.push(acol);
+            }
+            Relation::Eq => {
+                let acol = n + n_slack + n_surplus + art_i;
+                art_i += 1;
+                a[r][acol] = 1.0;
+                basis[r] = acol;
+                artificial_cols.push(acol);
+            }
+        }
+    }
+
+    let mut t = Tableau { a, b, obj: vec![0.0; n_total], obj_val: 0.0, basis, n_total };
+
+    // Phase 1: maximise -(sum of artificials).
+    if !artificial_cols.is_empty() {
+        for &c in &artificial_cols {
+            t.obj[c] = -1.0;
+        }
+        // Price out basic artificials: reduced row = c + Σ(artificial-basic
+        // rows), objective value = −Σ of their rhs.
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                for c in 0..n_total {
+                    t.obj[c] += t.a[r][c];
+                }
+                t.obj_val -= t.b[r];
+            }
+        }
+        let allowed = vec![true; n_total];
+        let bounded = t.optimise(&allowed);
+        debug_assert!(bounded, "phase 1 cannot be unbounded");
+        if t.obj_val < -1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                if let Some(col) =
+                    (0..n).chain(n..n + n_slack + n_surplus).find(|&c| t.a[r][c].abs() > TOL)
+                {
+                    t.pivot(r, col);
+                }
+                // Degenerate all-zero row: harmless, leave the artificial
+                // basic at value 0.
+            }
+        }
+    }
+
+    // Phase 2: real objective; artificial columns are frozen out.
+    t.obj = vec![0.0; n_total];
+    t.obj[..n].copy_from_slice(&lp.objective);
+    t.obj_val = 0.0;
+    // Price out the current basis.
+    for r in 0..m {
+        let bc = t.basis[r];
+        let coeff = t.obj[bc];
+        if coeff.abs() > TOL {
+            for c in 0..n_total {
+                let v = t.a[r][c];
+                t.obj[c] -= coeff * v;
+            }
+            t.obj_val += coeff * t.b[r];
+        }
+    }
+    let mut allowed = vec![true; n_total];
+    for &c in &artificial_cols {
+        allowed[c] = false;
+    }
+    if !t.optimise(&allowed) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.b[r];
+        }
+    }
+    LpOutcome::Optimal(Solution { x, objective: t.obj_val })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LpBuilder;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_two_var() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 → x=2, y=6, z=36.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(3.0);
+        let y = b.add_var(5.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        b.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        b.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.objective, 36.0);
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y st x + y = 5, x <= 3 → z = 5 (x=3,y=2 or any split).
+        let mut b = LpBuilder::new();
+        let x = b.add_var(1.0);
+        let y = b.add_var(1.0);
+        b.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Le, 3.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.objective, 5.0);
+        assert_near(s.x[0] + s.x[1], 5.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x + 2y st x + y >= 4, y >= 1 (as max of negation)
+        // → x=3, y=1, cost 5.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(-1.0);
+        let y = b.add_var(-2.0);
+        b.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        b.add_constraint(&[(y, 1.0)], Relation::Ge, 1.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.objective, -5.0);
+        assert_near(s.x[0], 3.0);
+        assert_near(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(1.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve(&b.build()), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut b = LpBuilder::new();
+        let x = b.add_var(1.0);
+        b.add_constraint(&[(x, -1.0)], Relation::Le, 1.0);
+        assert_eq!(solve(&b.build()), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // -x <= -2 means x >= 2; max -x → x = 2.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(-1.0);
+        b.add_constraint(&[(x, -1.0)], Relation::Le, -2.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.x[0], 2.0);
+        assert_near(s.objective, -2.0);
+    }
+
+    #[test]
+    fn degenerate_vertices_terminate() {
+        // Classic degeneracy: redundant constraints meeting at a vertex.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(1.0);
+        let y = b.add_var(1.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        b.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        b.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, 2.0);
+        b.add_constraint(&[(y, 1.0)], Relation::Le, 1.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.objective, 1.0);
+    }
+
+    #[test]
+    fn zero_objective_finds_feasible_point() {
+        let mut b = LpBuilder::new();
+        let x = b.add_var(0.0);
+        b.add_constraint(&[(x, 1.0)], Relation::Eq, 7.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.x[0], 7.0);
+        assert_near(s.objective, 0.0);
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        // Random-ish LP; verify feasibility of the returned point.
+        let mut b = LpBuilder::new();
+        let vars: Vec<usize> = (0..4).map(|i| b.add_var([2.0, -1.0, 3.0, 0.5][i])).collect();
+        b.add_constraint(&[(vars[0], 1.0), (vars[1], 1.0), (vars[2], 1.0)], Relation::Le, 10.0);
+        b.add_constraint(&[(vars[2], 1.0), (vars[3], 2.0)], Relation::Le, 8.0);
+        b.add_constraint(&[(vars[0], 1.0), (vars[3], -1.0)], Relation::Ge, 1.0);
+        b.add_constraint(&[(vars[1], 1.0), (vars[2], 1.0)], Relation::Eq, 4.0);
+        let lp = b.build();
+        let s = solve(&lp).expect_optimal();
+        for c in &lp.constraints {
+            let lhs: f64 = c.coeffs.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+            match c.op {
+                Relation::Le => assert!(lhs <= c.rhs + 1e-6, "{lhs} <= {}", c.rhs),
+                Relation::Ge => assert!(lhs >= c.rhs - 1e-6, "{lhs} >= {}", c.rhs),
+                Relation::Eq => assert!((lhs - c.rhs).abs() < 1e-6, "{lhs} = {}", c.rhs),
+            }
+        }
+        assert!(s.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn maximum_matches_hand_dual() {
+        // max 4x + 3y st 2x + y <= 10, x + 3y <= 15 → x=3, y=4, z=24.
+        let mut b = LpBuilder::new();
+        let x = b.add_var(4.0);
+        let y = b.add_var(3.0);
+        b.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, 10.0);
+        b.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 15.0);
+        let s = solve(&b.build()).expect_optimal();
+        assert_near(s.objective, 24.0);
+        assert_near(s.x[0], 3.0);
+        assert_near(s.x[1], 4.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Forward-error-correction budgets.
+//!
+//! The SNR thresholds of the modulation ladder are not arbitrary: a rung
+//! is usable exactly when the *pre-FEC* bit error rate stays below what
+//! the transceiver's FEC can clean up. This module models the standard
+//! coherent-era codes and derives each rung's required SNR from
+//! communication theory — and the result lands within a fraction of a dB
+//! of the paper-calibrated table — the consistency check the
+//! `ladder_matches_sd_fec` test encodes.
+
+use crate::ber::required_es_n0_mqam;
+use crate::modulation::Modulation;
+use rwc_util::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// A FEC configuration: coding overhead and the pre-FEC BER it corrects
+/// to effectively error-free output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FecCode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Coding overhead as a fraction of the information rate (0.20 =
+    /// 20% extra symbols on the wire).
+    pub overhead: f64,
+    /// Maximum correctable pre-FEC bit error rate.
+    pub pre_fec_ber: f64,
+}
+
+impl FecCode {
+    /// Classic 6.7%-overhead hard-decision FEC (GFEC era).
+    pub const HD_7: FecCode =
+        FecCode { name: "HD-FEC 7%", overhead: 0.067, pre_fec_ber: 3.8e-3 };
+    /// 20%-overhead soft-decision FEC — the workhorse of the paper's
+    /// transceiver generation.
+    pub const SD_20: FecCode =
+        FecCode { name: "SD-FEC 20%", overhead: 0.20, pre_fec_ber: 2.0e-2 };
+    /// Aggressive 25%-overhead soft-decision FEC.
+    pub const SD_25: FecCode =
+        FecCode { name: "SD-FEC 25%", overhead: 0.25, pre_fec_ber: 4.0e-2 };
+
+    /// Line (gross) rate needed to deliver a given net information rate.
+    pub fn gross_rate(&self, net_gbps: f64) -> f64 {
+        assert!(net_gbps >= 0.0);
+        net_gbps * (1.0 + self.overhead)
+    }
+
+    /// Net information rate delivered by a given line rate.
+    pub fn net_rate(&self, gross_gbps: f64) -> f64 {
+        assert!(gross_gbps >= 0.0);
+        gross_gbps / (1.0 + self.overhead)
+    }
+
+    /// Theoretical SNR required for a modulation format to stay within
+    /// this code's pre-FEC BER budget.
+    ///
+    /// Uses square-QAM formulas with Gray mapping (`BER ≈ SER / bits`);
+    /// the hybrid quarter-step rates interpolate their neighbours in dB.
+    pub fn required_snr(&self, m: Modulation) -> Db {
+        match m {
+            Modulation::Hybrid125 => self.interpolate(Modulation::DpQpsk100, Modulation::Dp8Qam150),
+            Modulation::Hybrid175 => {
+                self.interpolate(Modulation::Dp8Qam150, Modulation::Dp16Qam200)
+            }
+            pure => self.pure_required_snr(pure),
+        }
+    }
+
+    fn pure_required_snr(&self, m: Modulation) -> Db {
+        // Constellation order per polarisation and Gray bits per symbol.
+        let (order, bits) = match m {
+            Modulation::DpBpsk50 => (2usize, 1.0),
+            Modulation::DpQpsk100 => (4, 2.0),
+            Modulation::Dp8Qam150 => (8, 3.0),
+            Modulation::Dp16Qam200 => (16, 4.0),
+            Modulation::Hybrid125 | Modulation::Hybrid175 => unreachable!("handled above"),
+        };
+        let target_ser = (self.pre_fec_ber * bits).min(0.45);
+        let es_n0 = match order {
+            // BPSK: SER = Q(sqrt(2·Es/N0)); invert directly.
+            2 => {
+                let x = rwc_util::special::q_inverse(target_ser);
+                x * x / 2.0
+            }
+            4 | 16 => required_es_n0_mqam(order, target_ser),
+            // Star-8QAM: invert the union bound P = 2.5·Q(d/2σ) with the
+            // normalised d_min of our two-ring layout.
+            8 => {
+                let q_target = (target_ser / 2.5).min(0.49);
+                let x = rwc_util::special::q_inverse(q_target);
+                const D_MIN: f64 = 0.8701;
+                2.0 * (x / D_MIN).powi(2)
+            }
+            _ => unreachable!(),
+        };
+        Db::from_linear(es_n0)
+    }
+
+    fn interpolate(&self, lo: Modulation, hi: Modulation) -> Db {
+        let a = self.pure_required_snr(lo).value();
+        let b = self.pure_required_snr(hi).value();
+        Db((a + b) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_accounting_round_trip() {
+        let fec = FecCode::SD_20;
+        let gross = fec.gross_rate(100.0);
+        assert!((gross - 120.0).abs() < 1e-9);
+        assert!((fec.net_rate(gross) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_fec_needs_less_snr() {
+        for m in [Modulation::DpQpsk100, Modulation::Dp16Qam200] {
+            let hd = FecCode::HD_7.required_snr(m);
+            let sd20 = FecCode::SD_20.required_snr(m);
+            let sd25 = FecCode::SD_25.required_snr(m);
+            assert!(hd > sd20, "{m}: {hd} vs {sd20}");
+            assert!(sd20 > sd25, "{m}: {sd20} vs {sd25}");
+        }
+    }
+
+    #[test]
+    fn denser_formats_need_more_snr() {
+        let fec = FecCode::SD_20;
+        let ladder: Vec<f64> = Modulation::LADDER
+            .iter()
+            .map(|&m| fec.required_snr(m).value())
+            .collect();
+        for pair in ladder.windows(2) {
+            assert!(pair[0] < pair[1], "{ladder:?}");
+        }
+    }
+
+    /// The headline consistency check: the paper-calibrated threshold
+    /// table is what a 20% SD-FEC implies from first principles, to
+    /// within ~1 dB at every pure rung.
+    #[test]
+    fn ladder_matches_sd_fec() {
+        let fec = FecCode::SD_20;
+        for m in [
+            Modulation::DpQpsk100,
+            Modulation::Dp16Qam200,
+            Modulation::Hybrid125,
+            Modulation::Hybrid175,
+        ] {
+            let theory = fec.required_snr(m).value();
+            let table = m.required_snr().value();
+            assert!(
+                (theory - table).abs() < 1.2,
+                "{m}: theory {theory:.2} dB vs table {table:.2} dB"
+            );
+        }
+        // The anchors the paper states outright.
+        let qpsk = fec.required_snr(Modulation::DpQpsk100).value();
+        assert!((qpsk - 6.5).abs() < 0.5, "100 G anchor: {qpsk:.2}");
+        let qam16 = fec.required_snr(Modulation::Dp16Qam200).value();
+        assert!((qam16 - 12.5).abs() < 0.5, "200 G anchor: {qam16:.2}");
+    }
+
+    #[test]
+    fn hybrids_sit_between_neighbours() {
+        let fec = FecCode::SD_20;
+        let q100 = fec.required_snr(Modulation::DpQpsk100);
+        let h125 = fec.required_snr(Modulation::Hybrid125);
+        let q150 = fec.required_snr(Modulation::Dp8Qam150);
+        assert!(q100 < h125 && h125 < q150);
+    }
+}

@@ -1,0 +1,103 @@
+//! Q-factor conversions.
+//!
+//! Operator tooling of the paper's era (and its companion studies, e.g.
+//! Ghobadi et al.'s Q-factor analysis of the same backbone) reports signal
+//! quality as a Q-factor rather than an SNR. The standard relations for a
+//! binary decision channel are
+//!
+//! ```text
+//! BER = ½·erfc(Q/√2)        Q_dB = 20·log10(Q)
+//! ```
+//!
+//! so telemetry given in Q dB can be folded into the same pipelines. Note
+//! the 20 (amplitude) rather than 10 (power) scale factor — a classic
+//! source of unit bugs this module exists to contain.
+
+use rwc_util::special::{erfc, q_inverse};
+use rwc_util::units::Db;
+
+/// A linear Q-factor (amplitude ratio).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct QFactor(pub f64);
+
+impl QFactor {
+    /// Builds from a Q value in dB (`Q_dB = 20·log10(Q)`).
+    pub fn from_db(q_db: Db) -> Self {
+        Self(10f64.powf(q_db.value() / 20.0))
+    }
+
+    /// The Q value in dB.
+    pub fn to_db(self) -> Db {
+        assert!(self.0 > 0.0, "Q must be positive");
+        Db(20.0 * self.0.log10())
+    }
+
+    /// Pre-FEC bit error rate of a binary channel at this Q.
+    pub fn ber(self) -> f64 {
+        0.5 * erfc(self.0 / std::f64::consts::SQRT_2)
+    }
+
+    /// The Q-factor needed to hit a target BER.
+    pub fn for_ber(ber: f64) -> Self {
+        assert!(ber > 0.0 && ber < 0.5, "BER out of (0, 0.5): {ber}");
+        // BER = Q_func(Q)  ⇒  Q = Q_func⁻¹(BER).
+        Self(q_inverse(ber))
+    }
+
+    /// Equivalent electrical SNR of a BPSK decision at this Q:
+    /// `SNR = Q²` in linear terms.
+    pub fn equivalent_snr(self) -> Db {
+        Db::from_linear(self.0 * self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for &db in &[3.0, 9.8, 15.6] {
+            let q = QFactor::from_db(Db(db));
+            assert!((q.to_db().value() - db).abs() < 1e-10, "{db}");
+        }
+    }
+
+    #[test]
+    fn textbook_operating_point() {
+        // Q = 6 (15.56 dB) ↔ BER ≈ 1e-9: the classic pre-FEC benchmark.
+        let q = QFactor(6.0);
+        assert!((q.to_db().value() - 15.563).abs() < 0.01);
+        let ber = q.ber();
+        assert!((ber / 1e-9 - 1.0).abs() < 0.05, "ber={ber:e}");
+    }
+
+    #[test]
+    fn for_ber_inverts_ber() {
+        for &target in &[1e-3, 1e-6, 1e-9] {
+            let q = QFactor::for_ber(target);
+            assert!((q.ber() / target - 1.0).abs() < 1e-2, "{target}");
+        }
+    }
+
+    #[test]
+    fn higher_q_means_lower_ber() {
+        assert!(QFactor(7.0).ber() < QFactor(6.0).ber());
+        assert!(QFactor(6.0).ber() < QFactor(3.0).ber());
+    }
+
+    #[test]
+    fn equivalent_snr_square_law() {
+        // Q = 6 → SNR = 36 → 15.56 dB... in *power* terms 10·log10(36)
+        // = 15.56 dB: for BPSK the dB values coincide (that is the point
+        // of the 20-vs-10 convention).
+        let q = QFactor(6.0);
+        assert!((q.equivalent_snr().value() - q.to_db().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_silly_ber() {
+        QFactor::for_ber(0.7);
+    }
+}

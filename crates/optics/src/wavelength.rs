@@ -1,0 +1,134 @@
+//! DWDM channel grid.
+//!
+//! The paper's Fig. 1 shows 40 optical wavelengths riding one wide-area
+//! fiber cable, each wavelength being one IP link (the paper assumes a
+//! one-to-one wavelength↔IP-link mapping and so do we). This module models
+//! the ITU-T G.694.1 fixed 50 GHz C-band grid those wavelengths sit on and
+//! assigns channels to links on a fiber.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light, m/s.
+const C_M_PER_S: f64 = 299_792_458.0;
+
+/// The ITU anchor frequency, THz.
+pub const ITU_ANCHOR_THZ: f64 = 193.1;
+
+/// Grid spacing, THz (50 GHz fixed grid).
+pub const GRID_SPACING_THZ: f64 = 0.05;
+
+/// A channel on the 50 GHz ITU grid, identified by its integer offset from
+/// the 193.1 THz anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel(pub i32);
+
+impl Channel {
+    /// Centre frequency in THz: `193.1 + n · 0.05`.
+    pub fn frequency_thz(self) -> f64 {
+        ITU_ANCHOR_THZ + self.0 as f64 * GRID_SPACING_THZ
+    }
+
+    /// Centre wavelength in nm.
+    pub fn wavelength_nm(self) -> f64 {
+        C_M_PER_S / (self.frequency_thz() * 1e12) * 1e9
+    }
+
+    /// True if the channel sits in the usable C-band (~191.35–196.1 THz).
+    pub fn in_c_band(self) -> bool {
+        let f = self.frequency_thz();
+        (191.35..=196.10).contains(&f)
+    }
+}
+
+/// Assignment of grid channels to the wavelengths (IP links) of one fiber.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WavelengthPlan {
+    channels: Vec<Channel>,
+}
+
+impl WavelengthPlan {
+    /// Assigns `count` consecutive channels centred on the anchor, like a
+    /// fully packed production fiber. Panics if the count exceeds the
+    /// C-band capacity of the 50 GHz grid (~96 channels).
+    pub fn packed(count: usize) -> Self {
+        assert!(count > 0, "a plan needs at least one wavelength");
+        let half = count as i32 / 2;
+        let channels: Vec<Channel> =
+            (0..count as i32).map(|i| Channel(i - half)).collect();
+        assert!(
+            channels.iter().all(|c| c.in_c_band()),
+            "{count} channels exceed the C-band"
+        );
+        Self { channels }
+    }
+
+    /// The channels, in assignment order (wavelength index → channel).
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of wavelengths on the fiber.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Always false (construction rejects empty plans).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Channel of the `i`-th wavelength.
+    pub fn channel(&self, i: usize) -> Channel {
+        self.channels[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_channel() {
+        let c = Channel(0);
+        assert_eq!(c.frequency_thz(), 193.1);
+        // 193.1 THz ≈ 1552.52 nm.
+        assert!((c.wavelength_nm() - 1552.52).abs() < 0.01);
+        assert!(c.in_c_band());
+    }
+
+    #[test]
+    fn spacing_is_50_ghz() {
+        let delta = Channel(1).frequency_thz() - Channel(0).frequency_thz();
+        assert!((delta - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_decreases_with_frequency() {
+        assert!(Channel(10).wavelength_nm() < Channel(-10).wavelength_nm());
+    }
+
+    #[test]
+    fn paper_fiber_forty_wavelengths() {
+        // Fig. 1's fiber carries 40 wavelengths; all must be distinct
+        // C-band channels.
+        let plan = WavelengthPlan::packed(40);
+        assert_eq!(plan.len(), 40);
+        let mut channels = plan.channels().to_vec();
+        channels.sort();
+        channels.dedup();
+        assert_eq!(channels.len(), 40);
+        assert!(channels.iter().all(|c| c.in_c_band()));
+    }
+
+    #[test]
+    fn c_band_limits() {
+        assert!(!Channel(100).in_c_band());
+        assert!(!Channel(-100).in_c_band());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_plan_rejected() {
+        WavelengthPlan::packed(200);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the optical-layer invariants.
+
+use proptest::prelude::*;
+use rwc_optics::fec::FecCode;
+use rwc_optics::{LinkBudget, Modulation, ModulationTable};
+use rwc_util::units::Db;
+
+proptest! {
+    /// The feasibility map is monotone: more SNR never yields a slower
+    /// feasible rate.
+    #[test]
+    fn feasibility_monotone_in_snr(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let table = ModulationTable::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cap_lo = table.feasible_capacity(Db(lo));
+        let cap_hi = table.feasible_capacity(Db(hi));
+        prop_assert!(cap_lo <= cap_hi);
+    }
+
+    /// Guard margins only ever reduce feasible capacity.
+    #[test]
+    fn margins_are_conservative(snr in 0.0f64..20.0, margin in 0.0f64..5.0) {
+        let plain = ModulationTable::paper_default();
+        let guarded = ModulationTable::with_margin(Db(margin));
+        prop_assert!(guarded.feasible_capacity(Db(snr)) <= plain.feasible_capacity(Db(snr)));
+    }
+
+    /// `upgrades` returns exactly the faster-and-feasible rungs.
+    #[test]
+    fn upgrades_sound_and_complete(snr in 0.0f64..20.0, idx in 0usize..6) {
+        let table = ModulationTable::paper_default();
+        let current = Modulation::LADDER[idx];
+        let ups = table.upgrades(Db(snr), current);
+        for m in Modulation::LADDER {
+            let should = m.capacity() > current.capacity() && table.supports(Db(snr), m);
+            prop_assert_eq!(ups.contains(&m), should, "{} at {} dB", m, snr);
+        }
+    }
+
+    /// Longer routes never have better SNR (monotone link budget).
+    #[test]
+    fn budget_monotone_in_spans(a in 1u32..100, b in 1u32..100) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(LinkBudget::terrestrial(lo).snr() >= LinkBudget::terrestrial(hi).snr());
+    }
+
+    /// FEC-derived required SNR is monotone in the pre-FEC BER budget:
+    /// a more forgiving code needs less SNR.
+    #[test]
+    fn fec_required_snr_monotone(ber_exp in 1.2f64..2.5, idx in 0usize..6) {
+        let m = Modulation::LADDER[idx];
+        let weak = FecCode { name: "w", overhead: 0.1, pre_fec_ber: 10f64.powf(-ber_exp) };
+        let strong = FecCode { name: "s", overhead: 0.2, pre_fec_ber: 10f64.powf(-ber_exp) * 2.0 };
+        prop_assert!(strong.required_snr(m) <= weak.required_snr(m) + Db(1e-9));
+    }
+
+    /// The BVT ends every reconfiguration healthy (laser on, locked) at
+    /// the requested format, regardless of procedure or sequence.
+    #[test]
+    fn bvt_always_lands_healthy(seed in 0u64..500, steps in proptest::collection::vec(0usize..6, 1..12),
+                                efficient in proptest::bool::ANY) {
+        use rwc_optics::bvt::{Bvt, ReconfigProcedure};
+        let mut rng = rwc_util::rng::Xoshiro256::seed_from_u64(seed);
+        let mut bvt = Bvt::new(Modulation::DpQpsk100);
+        bvt.set_procedure(if efficient {
+            ReconfigProcedure::Efficient
+        } else {
+            ReconfigProcedure::Legacy
+        });
+        for idx in steps {
+            let target = Modulation::LADDER[idx];
+            let report = bvt.reconfigure(target, &mut rng);
+            prop_assert!(bvt.laser_on() && bvt.locked());
+            prop_assert_eq!(bvt.modulation(), target);
+            prop_assert_eq!(report.downtime, report.total());
+        }
+    }
+
+    /// EVM-based SNR estimation is consistent within a fraction of a dB
+    /// across constellations and SNR levels.
+    #[test]
+    fn evm_estimator_tracks_channel(seed in 0u64..50, snr_db in 8.0f64..22.0, which in 0usize..3) {
+        use rwc_optics::constellation::{awgn_trial, Constellation};
+        let c = match which {
+            0 => Constellation::qpsk(),
+            1 => Constellation::qam8(),
+            _ => Constellation::qam16(),
+        };
+        let mut rng = rwc_util::rng::Xoshiro256::seed_from_u64(seed);
+        let run = awgn_trial(&c, Db(snr_db), 20_000, &mut rng);
+        prop_assert!((run.estimated_snr().value() - snr_db).abs() < 0.8,
+            "{}: est {} vs true {snr_db}", c.name(), run.estimated_snr());
+    }
+}

@@ -1,0 +1,209 @@
+//! Traffic demands.
+//!
+//! A [`DemandMatrix`] is a list of `(from, to, volume, priority)` entries.
+//! The gravity model generates realistic inter-site matrices: each site
+//! gets a mass, and demand between two sites is proportional to the product
+//! of their masses — the standard synthetic workload for WAN TE studies
+//! (and the kind of workload SWAN/B4 report).
+
+use rwc_topology::graph::NodeId;
+use rwc_topology::wan::WanTopology;
+use rwc_util::rng::Xoshiro256;
+use rwc_util::units::Gbps;
+use serde::{Deserialize, Serialize};
+
+/// SWAN-style traffic priority classes, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-sensitive user-facing traffic (never throttled).
+    Interactive,
+    /// Throughput-sensitive transfers with deadlines.
+    Elastic,
+    /// Scavenger bulk replication.
+    Background,
+}
+
+impl Priority {
+    /// All classes, highest priority first.
+    pub const ALL: [Priority; 3] =
+        [Priority::Interactive, Priority::Elastic, Priority::Background];
+}
+
+/// One traffic demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Origin site.
+    pub from: NodeId,
+    /// Destination site.
+    pub to: NodeId,
+    /// Offered volume.
+    pub volume: Gbps,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// A set of demands.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DemandMatrix {
+    demands: Vec<Demand>,
+}
+
+impl DemandMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a demand.
+    pub fn add(&mut self, from: NodeId, to: NodeId, volume: Gbps, priority: Priority) {
+        assert!(from != to, "self-demand");
+        assert!(volume >= Gbps::ZERO, "negative demand");
+        self.demands.push(Demand { from, to, volume, priority });
+    }
+
+    /// The demands.
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Number of demands.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// True when no demands exist.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Total offered volume.
+    pub fn total(&self) -> Gbps {
+        self.demands.iter().map(|d| d.volume).sum()
+    }
+
+    /// A copy with every volume multiplied by `factor` (diurnal scaling,
+    /// demand-growth sweeps).
+    pub fn scaled(&self, factor: f64) -> DemandMatrix {
+        assert!(factor >= 0.0, "negative scale");
+        DemandMatrix {
+            demands: self
+                .demands
+                .iter()
+                .map(|d| Demand { volume: d.volume * factor, ..*d })
+                .collect(),
+        }
+    }
+
+    /// Only the demands of one class.
+    pub fn of_priority(&self, p: Priority) -> Vec<Demand> {
+        self.demands.iter().copied().filter(|d| d.priority == p).collect()
+    }
+
+    /// Gravity-model matrix over a topology.
+    ///
+    /// Site masses are lognormal (a few big datacenters, many small PoPs);
+    /// demand `i→j` is `total_volume · m_i·m_j / Σ m_a·m_b`. Every ordered
+    /// pair gets an entry; the class mix is 20% interactive / 50% elastic /
+    /// 30% background by volume, mirroring SWAN's reported mix.
+    pub fn gravity(
+        wan: &WanTopology,
+        total_volume: Gbps,
+        seed: u64,
+    ) -> DemandMatrix {
+        assert!(wan.n_nodes() >= 2, "need at least two sites");
+        assert!(total_volume > Gbps::ZERO, "zero total volume");
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let masses: Vec<f64> =
+            (0..wan.n_nodes()).map(|_| rng.lognormal_median(1.0, 0.6)).collect();
+        let mut weights = Vec::new();
+        let mut pair_total = 0.0;
+        for i in 0..wan.n_nodes() {
+            for j in 0..wan.n_nodes() {
+                if i != j {
+                    let w = masses[i] * masses[j];
+                    weights.push((NodeId(i), NodeId(j), w));
+                    pair_total += w;
+                }
+            }
+        }
+        let mut m = DemandMatrix::new();
+        for (from, to, w) in weights {
+            let volume = total_volume * (w / pair_total);
+            // Split the pair's volume across the three classes.
+            m.add(from, to, volume * 0.2, Priority::Interactive);
+            m.add(from, to, volume * 0.5, Priority::Elastic);
+            m.add(from, to, volume * 0.3, Priority::Background);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_topology::builders;
+
+    #[test]
+    fn add_and_total() {
+        let mut m = DemandMatrix::new();
+        m.add(NodeId(0), NodeId(1), Gbps(100.0), Priority::Interactive);
+        m.add(NodeId(1), NodeId(0), Gbps(50.0), Priority::Background);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total(), Gbps(150.0));
+    }
+
+    #[test]
+    fn scaling() {
+        let mut m = DemandMatrix::new();
+        m.add(NodeId(0), NodeId(1), Gbps(100.0), Priority::Elastic);
+        let s = m.scaled(1.25);
+        assert_eq!(s.total(), Gbps(125.0));
+        assert_eq!(m.total(), Gbps(100.0), "original untouched");
+    }
+
+    #[test]
+    fn priority_filter() {
+        let mut m = DemandMatrix::new();
+        m.add(NodeId(0), NodeId(1), Gbps(10.0), Priority::Interactive);
+        m.add(NodeId(0), NodeId(1), Gbps(20.0), Priority::Background);
+        assert_eq!(m.of_priority(Priority::Interactive).len(), 1);
+        assert_eq!(m.of_priority(Priority::Elastic).len(), 0);
+    }
+
+    #[test]
+    fn gravity_totals_and_coverage() {
+        let wan = builders::abilene();
+        let m = DemandMatrix::gravity(&wan, Gbps(1_000.0), 42);
+        // Total preserved (3 class entries per ordered pair).
+        assert!((m.total().value() - 1_000.0).abs() < 1e-6);
+        assert_eq!(m.len(), 11 * 10 * 3);
+        // Class mix: 20/50/30.
+        let vol = |p: Priority| -> f64 {
+            m.of_priority(p).iter().map(|d| d.volume.value()).sum()
+        };
+        assert!((vol(Priority::Interactive) - 200.0).abs() < 1e-6);
+        assert!((vol(Priority::Elastic) - 500.0).abs() < 1e-6);
+        assert!((vol(Priority::Background) - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gravity_deterministic_and_skewed() {
+        let wan = builders::abilene();
+        let a = DemandMatrix::gravity(&wan, Gbps(500.0), 7);
+        let b = DemandMatrix::gravity(&wan, Gbps(500.0), 7);
+        assert_eq!(a, b);
+        // Lognormal masses ⇒ some pairs dominate.
+        let mut volumes: Vec<f64> = a.demands().iter().map(|d| d.volume.value()).collect();
+        volumes.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let max = volumes.last().unwrap();
+        let median = volumes[volumes.len() / 2];
+        assert!(max / median > 3.0, "max={max} median={median}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_demand_rejected() {
+        let mut m = DemandMatrix::new();
+        m.add(NodeId(3), NodeId(3), Gbps(1.0), Priority::Elastic);
+    }
+}

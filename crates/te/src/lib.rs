@@ -1,0 +1,51 @@
+//! # rwc-te
+//!
+//! Traffic-engineering layer for the *Run, Walk, Crawl* reproduction.
+//!
+//! §4's entire point is that TE algorithms stay **unmodified**: they
+//! consume a topology + demands and emit flow, never knowing whether an
+//! edge is real or one of Algorithm 1's fake upgrade links. This crate
+//! provides faithful reconstructions of the controllers the paper names:
+//!
+//! - [`swan`]: SWAN-style priority-class multicommodity allocation
+//!   (interactive > elastic > background), each class solved as MCF on the
+//!   residual of the classes above it;
+//! - [`b4`]: B4-style max-min fair allocation over k-shortest-path tunnel
+//!   groups with quantised progressive filling;
+//! - [`cspf`]: an MPLS-TE-like constrained-shortest-path-first baseline
+//!   (sequential, order-dependent);
+//! - [`exact`]: an LP-exact solver (via `rwc-lp`) for small networks and
+//!   for benchmarking the others' optimality gaps;
+//! - [`demand`]: demand matrices and a gravity-model generator;
+//! - [`problem`]: the topology→flow-network bridge all solvers share;
+//! - [`updates`]: a consistent-update planner for draining links whose
+//!   capacity is about to change;
+//! - [`metrics`]: throughput/utilisation/churn accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod b4;
+pub mod cspf;
+pub mod demand;
+pub mod exact;
+pub mod metrics;
+pub mod problem;
+pub mod srlg;
+pub mod swan;
+pub mod updates;
+
+pub use demand::{Demand, DemandMatrix, Priority};
+pub use problem::{TeProblem, TeSolution};
+
+/// A traffic-engineering algorithm: topology + demands in, flows out.
+///
+/// Implementations must treat the problem as opaque — no peeking at which
+/// edges are "real", which is exactly the property the paper's abstraction
+/// relies on.
+pub trait TeAlgorithm {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Solves the problem.
+    fn solve(&self, problem: &TeProblem) -> TeSolution;
+}

@@ -1,0 +1,113 @@
+//! TE solution metrics: utilisation, churn, fairness.
+
+use crate::problem::{TeProblem, TeSolution};
+
+/// Per-edge utilisation (`flow / capacity`; 0 for zero-capacity edges).
+pub fn utilisation(problem: &TeProblem, sol: &TeSolution) -> Vec<f64> {
+    sol.edge_flows
+        .iter()
+        .zip(problem.net.edges())
+        .map(|(&f, e)| if e.capacity > 0.0 { f / e.capacity } else { 0.0 })
+        .collect()
+}
+
+/// Maximum link utilisation — the congestion figure of merit.
+pub fn max_utilisation(problem: &TeProblem, sol: &TeSolution) -> f64 {
+    utilisation(problem, sol).into_iter().fold(0.0, f64::max)
+}
+
+/// Traffic churn between two allocations over the same edge set: the total
+/// volume that must move, `Σ_e |a(e) − b(e)| / 2`.
+///
+/// The paper's penalty function is "the amount of traffic disrupted when
+/// the link switches to a higher bandwidth" — this is how that disruption
+/// is measured after the fact.
+pub fn churn(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "allocations over different edge sets");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+}
+
+/// Jain's fairness index over per-commodity satisfaction ratios.
+///
+/// 1.0 = perfectly even; `1/n` = one commodity takes everything.
+pub fn jain_fairness(problem: &TeProblem, sol: &TeSolution) -> f64 {
+    let ratios: Vec<f64> = sol
+        .routed
+        .iter()
+        .zip(&problem.commodities)
+        .filter(|(_, c)| c.demand > 0.0)
+        .map(|(&r, c)| r / c.demand)
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = ratios.iter().sum();
+    let sum_sq: f64 = ratios.iter().map(|r| r * r).sum();
+    if sum_sq == 0.0 {
+        return 1.0; // nothing routed for anyone: degenerately even
+    }
+    sum * sum / (ratios.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandMatrix, Priority};
+    use rwc_topology::builders;
+    use rwc_util::units::Gbps;
+
+    fn simple_problem() -> TeProblem {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(50.0), Priority::Elastic);
+        dm.add(b, a, Gbps(100.0), Priority::Elastic);
+        TeProblem::from_wan(&wan, &dm)
+    }
+
+    #[test]
+    fn utilisation_and_max() {
+        let p = simple_problem();
+        let mut flows = vec![0.0; p.net.n_edges()];
+        flows[0] = 50.0; // A→B direct, capacity 100
+        flows[1] = 100.0; // B→A direct, capacity 100
+        let sol = TeSolution { routed: vec![50.0, 100.0], edge_flows: flows, total: 150.0 };
+        let u = utilisation(&p, &sol);
+        assert_eq!(u[0], 0.5);
+        assert_eq!(u[1], 1.0);
+        assert_eq!(max_utilisation(&p, &sol), 1.0);
+    }
+
+    #[test]
+    fn churn_is_symmetric_half_l1() {
+        let a = vec![100.0, 0.0, 50.0];
+        let b = vec![0.0, 100.0, 50.0];
+        assert_eq!(churn(&a, &b), 100.0);
+        assert_eq!(churn(&b, &a), 100.0);
+        assert_eq!(churn(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn fairness_extremes() {
+        let p = simple_problem();
+        let even = TeSolution {
+            routed: vec![25.0, 50.0], // both at 50% satisfaction
+            edge_flows: vec![0.0; p.net.n_edges()],
+            total: 75.0,
+        };
+        assert!((jain_fairness(&p, &even) - 1.0).abs() < 1e-12);
+        let skewed = TeSolution {
+            routed: vec![50.0, 0.0],
+            edge_flows: vec![0.0; p.net.n_edges()],
+            total: 50.0,
+        };
+        assert!((jain_fairness(&p, &skewed) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn churn_rejects_mismatched_lengths() {
+        churn(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The per-link stochastic SNR process.
+//!
+//! A link's SNR series is composed of four layers:
+//!
+//! 1. a constant **baseline** set by the link budget (route length,
+//!    amplifier chain);
+//! 2. **micro-noise**: an Ornstein–Uhlenbeck (OU) process — mean-reverting
+//!    Gaussian wander with a relaxation time of hours. This is what makes
+//!    the 95% highest-density region of a healthy link narrower than 2 dB;
+//! 3. a small **diurnal ripple** (temperature cycling of the plant);
+//! 4. scheduled [`events`](crate::events) — dips, step degradations and
+//!    loss-of-light outages.
+//!
+//! The OU process is simulated exactly (its transition density is Gaussian),
+//! so the sampling interval does not bias the stationary distribution.
+
+use crate::events::EventLog;
+use crate::trace::SnrTrace;
+use rwc_util::rng::Xoshiro256;
+use rwc_util::time::{SimDuration, SimTime, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one link's SNR process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrProcess {
+    /// Healthy-state mean SNR, dB.
+    pub baseline_db: f64,
+    /// Stationary standard deviation of the OU micro-noise, dB.
+    pub ou_sigma_db: f64,
+    /// OU relaxation (mean-reversion) time.
+    pub ou_relaxation: SimDuration,
+    /// Peak amplitude of the diurnal ripple, dB.
+    pub diurnal_amp_db: f64,
+    /// Phase offset of the diurnal ripple, radians (differs per link).
+    pub diurnal_phase: f64,
+    /// SNR reading reported while the light is lost, dB. Real receivers
+    /// report a noise-floor estimate of a few tenths of a dB.
+    pub noise_floor_db: f64,
+}
+
+impl Default for SnrProcess {
+    fn default() -> Self {
+        Self {
+            baseline_db: 12.8,
+            ou_sigma_db: 0.35,
+            ou_relaxation: SimDuration::from_hours(6),
+            diurnal_amp_db: 0.15,
+            diurnal_phase: 0.0,
+            noise_floor_db: 0.2,
+        }
+    }
+}
+
+impl SnrProcess {
+    /// Generates a trace of `[start, start + horizon)` at the given tick,
+    /// applying the event schedule.
+    pub fn generate(
+        &self,
+        start: SimTime,
+        horizon: SimDuration,
+        tick: SimDuration,
+        events: &EventLog,
+        rng: &mut Xoshiro256,
+    ) -> SnrTrace {
+        assert!(self.ou_sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(self.ou_relaxation > SimDuration::ZERO, "relaxation must be positive");
+        let n = horizon.ticks(tick);
+        assert!(n > 0, "horizon shorter than one tick");
+
+        // Exact OU update: x' = x·ρ + σ·sqrt(1−ρ²)·ξ with ρ = exp(−Δt/τ).
+        let rho = (-(tick.as_secs_f64() / self.ou_relaxation.as_secs_f64())).exp();
+        let innovation = self.ou_sigma_db * (1.0 - rho * rho).sqrt();
+        let mut ou = self.ou_sigma_db * rng.standard_normal(); // stationary init
+
+        let day = SimDuration::from_days(1).as_secs_f64();
+        let mut samples = Vec::with_capacity(n as usize);
+        for t in Ticks::new(start, start + horizon, tick) {
+            let phase = std::f64::consts::TAU * (t.since_epoch().as_secs_f64() / day)
+                + self.diurnal_phase;
+            let diurnal = self.diurnal_amp_db * phase.sin();
+            let sample = match events.snr_effect_at(t) {
+                None => {
+                    // Loss of light: a jittered noise-floor reading.
+                    (self.noise_floor_db + 0.05 * rng.standard_normal()).max(0.01)
+                }
+                Some(offset) => {
+                    (self.baseline_db + ou + diurnal + offset).max(0.01)
+                }
+            };
+            samples.push(sample);
+            ou = ou * rho + innovation * rng.standard_normal();
+        }
+        SnrTrace::new(start, tick, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Event, EventKind};
+    use rwc_util::stats::{highest_density_interval, Summary};
+
+    fn quiet_process() -> SnrProcess {
+        SnrProcess { diurnal_amp_db: 0.0, ..SnrProcess::default() }
+    }
+
+    fn telemetry_trace(
+        process: &SnrProcess,
+        events: &EventLog,
+        days: u64,
+        seed: u64,
+    ) -> SnrTrace {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        process.generate(
+            SimTime::EPOCH,
+            SimDuration::from_days(days),
+            SimDuration::TELEMETRY_TICK,
+            events,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn stationary_mean_and_sd() {
+        let p = quiet_process();
+        let trace = telemetry_trace(&p, &EventLog::new(), 365, 1);
+        let s = Summary::of(trace.values());
+        assert!((s.mean - p.baseline_db).abs() < 0.1, "{s}");
+        assert!((s.std_dev - p.ou_sigma_db).abs() < 0.12, "{s}");
+    }
+
+    #[test]
+    fn healthy_link_hdr_is_narrow() {
+        // The paper: 83% of links keep 95% of samples within < 2 dB.
+        // A healthy (event-free) link with default noise must satisfy that.
+        let trace = telemetry_trace(&SnrProcess::default(), &EventLog::new(), 365, 2);
+        let mut sorted = trace.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = highest_density_interval(&sorted, 0.95);
+        assert!(hi - lo < 2.0, "hdr width = {}", hi - lo);
+    }
+
+    #[test]
+    fn loss_of_light_reads_noise_floor() {
+        let mut events = EventLog::new();
+        events.push(Event {
+            kind: EventKind::LossOfLight,
+            start: SimTime::EPOCH + SimDuration::from_days(1),
+            duration: SimDuration::from_hours(6),
+        });
+        let trace = telemetry_trace(&quiet_process(), &events, 3, 3);
+        // Samples within the outage window must sit near the floor.
+        let day1 = SimDuration::from_days(1).ticks(SimDuration::TELEMETRY_TICK) as usize;
+        let six_h = SimDuration::from_hours(6).ticks(SimDuration::TELEMETRY_TICK) as usize;
+        for i in day1..day1 + six_h {
+            assert!(trace.values()[i] < 1.0, "sample {i} = {}", trace.values()[i]);
+        }
+        // And the neighbours must be healthy.
+        assert!(trace.values()[day1 - 1] > 10.0);
+        assert!(trace.values()[day1 + six_h + 1] > 10.0);
+    }
+
+    #[test]
+    fn dip_depth_is_respected() {
+        let mut events = EventLog::new();
+        events.push(Event {
+            kind: EventKind::Dip { depth_db: 5.0 },
+            start: SimTime::EPOCH + SimDuration::from_hours(10),
+            duration: SimDuration::from_hours(5),
+        });
+        let p = quiet_process();
+        let trace = telemetry_trace(&p, &events, 1, 4);
+        let idx = SimDuration::from_hours(12).ticks(SimDuration::TELEMETRY_TICK) as usize;
+        let dipped = trace.values()[idx];
+        assert!((dipped - (p.baseline_db - 5.0)).abs() < 2.0, "dipped={dipped}");
+    }
+
+    #[test]
+    fn diurnal_ripple_visible_in_spectrum() {
+        // With a large diurnal amplitude and tiny noise, samples 12 h apart
+        // should anti-correlate.
+        let p = SnrProcess {
+            diurnal_amp_db: 1.0,
+            ou_sigma_db: 0.01,
+            ..SnrProcess::default()
+        };
+        let trace = telemetry_trace(&p, &EventLog::new(), 30, 5);
+        let half_day = SimDuration::from_hours(12).ticks(SimDuration::TELEMETRY_TICK) as usize;
+        let vals = trace.values();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for i in 0..vals.len() - half_day {
+            cov += (vals[i] - mean) * (vals[i + half_day] - mean);
+            var += (vals[i] - mean).powi(2);
+        }
+        assert!(cov / var < -0.8, "correlation = {}", cov / var);
+    }
+
+    #[test]
+    fn snr_never_negative() {
+        let mut events = EventLog::new();
+        events.push(Event {
+            kind: EventKind::Dip { depth_db: 50.0 },
+            start: SimTime::EPOCH,
+            duration: SimDuration::from_days(1),
+        });
+        let trace = telemetry_trace(&quiet_process(), &events, 1, 6);
+        assert!(trace.values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SnrProcess::default();
+        let a = telemetry_trace(&p, &EventLog::new(), 10, 7);
+        let b = telemetry_trace(&p, &EventLog::new(), 10, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ou_relaxation_controls_correlation() {
+        // Long relaxation → neighbouring samples highly correlated; short →
+        // nearly independent.
+        let correlated = SnrProcess {
+            ou_relaxation: SimDuration::from_hours(24),
+            diurnal_amp_db: 0.0,
+            ..SnrProcess::default()
+        };
+        let uncorrelated = SnrProcess {
+            ou_relaxation: SimDuration::from_minutes(1),
+            diurnal_amp_db: 0.0,
+            ..SnrProcess::default()
+        };
+        let lag1 = |trace: &SnrTrace| {
+            let v = trace.values();
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let mut cov = 0.0;
+            let mut var = 0.0;
+            for i in 0..v.len() - 1 {
+                cov += (v[i] - mean) * (v[i + 1] - mean);
+                var += (v[i] - mean).powi(2);
+            }
+            cov / var
+        };
+        let c = lag1(&telemetry_trace(&correlated, &EventLog::new(), 60, 8));
+        let u = lag1(&telemetry_trace(&uncorrelated, &EventLog::new(), 60, 9));
+        assert!(c > 0.8, "correlated lag-1 = {c}");
+        assert!(u.abs() < 0.1, "uncorrelated lag-1 = {u}");
+    }
+}

@@ -1,0 +1,171 @@
+//! SNR time series container.
+
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// A regularly sampled SNR series for one link.
+///
+/// Values are finite decibels; during loss-of-light the receiver still
+/// reports a noise-floor reading (a few tenths of a dB) rather than a
+/// sentinel, mirroring what real DSPs emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrTrace {
+    start: SimTime,
+    tick: SimDuration,
+    samples: Vec<f64>,
+}
+
+impl SnrTrace {
+    /// Builds a trace from raw decibel samples.
+    ///
+    /// Panics if empty, if the tick is zero, or if any sample is non-finite.
+    pub fn new(start: SimTime, tick: SimDuration, samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empty SNR trace");
+        assert!(tick > SimDuration::ZERO, "tick must be positive");
+        assert!(samples.iter().all(|s| s.is_finite()), "non-finite SNR sample");
+        Self { start, tick, samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always false (construction rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sampling interval.
+    pub fn tick(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Timestamp of the first sample.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Timestamp of sample `i`.
+    pub fn time_at(&self, i: usize) -> SimTime {
+        assert!(i < self.samples.len(), "index out of range");
+        self.start + self.tick * i as u64
+    }
+
+    /// Raw samples in dB.
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample `i` as a typed decibel value.
+    pub fn snr_at(&self, i: usize) -> Db {
+        Db(self.samples[i])
+    }
+
+    /// `(time, snr)` iterator.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, Db)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.start + self.tick * i as u64, Db(v)))
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Db {
+        Db(self.samples.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Db {
+        Db(self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Db {
+        Db(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// `max − min` — the paper's "Range" metric in Fig. 2a.
+    pub fn range(&self) -> Db {
+        self.max() - self.min()
+    }
+
+    /// Total duration covered (`len · tick`).
+    pub fn duration(&self) -> SimDuration {
+        self.tick * self.samples.len() as u64
+    }
+
+    /// Downsampled copy keeping every `stride`-th sample (for plotting).
+    pub fn decimate(&self, stride: usize) -> SnrTrace {
+        assert!(stride > 0, "stride must be positive");
+        SnrTrace {
+            start: self.start,
+            tick: self.tick * stride as u64,
+            samples: self.samples.iter().copied().step_by(stride).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: Vec<f64>) -> SnrTrace {
+        SnrTrace::new(SimTime::EPOCH, SimDuration::from_minutes(15), samples)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = trace(vec![12.0, 11.5, 12.5, 0.2]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.min(), Db(0.2));
+        assert_eq!(t.max(), Db(12.5));
+        assert_eq!(t.range(), Db(12.3));
+        assert!((t.mean().value() - 9.05).abs() < 1e-12);
+        assert_eq!(t.duration(), SimDuration::from_minutes(60));
+    }
+
+    #[test]
+    fn time_indexing() {
+        let t = trace(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.time_at(0), SimTime::EPOCH);
+        assert_eq!(t.time_at(2), SimTime::EPOCH + SimDuration::from_minutes(30));
+        let collected: Vec<_> = t.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1].0, SimTime::EPOCH + SimDuration::from_minutes(15));
+        assert_eq!(collected[1].1, Db(2.0));
+    }
+
+    #[test]
+    fn decimation() {
+        let t = trace((0..10).map(|i| i as f64).collect());
+        let d = t.decimate(3);
+        assert_eq!(d.values(), &[0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(d.tick(), SimDuration::from_minutes(45));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        trace(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        trace(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_infinite() {
+        trace(vec![1.0, f64::NEG_INFINITY]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_at_out_of_range() {
+        trace(vec![1.0]).time_at(1);
+    }
+}

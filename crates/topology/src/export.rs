@@ -1,0 +1,96 @@
+//! Graphviz DOT export of WAN topologies.
+//!
+//! Operators reason about topologies visually; `to_dot` renders sites,
+//! links, current rates and SNR headroom so augmentation decisions can be
+//! eyeballed (`dot -Tsvg topology.dot`).
+
+use crate::wan::WanTopology;
+use rwc_optics::ModulationTable;
+use std::fmt::Write as _;
+
+/// Renders the topology as an undirected Graphviz graph.
+///
+/// Each edge is labelled `capacity @ snr`; links whose SNR supports a
+/// faster rung (per `table`) are drawn bold green, degraded links (below
+/// their current rung's threshold) bold red.
+pub fn to_dot(wan: &WanTopology, table: &ModulationTable) -> String {
+    let mut out = String::from("graph wan {\n  layout=neato;\n  node [shape=ellipse];\n");
+    for id in wan.node_ids() {
+        let node = wan.node(id);
+        match node.location {
+            Some((lat, lon)) => {
+                // Rough plate-carrée projection for neato pinning.
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\", pos=\"{:.2},{:.2}!\"];",
+                    id.0,
+                    node.name,
+                    lon / 2.0,
+                    lat / 2.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  n{} [label=\"{}\"];", id.0, node.name);
+            }
+        }
+    }
+    for (_, link) in wan.links() {
+        let style = if !link.healthy(table) {
+            " color=red penwidth=2"
+        } else if !link.upgrades(table).is_empty() {
+            " color=darkgreen penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{} @ {}\"{}];",
+            link.a.0,
+            link.b.0,
+            link.capacity(),
+            link.snr,
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use rwc_util::units::Db;
+
+    #[test]
+    fn dot_contains_all_nodes_and_links() {
+        let wan = builders::abilene();
+        let dot = to_dot(&wan, &ModulationTable::paper_default());
+        assert!(dot.starts_with("graph wan {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for id in wan.node_ids() {
+            assert!(dot.contains(&format!("\"{}\"", wan.node(id).name)));
+        }
+        assert_eq!(dot.matches(" -- ").count(), wan.n_links());
+    }
+
+    #[test]
+    fn geographic_nodes_are_pinned() {
+        let wan = builders::abilene();
+        let dot = to_dot(&wan, &ModulationTable::paper_default());
+        assert!(dot.contains("pos=\""), "abilene has coordinates");
+    }
+
+    #[test]
+    fn health_colours() {
+        let mut wan = builders::fig7_example();
+        let table = ModulationTable::paper_default();
+        wan.set_snr(crate::wan::LinkId(0), Db(13.0)); // upgradable
+        wan.set_snr(crate::wan::LinkId(1), Db(4.0)); // degraded
+        wan.set_snr(crate::wan::LinkId(2), Db(7.0)); // plain healthy
+        wan.set_snr(crate::wan::LinkId(3), Db(7.0));
+        let dot = to_dot(&wan, &table);
+        assert!(dot.contains("darkgreen"));
+        assert!(dot.contains("color=red"));
+    }
+}

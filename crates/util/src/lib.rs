@@ -1,0 +1,35 @@
+//! # rwc-util
+//!
+//! Shared foundations for the `rwc` workspace (a reproduction of
+//! *Run, Walk, Crawl: Towards Dynamic Link Capacities*, HotNets 2017).
+//!
+//! This crate deliberately has no heavy dependencies; it provides:
+//!
+//! - [`rng`]: a deterministic, seedable PRNG ([`rng::Xoshiro256`]) plus the
+//!   sampling routines the simulators need (normal, lognormal, exponential,
+//!   Poisson, Pareto). The stochastic SNR processes and failure generators
+//!   must be bit-reproducible across machines and crate upgrades, so the
+//!   generator and all distributions are implemented here rather than pulled
+//!   from `rand_distr`.
+//! - [`time`]: a simulated clock. Nothing in the workspace reads wall-clock
+//!   time; every experiment is replayable.
+//! - [`units`]: strongly typed decibels ([`units::Db`]) and capacities
+//!   ([`units::Gbps`]) so signal-quality math cannot silently mix linear and
+//!   logarithmic quantities.
+//! - [`stats`]: empirical CDFs, quantiles, histograms and summary statistics
+//!   used by every figure reproduction.
+//! - [`special`]: `erf`/`erfc`/Q-function used by the theoretical
+//!   symbol-error-rate models in `rwc-optics`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use rng::Xoshiro256;
+pub use time::{SimDuration, SimTime};
+pub use units::{Db, Gbps};

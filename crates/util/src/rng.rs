@@ -1,0 +1,377 @@
+//! Deterministic random number generation and sampling.
+//!
+//! Everything stochastic in the workspace (SNR processes, failure tickets,
+//! demand matrices, AWGN channels) draws from [`Xoshiro256`], a from-scratch
+//! implementation of the xoshiro256** generator seeded through SplitMix64.
+//! Implementing the generator and the distribution samplers locally — instead
+//! of depending on `StdRng`/`rand_distr` — guarantees that a given seed
+//! reproduces the *same* synthetic backbone forever, independent of upstream
+//! algorithm changes. `rand::RngCore` is implemented so the generator remains
+//! interoperable with the wider `rand` ecosystem (e.g. `SliceRandom`).
+
+use rand::RngCore;
+
+/// xoshiro256** 1.0 — a small, fast, high-quality PRNG.
+///
+/// State is seeded via SplitMix64 from a single `u64`, following the
+/// reference implementation by Blackman & Vigna.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Two generators created from the same seed produce identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Derives an independent child generator from this one.
+    ///
+    /// Used to give each link / ticket / trial its own stream so that adding
+    /// one more link does not perturb every other link's randomness.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(base)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift rejection-free mapping is fine here: simulation code
+        // tolerates the ~2^-64 modulo bias, and determinism matters more.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Lognormal sample parameterised by the *underlying* normal's `mu` and
+    /// `sigma` (i.e. the sample is `exp(N(mu, sigma))`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Lognormal sample parameterised by the desired *median* and the
+    /// multiplicative spread `sigma` (log-space standard deviation).
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median > 0.0, "lognormal median must be positive");
+        self.lognormal(median.ln(), sigma)
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Poisson sample with the given rate `lambda`.
+    ///
+    /// Uses Knuth's product method for small `lambda` and a normal
+    /// approximation above 30 (rates in this workspace are small — events per
+    /// link per observation window — so the approximation branch is rare).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson rate must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut product = self.uniform();
+        let mut count = 0u64;
+        while product > limit {
+            count += 1;
+            product *= self.uniform();
+        }
+        count
+    }
+
+    /// Pareto (type I) sample with scale `x_min` and shape `alpha`.
+    ///
+    /// Heavy-tailed; used for outage durations.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        x_min / (1.0 - self.uniform()).powf(1.0 / alpha)
+    }
+
+    /// Picks an index according to the given (not necessarily normalised)
+    /// non-negative weights. Panics if all weights are zero or the slice is
+    /// empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index requires a positive total weight");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u32(&mut self) -> u32 {
+        (Xoshiro256::next_u64(self) >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&Xoshiro256::next_u64(self).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = Xoshiro256::next_u64(self).to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = Xoshiro256::seed_from_u64(7);
+        let mut parent2 = Xoshiro256::seed_from_u64(7);
+        let mut c1 = parent1.fork(3);
+        let mut c2 = parent2.fork(3);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // A different stream id gives a different child stream.
+        let mut parent3 = Xoshiro256::seed_from_u64(7);
+        let mut c3 = parent3.fork(4);
+        let mut c1b = Xoshiro256::seed_from_u64(7).fork(3);
+        assert_ne!(c3.next_u64(), c1b.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256::seed_from_u64(19);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_rate() {
+        let mut rng = Xoshiro256::seed_from_u64(29);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(2.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_large_rate_uses_normal_approx() {
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(100.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = Xoshiro256::seed_from_u64(37);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.lognormal_median(60.0, 0.4)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 60.0).abs() < 1.5, "median={median}");
+    }
+
+    #[test]
+    fn pareto_lower_bound() {
+        let mut rng = Xoshiro256::seed_from_u64(43);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Xoshiro256::seed_from_u64(47);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_panics_on_zero_total() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        rng.weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(53);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_deterministic() {
+        use rand::RngCore;
+        let mut a = Xoshiro256::seed_from_u64(59);
+        let mut b = Xoshiro256::seed_from_u64(59);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+}

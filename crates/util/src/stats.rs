@@ -1,0 +1,368 @@
+//! Statistical primitives for the measurement-study reproductions.
+//!
+//! Every figure in the paper's §2 is a distribution summary: CDFs of SNR
+//! variation (Fig. 2a), of feasible capacities (Fig. 2b), of SNR at failure
+//! (Fig. 4c), of reconfiguration latency (Fig. 6b), plus percentage shares
+//! (Fig. 4a/4b). This module provides the empirical CDF, quantiles,
+//! histograms and summaries those reproductions are built from.
+
+use std::fmt;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Construction sorts the samples once; evaluation is a binary search.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples. Non-finite samples are rejected.
+    ///
+    /// Panics if `samples` is empty or contains NaN/infinite values —
+    /// distribution figures over no data are always a bug upstream.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF over zero samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty sample sets).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`), using nearest-rank on the sorted
+    /// samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile q out of [0,1]: {q}");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluates the ECDF at `n` evenly spaced points across the sample
+    /// range, returning `(x, P(X <= x))` pairs — the series a CDF plot needs.
+    pub fn series(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "series needs at least two points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// Sorted access to the underlying samples.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population form).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of the samples. Panics on empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        let ecdf = Ecdf::new(samples.to_vec());
+        let mean = ecdf.mean();
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        Summary {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: ecdf.min(),
+            p25: ecdf.quantile(0.25),
+            median: ecdf.median(),
+            p75: ecdf.quantile(0.75),
+            p95: ecdf.quantile(0.95),
+            max: ecdf.max(),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p25={:.3} med={:.3} p75={:.3} p95={:.3} max={:.3}",
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.p25,
+            self.median,
+            self.p75,
+            self.p95,
+            self.max
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with an overflow/underflow policy
+/// of clamping into the edge bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0, "invalid histogram bounds/bins");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Adds one observation (clamped into the edge bins if out of range).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Percentage shares of category totals, for Fig. 4a/4b-style bar charts.
+///
+/// Given per-category magnitudes, returns percentages summing to 100
+/// (subject to rounding in the caller's presentation).
+pub fn percentage_shares(magnitudes: &[f64]) -> Vec<f64> {
+    let total: f64 = magnitudes.iter().sum();
+    assert!(total > 0.0, "percentage shares of a zero total");
+    magnitudes.iter().map(|m| 100.0 * m / total).collect()
+}
+
+/// Smallest contiguous interval of sorted samples covering at least
+/// `coverage` of them — the 1-D highest-density region the paper uses to
+/// characterise SNR stability (Fig. 2a).
+///
+/// Returns `(low, high)`. For multimodal data this is the narrowest single
+/// window, matching the paper's definition ("the smallest interval in which
+/// 95% or more of the SNR values are concentrated").
+pub fn highest_density_interval(sorted: &[f64], coverage: f64) -> (f64, f64) {
+    assert!(!sorted.is_empty(), "HDI of zero samples");
+    assert!(
+        (0.0..=1.0).contains(&coverage) && coverage > 0.0,
+        "coverage out of (0,1]: {coverage}"
+    );
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let n = sorted.len();
+    let k = ((coverage * n as f64).ceil() as usize).clamp(1, n);
+    let mut best = (sorted[0], sorted[n - 1]);
+    let mut best_width = f64::INFINITY;
+    for start in 0..=(n - k) {
+        let width = sorted[start + k - 1] - sorted[start];
+        if width < best_width {
+            best_width = width;
+            best = (sorted[start], sorted[start + k - 1]);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basic() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+        assert_eq!(e.mean(), 2.5);
+    }
+
+    #[test]
+    fn ecdf_quantiles_nearest_rank() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.25), 25.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.median(), 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ecdf_rejects_empty() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ecdf_rejects_nan() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ecdf_series_is_monotone() {
+        let e = Ecdf::new(vec![1.0, 1.5, 2.0, 8.0, 9.0]);
+        let s = e.series(50);
+        assert_eq!(s.len(), 50);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn summary_display_is_parseable() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.000"));
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.9, -3.0, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 7);
+        // bins: [0,2) [2,4) [4,6) [6,8) [8,10)
+        assert_eq!(h.counts(), &[3, 1, 1, 0, 2]); // -3 clamps low, 42 clamps high
+        let centers = h.centers();
+        assert_eq!(centers[0].0, 1.0);
+        assert_eq!(centers[4].0, 9.0);
+    }
+
+    #[test]
+    fn percentage_shares_sum_to_100() {
+        let shares = percentage_shares(&[20.0, 10.0, 45.0, 25.0]);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((shares[2] - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdi_narrow_cluster_with_outliers() {
+        // 95 points in [10.0, 10.94], 5 deep outliers near zero: the 95% HDI
+        // must hug the cluster, while the range spans everything. This is
+        // exactly the Fig. 2a distinction between HDR and range.
+        let mut samples: Vec<f64> = (0..95).map(|i| 10.0 + i as f64 * 0.01).collect();
+        samples.extend([0.1, 0.2, 0.3, 0.2, 0.1]);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = highest_density_interval(&samples, 0.95);
+        assert!(lo >= 10.0 && hi <= 10.94 + 1e-9, "({lo},{hi})");
+        assert!(hi - lo < 1.0);
+    }
+
+    #[test]
+    fn hdi_full_coverage_is_range() {
+        let samples = vec![1.0, 2.0, 7.0];
+        assert_eq!(highest_density_interval(&samples, 1.0), (1.0, 7.0));
+    }
+
+    #[test]
+    fn hdi_single_sample() {
+        assert_eq!(highest_density_interval(&[5.0], 0.95), (5.0, 5.0));
+    }
+
+    #[test]
+    fn hdi_coverage_respected() {
+        // Uniform grid: 95% HDI of n=100 must contain >= 95 points.
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (lo, hi) = highest_density_interval(&samples, 0.95);
+        let inside = samples.iter().filter(|&&x| x >= lo && x <= hi).count();
+        assert!(inside >= 95);
+    }
+}

@@ -1,0 +1,84 @@
+//! Failure replay: link flaps instead of link failures (the paper's §2.2).
+//!
+//! ```text
+//! cargo run --release --example availability
+//! ```
+//!
+//! Replays a synthetic seven-month failure-ticket corpus under the binary
+//! up/down policy versus dynamic capacities, then drives the
+//! run/walk/crawl controller over raw SNR traces and counts the
+//! degradations it rides out as capacity flaps.
+
+use rwc::core::controller::{Controller, ControllerConfig};
+use rwc::failures::availability::AvailabilityReport;
+use rwc::failures::{RootCause, TicketAnalysis, TicketConfig, TicketGenerator};
+use rwc::optics::ModulationTable;
+use rwc::telemetry::{FleetConfig, FleetGenerator};
+use rwc::topology::wan::LinkId;
+use rwc::topology::WanTopology;
+use rwc::util::time::SimDuration;
+use rwc::util::units::{Db, Gbps};
+
+fn main() {
+    // --- Ticket corpus (Fig. 4) ---------------------------------------
+    let tickets = TicketGenerator::new(TicketConfig::paper()).generate();
+    let analysis = TicketAnalysis::new(&tickets);
+    println!("{} unplanned failure tickets over 7 months", analysis.total_events());
+    let ev = analysis.event_shares_percent();
+    for (i, cause) in RootCause::ALL.iter().enumerate() {
+        println!("  {:<24} {:>5.1}% of events", cause.to_string(), ev[i]);
+    }
+    println!(
+        "fiber cuts are NOT the main culprit: {:.1}% of events leave usable signal paths",
+        100.0 * analysis.fraction_non_fiber_cut()
+    );
+
+    // --- Binary vs dynamic replay ---------------------------------------
+    let table = ModulationTable::paper_default();
+    let replay = AvailabilityReport::replay(&tickets, &table, Gbps(100.0));
+    println!("\n— binary links vs dynamic links —");
+    println!(
+        "outages: {} → {} ({:.1}% of failure events become 50 G+ flaps)",
+        replay.total_events,
+        replay.hard_outages,
+        100.0 * replay.events_avoided_fraction()
+    );
+    println!(
+        "outage hours: {:.0} → {:.0}",
+        replay.binary_outage.as_hours_f64(),
+        replay.dynamic_outage.as_hours_f64()
+    );
+
+    // --- Controller on raw SNR ------------------------------------------
+    println!("\n— run/walk/crawl controller on raw telemetry —");
+    let fleet = FleetGenerator::new(FleetConfig {
+        n_fibers: 2,
+        wavelengths_per_fiber: 20,
+        horizon: SimDuration::from_days(120),
+        ..FleetConfig::paper()
+    });
+    let mut wan = WanTopology::new();
+    let hub = wan.add_node("HUB", None);
+    for i in 0..fleet.n_links() {
+        let s = wan.add_node(format!("S{i}"), None);
+        wan.add_link(hub, s, 500.0);
+    }
+    let mut controller = Controller::new(ControllerConfig::default(), wan.n_links(), 3);
+    let mut flaps = 0;
+    let mut downs = 0;
+    for link_id in 0..fleet.n_links() {
+        let link = fleet.link(link_id);
+        for (t, snr) in link.trace.iter() {
+            let r = controller.sweep(&mut wan, &[(LinkId(link_id), Db(snr.value()))], t);
+            flaps += r.failures_avoided;
+            downs += r.went_down.len();
+        }
+    }
+    println!(
+        "{} links × 120 days: {} degradations ridden out as capacity flaps, {} hard downs",
+        fleet.n_links(),
+        flaps,
+        downs
+    );
+    println!("every flap is a failure a fixed-capacity link would have suffered");
+}

@@ -1,0 +1,60 @@
+//! Driving a bandwidth-variable transceiver over MDIO (the paper's §3.1
+//! testbed), comparing the stock and the proposed reconfiguration
+//! procedures.
+//!
+//! ```text
+//! cargo run --example hitless_reconfig
+//! ```
+
+use rwc::optics::bvt::{regs, Bvt, LatencyModel, ReconfigProcedure, sample_latencies};
+use rwc::optics::Modulation;
+use rwc::util::rng::Xoshiro256;
+use rwc::util::stats::Ecdf;
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB47);
+
+    // --- One reconfiguration, step by step, over the MDIO interface ----
+    let mut bvt = Bvt::new(Modulation::DpQpsk100);
+    println!("vendor id: {:#06x}", bvt.mdio_read(regs::VENDOR_ID).unwrap());
+    println!("module at {}, laser on: {}", bvt.modulation(), bvt.laser_on());
+
+    println!("\n— legacy procedure (what shipping firmware does) —");
+    let report = bvt
+        .mdio_write(regs::MODULATION, 5 /* DP-16QAM */, &mut rng)
+        .unwrap()
+        .unwrap();
+    for (phase, duration) in &report.phases {
+        println!("  {phase:<20} {duration}");
+    }
+    println!("  TOTAL LINK DOWNTIME  {}", report.downtime);
+
+    println!("\n— efficient procedure (laser stays lit) —");
+    bvt.mdio_write(regs::PROCEDURE, 1, &mut rng).unwrap();
+    let report = bvt.mdio_write(regs::MODULATION, 1 /* DP-QPSK */, &mut rng).unwrap().unwrap();
+    for (phase, duration) in &report.phases {
+        println!("  {phase:<20} {duration}");
+    }
+    println!("  TOTAL LINK DOWNTIME  {}", report.downtime);
+
+    // --- 200 trials each, like the paper's Fig. 6b ----------------------
+    println!("\n— 200-trial latency distributions (Fig. 6b) —");
+    let model = LatencyModel::default();
+    for (name, proc_) in [
+        ("legacy   ", ReconfigProcedure::Legacy),
+        ("efficient", ReconfigProcedure::Efficient),
+    ] {
+        let secs: Vec<f64> = sample_latencies(proc_, &model, 200, &mut rng)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let e = Ecdf::new(secs);
+        println!(
+            "{name}: mean {:>8.3} s   median {:>8.3} s   p95 {:>8.3} s",
+            e.mean(),
+            e.median(),
+            e.quantile(0.95)
+        );
+    }
+    println!("\npaper: 68 s → 35 ms; hitless capacity change is within reach");
+}

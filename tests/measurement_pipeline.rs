@@ -1,0 +1,119 @@
+//! Integration: telemetry generation → analysis, validated against the
+//! generator's ground-truth event schedule.
+
+use rwc::optics::ModulationTable;
+use rwc::telemetry::analysis::{episodes_below, LinkAnalysis};
+use rwc::telemetry::events::EventKind;
+use rwc::telemetry::{FleetConfig, FleetGenerator};
+use rwc::util::time::SimDuration;
+use rwc::util::units::Db;
+
+fn small_fleet() -> FleetGenerator {
+    FleetGenerator::new(FleetConfig {
+        n_fibers: 2,
+        wavelengths_per_fiber: 10,
+        horizon: SimDuration::from_days(90),
+        ..FleetConfig::paper()
+    })
+}
+
+#[test]
+fn loss_of_light_events_are_detected_as_100g_failures() {
+    let gen = small_fleet();
+    let tick = gen.config().tick;
+    for link_id in 0..gen.n_links() {
+        let link = gen.link(link_id);
+        let episodes = episodes_below(&link.trace, Db(6.5));
+        for event in link.events.filter(|e| matches!(e.kind, EventKind::LossOfLight)) {
+            // Skip events too short to span a sample or cut off by the
+            // horizon.
+            if event.duration < tick * 2 || event.end() >= link.trace.time_at(link.trace.len() - 1)
+            {
+                continue;
+            }
+            let detected = episodes.iter().any(|ep| {
+                ep.start <= event.end() && event.start <= ep.start + ep.duration + tick
+            });
+            assert!(
+                detected,
+                "link {link_id}: LOL event at {:?} not detected as failure",
+                event.start
+            );
+        }
+    }
+}
+
+#[test]
+fn shallow_dips_do_not_fail_healthy_links() {
+    // A link with a strong baseline and only shallow dips must never fall
+    // below the 100 G threshold.
+    let gen = FleetGenerator::new(FleetConfig {
+        n_fibers: 1,
+        wavelengths_per_fiber: 5,
+        horizon: SimDuration::from_days(90),
+        fiber_baseline_mean_db: 14.0,
+        fiber_baseline_sd_db: 0.01,
+        wavelength_jitter_sd_db: 0.1,
+        baseline_clamp_db: (13.5, 16.0),
+        noisy_link_fraction: 0.0,
+        deep_dip_rate: 0.0,
+        link_lol_rate: 0.0,
+        fiber_cut_rate: 0.0,
+        step_rate: 0.0,
+        ..FleetConfig::paper()
+    });
+    let table = ModulationTable::paper_default();
+    for link_id in 0..gen.n_links() {
+        let link = gen.link(link_id);
+        let analysis = LinkAnalysis::new(&link.trace, &table);
+        assert!(
+            analysis.failures_at(rwc::optics::Modulation::DpQpsk100).is_empty(),
+            "link {link_id} failed at 100 G despite shallow-only events"
+        );
+        // And its HDR floor supports 200 G.
+        assert_eq!(analysis.feasible, Some(rwc::optics::Modulation::Dp16Qam200));
+    }
+}
+
+#[test]
+fn range_reflects_ground_truth_events() {
+    let gen = small_fleet();
+    for link_id in 0..gen.n_links() {
+        let link = gen.link(link_id);
+        let had_deep_event = link.events.events().iter().any(|e| match e.kind {
+            EventKind::LossOfLight => e.duration >= gen.config().tick * 2,
+            EventKind::Dip { depth_db } => depth_db > 6.0 && e.duration >= gen.config().tick * 2,
+            EventKind::Step { .. } => false,
+        });
+        let range = link.trace.range().value();
+        if had_deep_event {
+            assert!(range > 4.0, "link {link_id}: deep event but range only {range:.2} dB");
+        }
+    }
+}
+
+#[test]
+fn analysis_consistent_across_regeneration() {
+    // The full pipeline is a pure function of the seed.
+    let a = small_fleet().fleet_analysis(&ModulationTable::paper_default());
+    let b = small_fleet().fleet_analysis(&ModulationTable::paper_default());
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.total_gain(), b.total_gain());
+    assert_eq!(
+        a.fraction_hdr_below(Db(2.0)),
+        b.fraction_hdr_below(Db(2.0))
+    );
+}
+
+#[test]
+fn guard_margin_table_reduces_feasible_capacity() {
+    let gen = small_fleet();
+    let aggressive = gen.fleet_analysis(&ModulationTable::paper_default());
+    let conservative = gen.fleet_analysis(&ModulationTable::with_margin(Db(1.5)));
+    assert!(
+        conservative.total_gain() < aggressive.total_gain(),
+        "a guard margin must cost capacity: {} vs {}",
+        conservative.total_gain(),
+        aggressive.total_gain()
+    );
+}
