@@ -27,8 +27,8 @@ fn bench_state_machine(c: &mut Criterion) {
         let mut bvt = Bvt::new(Modulation::DpQpsk100);
         bvt.set_procedure(ReconfigProcedure::Efficient);
         b.iter(|| {
-            bvt.reconfigure(Modulation::Dp16Qam200, &mut rng);
-            bvt.reconfigure(Modulation::DpQpsk100, &mut rng);
+            bvt.reconfigure(Modulation::Dp16Qam200, &mut rng).unwrap();
+            bvt.reconfigure(Modulation::DpQpsk100, &mut rng).unwrap();
         })
     });
 }

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
-//! avail ablation. Default scale is a reduced fleet (fast); `--full` runs
+//! avail scenario faults ablation. Default scale is a reduced fleet (fast); `--full` runs
 //! the paper-scale corpus (2,000 links × 2.5 years — takes a while).
 
 use rwc_bench::experiments;

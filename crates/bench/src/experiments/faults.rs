@@ -1,0 +1,154 @@
+//! Fault-injection campaign: the whole BVT → controller → TE pipeline
+//! under a seeded fault plan.
+//!
+//! The robustness claim behind the paper's §2.2 availability argument is
+//! that degradations — including *equipment* misbehaviour, not just SNR
+//! drift — should surface as capacity flaps, not outages. This experiment
+//! schedules transceiver faults (relock failures, stuck lasers, MDIO
+//! timeouts, register corruption), telemetry faults (drops, freezes, SNR
+//! spikes) and TE solver faults over a multi-day run, then reports how
+//! much of the resulting imperfection the pipeline rode out as degraded
+//! capacity versus hard downtime.
+
+use crate::report::series_csv;
+use crate::{Report, Scale};
+use rwc_core::scenario::{Scenario, ScenarioConfig};
+use rwc_faults::{FaultPlan, FaultPlanConfig};
+use rwc_te::demand::{DemandMatrix, Priority};
+use rwc_te::swan::SwanTe;
+use rwc_telemetry::FleetConfig;
+use rwc_topology::builders;
+use rwc_util::time::SimDuration;
+use rwc_util::units::Gbps;
+
+fn build(scale: Scale) -> (Scenario, SimDuration, FaultPlan) {
+    let wan = builders::fig7_example();
+    let n_links = wan.n_links();
+    let a = wan.node_by_name("A").unwrap();
+    let b = wan.node_by_name("B").unwrap();
+    let c = wan.node_by_name("C").unwrap();
+    let d = wan.node_by_name("D").unwrap();
+    let mut dm = DemandMatrix::new();
+    dm.add(a, b, Gbps(120.0), Priority::Elastic);
+    dm.add(c, d, Gbps(120.0), Priority::Elastic);
+    let horizon = match scale {
+        Scale::Quick => SimDuration::from_days(7),
+        Scale::Full => SimDuration::from_days(60),
+    };
+    // Marginal baselines: SNR regularly crosses rung thresholds, so the
+    // fault plan lands on a fleet that is already walking and crawling.
+    let fleet = FleetConfig {
+        n_fibers: 1,
+        wavelengths_per_fiber: 4,
+        horizon: horizon + SimDuration::from_days(1),
+        fiber_baseline_mean_db: 12.6,
+        fiber_baseline_sd_db: 0.4,
+        wavelength_jitter_sd_db: 0.6,
+        ..FleetConfig::paper()
+    };
+    let plan = FaultPlanConfig {
+        n_links,
+        horizon,
+        bvt_rate_per_link_day: 2.0,
+        telemetry_rate_per_link_day: 1.0,
+        te_rate_per_day: 1.0,
+        // Long armed windows so flaky hardware overlaps the (hourly at
+        // best) reconfiguration attempts.
+        bvt_mean_duration: SimDuration::from_hours(8),
+        seed: 0xFA_017,
+        ..FaultPlanConfig::default()
+    }
+    .generate();
+    let config =
+        ScenarioConfig { fault_plan: Some(plan.clone()), ..ScenarioConfig::default() };
+    (Scenario::new(wan, fleet, dm, config), horizon, plan)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report =
+        Report::new("faults", "fault injection: degradations ridden out vs outages");
+    let (mut scenario, horizon, plan) = build(scale);
+    let (bvt_events, tel_events, te_events) = plan.class_counts();
+    let result = scenario.run(horizon, &SwanTe::default());
+
+    report.line(format!(
+        "injected over {horizon}: {bvt_events} BVT faults, {tel_events} telemetry faults, \
+         {te_events} TE faults",
+    ));
+    report.line(format!(
+        "handled: {} SNR degradations ridden as flaps, {} retries, {} TE fallback rounds, \
+         {} stale-telemetry holds, {} quarantines",
+        result.flaps, result.retries, result.te_fallbacks, result.stale_holds,
+        result.quarantines
+    ));
+    report.line(format!(
+        "unhandled: {} hard downs, {} changes failed after retries",
+        result.hard_downs, result.failed_changes
+    ));
+    report.line(format!(
+        "link-ticks: {} degraded-but-carrying vs {} outage of {} total — {:.1}% of imperfect \
+         time ridden out as degraded capacity (paper §2.2 target ≥25%); availability {:.5}",
+        result.degraded_link_ticks,
+        result.outage_link_ticks,
+        result.total_link_ticks,
+        100.0 * result.degraded_share(),
+        result.availability()
+    ));
+    report.line(format!(
+        "throughput: mean dynamic-over-binary gain {:.1}% across {} TE rounds \
+         ({} fell back); {} reconfiguration downtime",
+        100.0 * result.mean_gain(),
+        result.samples.len(),
+        result.te_fallbacks,
+        result.reconfig_downtime
+    ));
+
+    let series: Vec<(f64, f64)> = result
+        .samples
+        .iter()
+        .map(|s| (s.time.since_epoch().as_hours_f64(), s.throughput))
+        .collect();
+    report.csv("faults_dynamic_throughput.csv", series_csv("hours,dynamic_gbps", &series));
+    let series: Vec<(f64, f64)> = result
+        .samples
+        .iter()
+        .map(|s| {
+            (s.time.since_epoch().as_hours_f64(), if s.te_fallback { 1.0 } else { 0.0 })
+        })
+        .collect();
+    report.csv("faults_te_fallbacks.csv", series_csv("hours,fallback", &series));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_experiment_runs() {
+        let r = run(Scale::Quick);
+        let text = r.render();
+        assert!(text.contains("injected over"));
+        assert_eq!(r.csv.len(), 2);
+    }
+
+    #[test]
+    fn majority_of_imperfect_time_is_degraded_not_outage() {
+        let (mut scenario, horizon, _) = build(Scale::Quick);
+        let result = scenario.run(horizon, &SwanTe::default());
+        // The acceptance bar: at least 25% of the injected failures are
+        // handled as degraded-capacity flaps rather than outages.
+        assert!(
+            result.degraded_share() >= 0.25,
+            "degraded share {:.3} (degraded {} vs outage {})",
+            result.degraded_share(),
+            result.degraded_link_ticks,
+            result.outage_link_ticks
+        );
+        // And the machinery actually fired.
+        assert!(result.flaps > 0, "no degradations ridden out");
+        assert!(result.te_fallbacks > 0, "no TE fallbacks despite TE faults");
+        assert!(result.stale_holds > 0, "no stale holds despite telemetry drops");
+    }
+}

@@ -24,7 +24,7 @@ pub fn run(scale: Scale) -> Report {
     // The testbed's short fiber: high SNR, so all three formats show
     // clean, well-separated clusters (as in the paper's screenshots).
     let snr = Db(18.0);
-    let mut rng = Xoshiro256::seed_from_u64(0xF16_5);
+    let mut rng = Xoshiro256::seed_from_u64(0xF165);
     let formats = [
         ("qpsk_100g", Constellation::qpsk()),
         ("8qam_150g", Constellation::qam8()),

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod avail;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -18,9 +19,9 @@ pub mod tput;
 use crate::{Report, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6b", "fig7", "fig8", "thm1",
-    "tput", "avail", "scenario",
+    "tput", "avail", "scenario", "faults",
 ];
 
 /// Runs one experiment by id (plus the "ablation" extra).
@@ -40,6 +41,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "tput" => tput::run(scale),
         "avail" => avail::run(scale),
         "scenario" => scenario::run(scale),
+        "faults" => faults::run(scale),
         "ablation" => ablation::run(scale),
         _ => return None,
     })

@@ -21,10 +21,10 @@ pub fn parallel_fleet_analysis(
     let n_links = gen.n_links();
     let stripe = n_links.div_ceil(n_threads);
     let mut partials: Vec<FleetAccumulator> = Vec::with_capacity(n_threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc = FleetAccumulator::new();
                     let start = w * stripe;
                     let end = ((w + 1) * stripe).min(n_links);
@@ -39,8 +39,7 @@ pub fn parallel_fleet_analysis(
         for h in handles {
             partials.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope panicked");
+    });
     let mut merged = FleetAccumulator::new();
     for p in partials {
         merged.merge(p);

@@ -109,7 +109,7 @@ pub fn augment(
     let n_real_edges = problem.net.n_edges();
 
     // Apply the policy's real-edge costs (unit weights etc.).
-    if !matches!(config.penalty.real_cost_is_zero(), true) {
+    if !config.penalty.real_cost_is_zero() {
         let mut net = rwc_flow::network::FlowNetwork::new(problem.net.n_nodes());
         for (i, e) in problem.net.edges().iter().enumerate() {
             let link = wan.link(LinkId(i / 2));

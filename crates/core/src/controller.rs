@@ -18,7 +18,7 @@
 //! model, so downtime accounting reflects the procedure in use (legacy
 //! ≈ 68 s vs efficient ≈ 35 ms).
 
-use rwc_optics::bvt::{LatencyModel, ReconfigProcedure};
+use rwc_optics::bvt::{Bvt, BvtError, BvtFault, LatencyModel, ReconfigProcedure};
 use rwc_optics::{Modulation, ModulationTable};
 use rwc_topology::wan::{LinkId, WanTopology};
 use rwc_util::rng::Xoshiro256;
@@ -44,6 +44,22 @@ pub struct ControllerConfig {
     /// upgrade decision through the graph abstraction — the controller
     /// then only handles safety (walk/crawl/down).
     pub auto_upgrade: bool,
+    /// Retry budget per modulation change: a change is attempted
+    /// `1 + max_retries` times before the failure counts against the link.
+    pub max_retries: u32,
+    /// Control-plane backoff between retry attempts, charged as downtime
+    /// (the carrier is typically unlocked while the module recovers).
+    pub retry_backoff: SimDuration,
+    /// Consecutive failed changes after which a link is quarantined —
+    /// pinned to its last safe modulation with further changes suppressed.
+    pub quarantine_after: u32,
+    /// How long a quarantined link stays pinned before changes are
+    /// allowed again.
+    pub quarantine_hold: SimDuration,
+    /// Last-known-good SNR policy: when a reading is missing, the most
+    /// recent one no older than this bound is used instead. Beyond it the
+    /// link holds position and is marked degraded rather than acted on.
+    pub snr_staleness_bound: SimDuration,
 }
 
 impl Default for ControllerConfig {
@@ -55,6 +71,11 @@ impl Default for ControllerConfig {
             procedure: ReconfigProcedure::Efficient,
             latency: LatencyModel::default(),
             auto_upgrade: true,
+            max_retries: 2,
+            retry_backoff: SimDuration::from_millis(100),
+            quarantine_after: 3,
+            quarantine_hold: SimDuration::from_hours(4),
+            snr_staleness_bound: SimDuration::from_minutes(45),
         }
     }
 }
@@ -70,10 +91,44 @@ pub enum Decision {
     Down,
 }
 
+/// Controller's view of one link's operational health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkHealth {
+    /// Operating normally.
+    Healthy,
+    /// Recent reconfiguration failures or stale telemetry — changes are
+    /// still attempted, but the link is on notice.
+    Degraded,
+    /// Too many consecutive failures: pinned to its last safe modulation
+    /// until the hold-down expires.
+    Quarantined,
+}
+
 #[derive(Debug, Clone)]
 struct LinkState {
     last_change: Option<SimTime>,
     down: bool,
+    /// Failed changes since the last success (resets on success).
+    consecutive_failures: u32,
+    /// End of the current quarantine hold-down, if any.
+    quarantined_until: Option<SimTime>,
+    /// Most recent trusted SNR reading.
+    last_good: Option<(SimTime, Db)>,
+    /// Telemetry for this link is currently older than the staleness bound.
+    stale: bool,
+}
+
+impl LinkState {
+    fn new() -> Self {
+        Self {
+            last_change: None,
+            down: false,
+            consecutive_failures: 0,
+            quarantined_until: None,
+            last_good: None,
+            stale: false,
+        }
+    }
 }
 
 /// Outcome of one controller sweep over the fleet.
@@ -81,7 +136,8 @@ struct LinkState {
 pub struct SweepReport {
     /// `(link, from, to)` for every reconfiguration applied.
     pub changes: Vec<(LinkId, Modulation, Modulation)>,
-    /// Links newly declared down (no feasible rung).
+    /// Links newly declared down (no feasible rung, or an unrecoverable
+    /// reconfiguration failure).
     pub went_down: Vec<LinkId>,
     /// Links recovered from down.
     pub recovered: Vec<LinkId>,
@@ -91,6 +147,29 @@ pub struct SweepReport {
     /// link (SNR below the old rung's threshold but above a lower rung's)
     /// — the paper's "flap instead of fail" count.
     pub failures_avoided: usize,
+    /// Retry attempts spent on flaky reconfigurations this sweep.
+    pub retries: u32,
+    /// Changes that failed even after retries.
+    pub reconfig_failures: usize,
+    /// Links pushed into quarantine this sweep.
+    pub quarantined: Vec<LinkId>,
+    /// Links that held position because telemetry was missing and the
+    /// last-known-good reading had gone stale.
+    pub stale_holds: usize,
+}
+
+/// Outcome of executing one modulation change through the BVT model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeResult {
+    /// Whether the change is in force on the topology.
+    pub applied: bool,
+    /// Downtime charged: successful phases, failed partial attempts,
+    /// module resets and retry backoff.
+    pub downtime: SimDuration,
+    /// Retry attempts consumed beyond the first try.
+    pub retries: u32,
+    /// Whether this failure pushed the link into quarantine.
+    pub quarantined: bool,
 }
 
 /// The run/walk/crawl controller for a fleet of links.
@@ -98,6 +177,10 @@ pub struct SweepReport {
 pub struct Controller {
     config: ControllerConfig,
     states: Vec<LinkState>,
+    /// One transceiver model per link. Modulation registers are slaved to
+    /// the topology before every operation; the Bvt carries the fault and
+    /// lock state machine.
+    bvts: Vec<Bvt>,
     rng: Xoshiro256,
 }
 
@@ -105,11 +188,17 @@ impl Controller {
     /// Creates a controller for `n_links` links.
     pub fn new(config: ControllerConfig, n_links: usize, seed: u64) -> Self {
         assert!(config.upgrade_margin.value() >= 0.0, "negative margin");
+        let bvts = (0..n_links)
+            .map(|_| {
+                let mut bvt = Bvt::new(Modulation::DpQpsk100).with_model(config.latency.clone());
+                bvt.set_procedure(config.procedure);
+                bvt
+            })
+            .collect();
         Self {
             config,
-            states: (0..n_links)
-                .map(|_| LinkState { last_change: None, down: false })
-                .collect(),
+            states: (0..n_links).map(|_| LinkState::new()).collect(),
+            bvts,
             rng: Xoshiro256::seed_from_u64(seed),
         }
     }
@@ -122,6 +211,39 @@ impl Controller {
     /// Whether a link is currently declared down.
     pub fn is_down(&self, link: LinkId) -> bool {
         self.states[link.0].down
+    }
+
+    /// Whether a link is in its quarantine hold-down at `now`.
+    pub fn is_quarantined(&self, link: LinkId, now: SimTime) -> bool {
+        self.states[link.0].quarantined_until.is_some_and(|t| now < t)
+    }
+
+    /// The link's health as of `now`.
+    pub fn health(&self, link: LinkId, now: SimTime) -> LinkHealth {
+        let st = &self.states[link.0];
+        if st.quarantined_until.is_some_and(|t| now < t) {
+            LinkHealth::Quarantined
+        } else if st.consecutive_failures > 0 || st.stale {
+            LinkHealth::Degraded
+        } else {
+            LinkHealth::Healthy
+        }
+    }
+
+    /// The most recent trusted SNR reading for a link.
+    pub fn last_good_snr(&self, link: LinkId) -> Option<(SimTime, Db)> {
+        self.states[link.0].last_good
+    }
+
+    /// Read access to a link's transceiver model.
+    pub fn bvt(&self, link: LinkId) -> &Bvt {
+        &self.bvts[link.0]
+    }
+
+    /// Arms a hardware fault on a link's transceiver: the next applicable
+    /// operation on that module fails.
+    pub fn inject_bvt_fault(&mut self, link: LinkId, fault: BvtFault) {
+        self.bvts[link.0].inject_fault(fault);
     }
 
     /// Pure decision logic for one link (no state change).
@@ -159,19 +281,158 @@ impl Controller {
         Decision::Hold
     }
 
+    /// Executes one modulation change through the link's transceiver, with
+    /// retry-and-bounded-backoff on failure and quarantine when a link
+    /// keeps failing. Shared by the safety sweep and the TE upgrade path,
+    /// so every change in the system sees the same fault handling.
+    ///
+    /// On a change that fails out of retries, the module is reset to a
+    /// locked state at whatever format its registers landed on, the
+    /// topology is synced to that format, and — once the consecutive-
+    /// failure budget is spent — the link enters quarantine pinned there.
+    /// If the pinned format is not feasible at the last trusted SNR, the
+    /// link is declared down instead of carrying a rate the signal cannot
+    /// support (a quarantine pin is never infeasible).
+    pub fn execute_change(
+        &mut self,
+        wan: &mut WanTopology,
+        link: LinkId,
+        target: Modulation,
+        now: SimTime,
+    ) -> ChangeResult {
+        if self.is_quarantined(link, now) {
+            return ChangeResult {
+                applied: false,
+                downtime: SimDuration::ZERO,
+                retries: 0,
+                quarantined: true,
+            };
+        }
+        let current = wan.link(link).modulation;
+        self.bvts[link.0].sync_modulation(current);
+        let mut downtime = SimDuration::ZERO;
+        let mut retries = 0u32;
+        let attempts = 1 + self.config.max_retries;
+        for attempt in 0..attempts {
+            match self.bvts[link.0].reconfigure(target, &mut self.rng) {
+                Ok(report) => {
+                    downtime += report.downtime;
+                    wan.set_modulation(link, target);
+                    let st = &mut self.states[link.0];
+                    st.last_change = Some(now);
+                    st.consecutive_failures = 0;
+                    return ChangeResult { applied: true, downtime, retries, quarantined: false };
+                }
+                Err(BvtError::Timeout) => {
+                    // Command lost on the management bus: the module never
+                    // saw it, the link kept carrying traffic.
+                }
+                Err(BvtError::ReconfigFailed { elapsed, .. }) => {
+                    downtime += elapsed;
+                    downtime += self.bvts[link.0].reset(&mut self.rng);
+                }
+                Err(_) => {
+                    // Busy or a register-level rejection: recover the
+                    // module before trying again.
+                    downtime += self.bvts[link.0].reset(&mut self.rng);
+                }
+            }
+            if attempt + 1 < attempts {
+                retries += 1;
+                downtime += self.config.retry_backoff;
+            }
+        }
+        // Out of retries. Make sure the module is locked at *some* rate and
+        // the topology agrees with where the hardware actually landed.
+        downtime += self.bvts[link.0].reset(&mut self.rng);
+        let landed = self.bvts[link.0].modulation();
+        if landed != current {
+            wan.set_modulation(link, landed);
+        }
+        let quarantine_after = self.config.quarantine_after;
+        let feasible_at_last_good = self.states[link.0]
+            .last_good
+            .map(|(_, snr)| self.config.table.supports(snr, landed));
+        let st = &mut self.states[link.0];
+        st.consecutive_failures += 1;
+        let mut quarantined = false;
+        if st.consecutive_failures >= quarantine_after {
+            st.quarantined_until = Some(now + self.config.quarantine_hold);
+            quarantined = true;
+            if feasible_at_last_good == Some(false) {
+                // Never quarantine into an infeasible rate: the signal
+                // cannot carry the pinned format, so this is an outage.
+                st.down = true;
+            }
+        }
+        ChangeResult { applied: false, downtime, retries, quarantined }
+    }
+
     /// Applies one sweep of SNR readings to the topology, reconfiguring
     /// links as decided and accounting downtime through the BVT model.
+    /// Every reading is trusted and fresh; see [`Controller::sweep_observed`]
+    /// for the telemetry-fault-tolerant variant.
     pub fn sweep(
         &mut self,
         wan: &mut WanTopology,
         readings: &[(LinkId, Db)],
         now: SimTime,
     ) -> SweepReport {
+        let observed: Vec<(LinkId, Option<Db>)> =
+            readings.iter().map(|&(l, snr)| (l, Some(snr))).collect();
+        self.sweep_observed(wan, &observed, now)
+    }
+
+    /// Telemetry-fault-tolerant sweep: `None` marks a dropped reading.
+    ///
+    /// A link with a dropped reading falls back to its last-known-good SNR
+    /// if that is within [`ControllerConfig::snr_staleness_bound`];
+    /// otherwise it holds its current modulation (counted in
+    /// [`SweepReport::stale_holds`]) and is reported
+    /// [`LinkHealth::Degraded`] until telemetry returns. Links in
+    /// quarantine are never reconfigured; if their pinned rate becomes
+    /// infeasible they go down rather than flap.
+    pub fn sweep_observed(
+        &mut self,
+        wan: &mut WanTopology,
+        readings: &[(LinkId, Option<Db>)],
+        now: SimTime,
+    ) -> SweepReport {
         let mut report = SweepReport::default();
-        for &(link_id, snr) in readings {
-            wan.set_snr(link_id, snr);
+        for &(link_id, maybe_snr) in readings {
+            // Quarantine expiry is checked lazily, per sweep.
+            if self.states[link_id.0].quarantined_until.is_some_and(|t| now >= t) {
+                let st = &mut self.states[link_id.0];
+                st.quarantined_until = None;
+                st.consecutive_failures = 0;
+            }
+            // Resolve the SNR to act on: fresh reading, else last-known-
+            // good within the staleness bound, else hold.
+            let snr = match maybe_snr {
+                Some(snr) => {
+                    wan.set_snr(link_id, snr);
+                    let st = &mut self.states[link_id.0];
+                    st.last_good = Some((now, snr));
+                    st.stale = false;
+                    snr
+                }
+                None => match self.states[link_id.0].last_good {
+                    Some((t, snr))
+                        if now.saturating_duration_since(t)
+                            <= self.config.snr_staleness_bound =>
+                    {
+                        snr
+                    }
+                    _ => {
+                        self.states[link_id.0].stale = true;
+                        report.stale_holds += 1;
+                        continue;
+                    }
+                },
+            };
             let current = wan.link(link_id).modulation;
             let was_down = self.states[link_id.0].down;
+            let quarantined = self.is_quarantined(link_id, now);
             match self.decide(link_id, current, snr, now) {
                 Decision::Hold => {
                     if was_down {
@@ -186,24 +447,37 @@ impl Controller {
                         report.went_down.push(link_id);
                     }
                 }
+                Decision::StepTo(target) if quarantined => {
+                    // No changes while pinned. A needed *downgrade* means
+                    // the pinned rate is no longer feasible: treat as down.
+                    if target.capacity() < current.capacity() && !was_down {
+                        self.states[link_id.0].down = true;
+                        report.went_down.push(link_id);
+                    }
+                }
                 Decision::StepTo(target) => {
                     let downgrade = target.capacity() < current.capacity();
-                    if downgrade {
-                        report.failures_avoided += 1;
+                    let result = self.execute_change(wan, link_id, target, now);
+                    report.downtime += result.downtime;
+                    report.retries += result.retries;
+                    if result.applied {
+                        if downgrade {
+                            report.failures_avoided += 1;
+                        }
+                        if was_down {
+                            self.states[link_id.0].down = false;
+                            report.recovered.push(link_id);
+                        }
+                        report.changes.push((link_id, current, target));
+                    } else {
+                        report.reconfig_failures += 1;
+                        if result.quarantined {
+                            report.quarantined.push(link_id);
+                        }
+                        if self.states[link_id.0].down && !was_down {
+                            report.went_down.push(link_id);
+                        }
                     }
-                    let phases =
-                        self.config.latency.sample_phases(self.config.procedure, &mut self.rng);
-                    let downtime = phases
-                        .iter()
-                        .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
-                    report.downtime += downtime;
-                    wan.set_modulation(link_id, target);
-                    self.states[link_id.0].last_change = Some(now);
-                    if was_down {
-                        self.states[link_id.0].down = false;
-                        report.recovered.push(link_id);
-                    }
-                    report.changes.push((link_id, current, target));
                 }
             }
         }

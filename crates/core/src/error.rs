@@ -1,0 +1,76 @@
+//! Typed error hierarchy for the fault-tolerant pipeline.
+//!
+//! The BVT → controller → TE pipeline degrades gracefully instead of
+//! panicking: hardware faults surface as [`rwc_optics::bvt::BvtError`],
+//! solver failures as [`rwc_te::TeError`], and everything the pipeline
+//! itself can reject is wrapped here so callers handle one error type.
+
+use rwc_optics::bvt::BvtError;
+use rwc_te::TeError;
+use std::fmt;
+
+/// Top-level error of the rwc pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RwcError {
+    /// A traffic-engineering solver failed.
+    Te(TeError),
+    /// A transceiver (hardware or management bus) failure.
+    Bvt(BvtError),
+    /// A pipeline stage was configured with values it cannot run with.
+    Config(String),
+    /// Telemetry cannot support the request (e.g. the horizon outruns the
+    /// recorded traces).
+    Telemetry(String),
+}
+
+impl fmt::Display for RwcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwcError::Te(e) => write!(f, "TE failure: {e}"),
+            RwcError::Bvt(e) => write!(f, "BVT failure: {e}"),
+            RwcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            RwcError::Telemetry(msg) => write!(f, "telemetry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RwcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RwcError::Te(e) => Some(e),
+            RwcError::Bvt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TeError> for RwcError {
+    fn from(e: TeError) -> Self {
+        RwcError::Te(e)
+    }
+}
+
+impl From<BvtError> for RwcError {
+    fn from(e: BvtError) -> Self {
+        RwcError::Bvt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let te: RwcError = TeError::SolverTimeout {
+            algorithm: "exact-lp",
+            detail: "pivot budget".into(),
+        }
+        .into();
+        assert!(te.to_string().contains("exact-lp"));
+        let bvt: RwcError = BvtError::Timeout.into();
+        assert!(bvt.to_string().contains("timed out"));
+        assert!(std::error::Error::source(&bvt).is_some());
+        assert!(std::error::Error::source(&RwcError::Config("x".into())).is_none());
+    }
+}

@@ -16,7 +16,10 @@
 //!   the augmented graph ≡ max-flow on the dynamic-capacity graph);
 //! - [`controller`]: the run/walk/crawl policy — step links up when SNR
 //!   margin allows, step them *down* instead of failing them when SNR
-//!   degrades, with hysteresis and dwell to suppress flapping;
+//!   degrades, with hysteresis and dwell to suppress flapping, plus
+//!   retry/quarantine handling for transceivers that fail to reconfigure;
+//! - [`error`]: the [`error::RwcError`] hierarchy the fault-tolerant
+//!   pipeline reports instead of panicking;
 //! - [`network`]: [`network::DynamicCapacityNetwork`], the end-to-end API
 //!   tying telemetry → augmentation → TE → consistent updates → BVT
 //!   reconfiguration;
@@ -30,6 +33,7 @@
 
 pub mod augment;
 pub mod controller;
+pub mod error;
 pub mod gadget;
 pub mod network;
 pub mod penalty;
@@ -39,7 +43,8 @@ pub mod theorem;
 pub mod translate;
 
 pub use augment::{augment, AugmentConfig, AugmentedProblem, FakeEdge};
-pub use controller::{Controller, ControllerConfig, Decision};
+pub use controller::{Controller, ControllerConfig, Decision, LinkHealth};
+pub use error::RwcError;
 pub use network::DynamicCapacityNetwork;
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use penalty::PenaltyPolicy;

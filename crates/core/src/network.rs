@@ -15,11 +15,13 @@
 
 use crate::augment::{augment, AugmentConfig};
 use crate::controller::{Controller, ControllerConfig, SweepReport};
+use crate::error::RwcError;
 use crate::translate::{translate, Translation};
+use rwc_optics::bvt::BvtFault;
 use rwc_te::demand::DemandMatrix;
 use rwc_te::metrics;
 use rwc_te::problem::{TeProblem, TeSolution};
-use rwc_te::updates::{plan_capacity_changes, CapacityChange, UpdatePlan};
+use rwc_te::updates::{try_plan_capacity_changes, CapacityChange, UpdatePlan};
 use rwc_te::TeAlgorithm;
 use rwc_topology::wan::{LinkId, WanTopology};
 use rwc_util::time::{SimDuration, SimTime};
@@ -41,6 +43,14 @@ pub struct TeRound {
     pub reconfig_downtime: SimDuration,
     /// Traffic churn versus the previous round's flows.
     pub churn: f64,
+    /// True when the TE solver failed this round and the last feasible
+    /// allocation stayed in force instead (graceful degradation).
+    pub te_fallback: bool,
+    /// Upgrades the solver asked for that the hardware failed to apply
+    /// (retries exhausted or link quarantined).
+    pub failed_changes: usize,
+    /// Retry attempts spent applying this round's upgrades.
+    pub retries: u32,
 }
 
 impl TeRound {
@@ -69,7 +79,9 @@ pub struct DynamicCapacityNetwork {
     link_traffic: Vec<f64>,
     /// Previous round's real-edge flows, for churn accounting.
     previous_flows: Option<Vec<f64>>,
-    rng: rwc_util::rng::Xoshiro256,
+    /// Throughputs of the last round whose solves succeeded, reported
+    /// verbatim when a later round has to fall back.
+    last_good_totals: Option<(f64, f64)>,
 }
 
 impl DynamicCapacityNetwork {
@@ -87,7 +99,7 @@ impl DynamicCapacityNetwork {
             augment_config,
             link_traffic: vec![0.0; n_links],
             previous_flows: None,
-            rng: rwc_util::rng::Xoshiro256::seed_from_u64(seed ^ 0x7E0),
+            last_good_totals: None,
         }
     }
 
@@ -108,24 +120,64 @@ impl DynamicCapacityNetwork {
         self.controller.sweep(&mut self.wan, readings, now)
     }
 
+    /// Telemetry-fault-tolerant ingest: `None` marks a dropped reading.
+    /// See [`Controller::sweep_observed`] for the hold/last-known-good
+    /// semantics.
+    pub fn ingest_observed(
+        &mut self,
+        readings: &[(LinkId, Option<Db>)],
+        now: SimTime,
+    ) -> SweepReport {
+        self.controller.sweep_observed(&mut self.wan, readings, now)
+    }
+
+    /// Arms a hardware fault on a link's transceiver; the next applicable
+    /// operation on that module fails and is handled by the controller's
+    /// retry/quarantine machinery.
+    pub fn inject_bvt_fault(&mut self, link: LinkId, fault: BvtFault) {
+        self.controller.inject_bvt_fault(link, fault);
+    }
+
     /// Runs one TE round with the given (unmodified) TE algorithm.
+    ///
+    /// Never panics on solver failure: if the algorithm cannot produce a
+    /// solution, the previous allocation stays in force and the round is
+    /// reported with [`TeRound::te_fallback`] set. Hardware failures while
+    /// applying upgrades are absorbed by the controller's retry/quarantine
+    /// machinery and surface in [`TeRound::failed_changes`].
     pub fn te_round(
         &mut self,
         demands: &DemandMatrix,
         algorithm: &dyn TeAlgorithm,
         now: SimTime,
     ) -> TeRound {
+        match self.try_te_round(demands, algorithm, now) {
+            Ok(round) => round,
+            Err(_) => self.fallback_round(),
+        }
+    }
+
+    /// Fallible TE round: solver failures come back as [`RwcError::Te`]
+    /// with no changes applied, so the caller can decide how to degrade.
+    pub fn try_te_round(
+        &mut self,
+        demands: &DemandMatrix,
+        algorithm: &dyn TeAlgorithm,
+        now: SimTime,
+    ) -> Result<TeRound, RwcError> {
         // Static baseline: same algorithm, no fake links.
         let static_problem = TeProblem::from_wan(&self.wan, demands);
-        let static_solution = algorithm.solve(&static_problem);
+        let static_solution = algorithm.try_solve(&static_problem)?;
 
         // Augment + solve + translate.
         let aug = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
-        let solution = algorithm.solve(&aug.problem);
+        let solution = algorithm.try_solve(&aug.problem)?;
         let translation = translate(&aug, &self.wan, &solution);
 
-        // Consistent-update plan + application.
+        // Consistent-update plan + application through the hardware.
         let mut reconfig_downtime = SimDuration::ZERO;
+        let mut failed_changes = 0usize;
+        let mut retries = 0u32;
         let update_plan = if translation.upgrades.is_empty() {
             None
         } else {
@@ -143,25 +195,24 @@ impl DynamicCapacityNetwork {
                 edge_flows: flows.clone(),
                 total: 0.0,
             });
-            let plan = plan_capacity_changes(
+            let plan = try_plan_capacity_changes(
                 &self.wan,
                 demands,
                 &changes,
                 algorithm,
                 hitless,
                 current.as_ref(),
-            );
-            // Apply the modulation changes through the BVT latency model.
+            )?;
+            // Apply the modulation changes through the per-link BVT state
+            // machines, with retry and quarantine on hardware faults.
             for change in &changes {
-                let phases = self
-                    .controller
-                    .config()
-                    .latency
-                    .sample_phases(self.controller.config().procedure, &mut self.rng);
-                reconfig_downtime += phases
-                    .iter()
-                    .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d);
-                self.wan.set_modulation(change.link, change.to);
+                let result =
+                    self.controller.execute_change(&mut self.wan, change.link, change.to, now);
+                reconfig_downtime += result.downtime;
+                retries += result.retries;
+                if !result.applied {
+                    failed_changes += 1;
+                }
             }
             Some(plan)
         };
@@ -178,15 +229,45 @@ impl DynamicCapacityNetwork {
             self.link_traffic[id.0] = fwd.max(bwd);
         }
         self.previous_flows = Some(translation.real_edge_flows.clone());
-        let _ = now;
+        self.last_good_totals = Some((solution.total, static_solution.total));
 
-        TeRound {
+        Ok(TeRound {
             throughput: solution.total,
             static_throughput: static_solution.total,
             translation,
             update_plan,
             reconfig_downtime,
             churn,
+            te_fallback: false,
+            failed_changes,
+            retries,
+        })
+    }
+
+    /// The round reported when the solver fails: the previous allocation
+    /// (and its throughputs) stay in force, nothing changes, no downtime.
+    fn fallback_round(&self) -> TeRound {
+        let flows = self
+            .previous_flows
+            .clone()
+            .unwrap_or_else(|| vec![0.0; 2 * self.wan.n_links()]);
+        let (throughput, static_throughput) = self.last_good_totals.unwrap_or((0.0, 0.0));
+        TeRound {
+            throughput,
+            static_throughput,
+            translation: Translation {
+                upgrades: Vec::new(),
+                real_edge_flows: flows,
+                routed: Vec::new(),
+                penalty_paid: 0.0,
+                effective_penalty: 0.0,
+            },
+            update_plan: None,
+            reconfig_downtime: SimDuration::ZERO,
+            churn: 0.0,
+            te_fallback: true,
+            failed_changes: 0,
+            retries: 0,
         }
     }
 }

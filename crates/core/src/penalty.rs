@@ -17,7 +17,7 @@ use rwc_util::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// How upgrade costs (and real-link weights) are assigned.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub enum PenaltyPolicy {
     /// Fake links cost a fixed amount per unit flow; real links are free.
     /// The paper's worked example uses 100.
@@ -25,6 +25,7 @@ pub enum PenaltyPolicy {
     /// Fake-link cost equals the traffic currently carried by the physical
     /// link (the paper's suggested default: reconfiguring a busy link
     /// disrupts more).
+    #[default]
     CurrentTraffic,
     /// Fake-link cost is the expected reconfiguration downtime in seconds
     /// times this weight — ties the penalty to the BVT procedure in use
@@ -79,12 +80,6 @@ impl PenaltyPolicy {
             PenaltyPolicy::UnitWeights => 1.0,
             _ => 0.0,
         }
-    }
-}
-
-impl Default for PenaltyPolicy {
-    fn default() -> Self {
-        PenaltyPolicy::CurrentTraffic
     }
 }
 

@@ -1,0 +1,433 @@
+//! # rwc-faults
+//!
+//! Deterministic, seeded fault injection for the *Run, Walk, Crawl*
+//! reproduction.
+//!
+//! The paper's argument — flap capacity instead of failing links — only
+//! matters because real optical WANs misbehave: transceivers fail to
+//! relock, management buses time out, telemetry goes stale, TE solvers
+//! blow their deadline. This crate describes those misbehaviours as a
+//! declarative [`FaultPlan`] (*what* fails, *when*, for *how long*) that
+//! the simulation pipeline interprets:
+//!
+//! - **BVT faults** ([`BvtFault`], re-exported from `rwc-optics`) are
+//!   armed on the per-link transceiver model and trip the next
+//!   reconfiguration or MDIO transaction;
+//! - **telemetry faults** ([`TelemetryFault`]) drop, freeze or corrupt
+//!   the SNR samples the controller sees;
+//! - **TE faults** ([`TeFault`]) abort or time out a traffic-engineering
+//!   round, exercising the last-feasible-solution fallback.
+//!
+//! Everything is reproducible: plans are plain data (serde-serialisable)
+//! and the random generator ([`FaultPlanConfig::generate`]) derives every
+//! event from a single seed, so the same plan + scenario seed produces a
+//! byte-identical report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rwc_optics::bvt::BvtFault;
+
+use rwc_topology::wan::LinkId;
+use rwc_util::rng::Xoshiro256;
+use rwc_util::time::{SimDuration, SimTime};
+use rwc_util::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// A telemetry-path fault on one link's SNR stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryFault {
+    /// Samples are lost: the controller receives no reading.
+    DropSamples,
+    /// The stream freezes: the controller keeps receiving the value that
+    /// was current when the fault started.
+    FreezeReadings,
+    /// Readings are corrupted by an additive spike (dB, either sign).
+    SnrSpike {
+        /// Offset added to every delivered reading while active.
+        delta_db: f64,
+    },
+}
+
+/// A traffic-engineering-layer fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TeFault {
+    /// The solver exceeds its deadline; the round produces no solution.
+    SolverTimeout,
+    /// The solver aborts (crash, numerical failure) mid-round.
+    SolverAbort,
+}
+
+/// What fails.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Transceiver-level fault on one link.
+    Bvt(BvtFault),
+    /// Telemetry-path fault on one link.
+    Telemetry(TelemetryFault),
+    /// TE-layer fault (fleet-wide, no link).
+    Te(TeFault),
+}
+
+/// One scheduled fault: what, where, when, for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The fault.
+    pub kind: FaultKind,
+    /// Affected link. Ignored (use `LinkId(0)`) for [`FaultKind::Te`],
+    /// which is fleet-wide.
+    pub link: LinkId,
+    /// When the fault becomes active.
+    pub start: SimTime,
+    /// How long it stays active. BVT faults are *armed* for this window:
+    /// any reconfiguration or MDIO transaction started inside it trips.
+    pub duration: SimDuration,
+}
+
+impl FaultEvent {
+    /// Whether the fault is active at `now` (half-open `[start, end)`).
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.start + self.duration
+    }
+}
+
+/// A declarative fault schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// All scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing ever fails).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one event (builder style).
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Count of events of each class `(bvt, telemetry, te)`.
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Bvt(_) => counts.0 += 1,
+                FaultKind::Telemetry(_) => counts.1 += 1,
+                FaultKind::Te(_) => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Answers "which faults are active right now?" against a [`FaultPlan`].
+///
+/// Purely a time-indexed view; it holds no mutable state, so querying is
+/// idempotent and never perturbs determinism.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// All events active at `now`.
+    pub fn active_at(&self, now: SimTime) -> impl Iterator<Item = &FaultEvent> {
+        self.plan.events.iter().filter(move |e| e.active_at(now))
+    }
+
+    /// The BVT fault armed on `link` at `now`, if any (first match wins;
+    /// overlapping BVT faults on one link are not meaningful).
+    pub fn bvt_fault(&self, link: LinkId, now: SimTime) -> Option<BvtFault> {
+        self.active_at(now).find_map(|e| match e.kind {
+            FaultKind::Bvt(f) if e.link == link => Some(f),
+            _ => None,
+        })
+    }
+
+    /// The telemetry fault affecting `link` at `now`, if any.
+    pub fn telemetry_fault(&self, link: LinkId, now: SimTime) -> Option<TelemetryFault> {
+        self.active_at(now).find_map(|e| match e.kind {
+            FaultKind::Telemetry(f) if e.link == link => Some(f),
+            _ => None,
+        })
+    }
+
+    /// The TE fault in force at `now`, if any.
+    pub fn te_fault(&self, now: SimTime) -> Option<TeFault> {
+        self.active_at(now).find_map(|e| match e.kind {
+            FaultKind::Te(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Applies the active telemetry fault (if any) to a raw reading.
+    ///
+    /// `frozen` is the value delivered when the stream froze (the caller
+    /// tracks it; this crate is stateless). Returns the reading the
+    /// controller should see: `None` means the sample was lost.
+    pub fn observe(
+        &self,
+        link: LinkId,
+        raw: Db,
+        frozen: Option<Db>,
+        now: SimTime,
+    ) -> Option<Db> {
+        match self.telemetry_fault(link, now) {
+            None => Some(raw),
+            Some(TelemetryFault::DropSamples) => None,
+            Some(TelemetryFault::FreezeReadings) => Some(frozen.unwrap_or(raw)),
+            Some(TelemetryFault::SnrSpike { delta_db }) => Some(Db(raw.value() + delta_db)),
+        }
+    }
+}
+
+/// Tuning for the random plan generator. Rates are Poisson-ish: each
+/// class draws `rate_per_link_day × links × days` events (TE faults are
+/// fleet-wide: `rate × days`), with exponential-ish durations around the
+/// configured means. Everything derives from `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Links in the fleet.
+    pub n_links: usize,
+    /// Schedule horizon.
+    pub horizon: SimDuration,
+    /// BVT faults per link-day.
+    pub bvt_rate_per_link_day: f64,
+    /// Telemetry faults per link-day.
+    pub telemetry_rate_per_link_day: f64,
+    /// TE faults per day (fleet-wide).
+    pub te_rate_per_day: f64,
+    /// Mean armed window of a BVT fault.
+    pub bvt_mean_duration: SimDuration,
+    /// Mean duration of a telemetry fault.
+    pub telemetry_mean_duration: SimDuration,
+    /// Mean duration of a TE fault.
+    pub te_mean_duration: SimDuration,
+    /// Master seed; the whole plan is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        Self {
+            n_links: 1,
+            horizon: SimDuration::from_days(7),
+            bvt_rate_per_link_day: 0.5,
+            telemetry_rate_per_link_day: 0.5,
+            te_rate_per_day: 0.5,
+            bvt_mean_duration: SimDuration::from_hours(2),
+            telemetry_mean_duration: SimDuration::from_hours(1),
+            te_mean_duration: SimDuration::from_minutes(30),
+            seed: 0xFA_017,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// Generates the plan. Deterministic: same config → same plan.
+    pub fn generate(&self) -> FaultPlan {
+        assert!(self.n_links > 0, "fault plan needs at least one link");
+        let days = self.horizon.as_secs_f64() / 86_400.0;
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+
+        let n_bvt = (self.bvt_rate_per_link_day * self.n_links as f64 * days).round() as usize;
+        for _ in 0..n_bvt {
+            let kind = match rng.next_u64() % 4 {
+                0 => BvtFault::RelockFailure,
+                1 => BvtFault::StuckLaser,
+                2 => BvtFault::MdioTimeout,
+                _ => BvtFault::CorruptRegister,
+            };
+            events.push(self.event(FaultKind::Bvt(kind), self.bvt_mean_duration, &mut rng));
+        }
+
+        let n_tel =
+            (self.telemetry_rate_per_link_day * self.n_links as f64 * days).round() as usize;
+        for _ in 0..n_tel {
+            let kind = match rng.next_u64() % 3 {
+                0 => TelemetryFault::DropSamples,
+                1 => TelemetryFault::FreezeReadings,
+                // Spikes in ±(3..15) dB — big enough to bait a bad
+                // modulation decision if taken at face value.
+                _ => {
+                    let magnitude = 3.0 + 12.0 * rng.uniform();
+                    let sign = if rng.next_u64().is_multiple_of(2) { 1.0 } else { -1.0 };
+                    TelemetryFault::SnrSpike { delta_db: sign * magnitude }
+                }
+            };
+            events.push(self.event(
+                FaultKind::Telemetry(kind),
+                self.telemetry_mean_duration,
+                &mut rng,
+            ));
+        }
+
+        let n_te = (self.te_rate_per_day * days).round() as usize;
+        for _ in 0..n_te {
+            let kind = if rng.next_u64().is_multiple_of(2) {
+                TeFault::SolverTimeout
+            } else {
+                TeFault::SolverAbort
+            };
+            events.push(self.event(FaultKind::Te(kind), self.te_mean_duration, &mut rng));
+        }
+
+        FaultPlan { events }
+    }
+
+    fn event(
+        &self,
+        kind: FaultKind,
+        mean_duration: SimDuration,
+        rng: &mut Xoshiro256,
+    ) -> FaultEvent {
+        let link = LinkId(rng.below(self.n_links));
+        let start_secs = self.horizon.as_secs_f64() * rng.uniform();
+        // Exponential durations, clamped to keep a fault from outliving
+        // the horizon by much.
+        let u = rng.uniform().max(1e-12);
+        let dur_secs =
+            (-u.ln() * mean_duration.as_secs_f64()).min(self.horizon.as_secs_f64() / 2.0);
+        FaultEvent {
+            kind,
+            link,
+            start: SimTime::EPOCH + SimDuration::from_secs_f64(start_secs),
+            duration: SimDuration::from_secs_f64(dur_secs.max(1.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultPlanConfig {
+        FaultPlanConfig { n_links: 8, seed: 42, ..FaultPlanConfig::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = cfg().generate();
+        let b = cfg().generate();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = cfg().generate();
+        let b = FaultPlanConfig { seed: 43, ..cfg() }.generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rates_scale_event_counts() {
+        let sparse = FaultPlanConfig {
+            bvt_rate_per_link_day: 0.1,
+            telemetry_rate_per_link_day: 0.1,
+            te_rate_per_day: 0.1,
+            ..cfg()
+        }
+        .generate();
+        let dense = FaultPlanConfig {
+            bvt_rate_per_link_day: 2.0,
+            telemetry_rate_per_link_day: 2.0,
+            te_rate_per_day: 2.0,
+            ..cfg()
+        }
+        .generate();
+        assert!(dense.len() > sparse.len() * 4, "{} vs {}", dense.len(), sparse.len());
+        let (bvt, tel, te) = dense.class_counts();
+        assert!(bvt > 0 && tel > 0 && te > 0);
+    }
+
+    #[test]
+    fn events_stay_inside_horizon() {
+        let plan = cfg().generate();
+        let horizon = cfg().horizon;
+        for e in &plan.events {
+            assert!(e.start < SimTime::EPOCH + horizon);
+            assert!(e.link.0 < 8);
+            assert!(e.duration > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn injector_windows_are_half_open() {
+        let event = FaultEvent {
+            kind: FaultKind::Te(TeFault::SolverTimeout),
+            link: LinkId(0),
+            start: SimTime::EPOCH + SimDuration::from_hours(1),
+            duration: SimDuration::from_hours(1),
+        };
+        let inj = FaultInjector::new(FaultPlan::none().with(event));
+        let h = SimDuration::from_hours(1);
+        assert_eq!(inj.te_fault(SimTime::EPOCH), None);
+        assert_eq!(inj.te_fault(SimTime::EPOCH + h), Some(TeFault::SolverTimeout));
+        assert_eq!(inj.te_fault(SimTime::EPOCH + h + h), None, "end is exclusive");
+    }
+
+    #[test]
+    fn observe_applies_telemetry_faults() {
+        let t0 = SimTime::EPOCH;
+        let day = SimDuration::from_days(1);
+        let plan = FaultPlan::none()
+            .with(FaultEvent {
+                kind: FaultKind::Telemetry(TelemetryFault::DropSamples),
+                link: LinkId(0),
+                start: t0,
+                duration: day,
+            })
+            .with(FaultEvent {
+                kind: FaultKind::Telemetry(TelemetryFault::FreezeReadings),
+                link: LinkId(1),
+                start: t0,
+                duration: day,
+            })
+            .with(FaultEvent {
+                kind: FaultKind::Telemetry(TelemetryFault::SnrSpike { delta_db: 10.0 }),
+                link: LinkId(2),
+                start: t0,
+                duration: day,
+            });
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.observe(LinkId(0), Db(12.0), None, t0), None);
+        assert_eq!(inj.observe(LinkId(1), Db(12.0), Some(Db(9.0)), t0), Some(Db(9.0)));
+        assert_eq!(inj.observe(LinkId(2), Db(12.0), None, t0), Some(Db(22.0)));
+        // Unaffected link passes through.
+        assert_eq!(inj.observe(LinkId(3), Db(12.0), None, t0), Some(Db(12.0)));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = cfg().generate();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -139,9 +139,9 @@ pub fn max_multicommodity_lp_total(
         }
     }
     // Shared capacity.
-    for ei in 0..m {
+    for (ei, edge) in edges.iter().enumerate().take(m) {
         let terms: Vec<(usize, f64)> = (0..k).map(|ki| (ki * m + ei, 1.0)).collect();
-        b.add_constraint(&terms, Relation::Le, edges[ei].2);
+        b.add_constraint(&terms, Relation::Le, edge.2);
     }
     // Conservation per commodity at non-terminals.
     for (ki, &(src, dst, _)) in commodities.iter().enumerate() {

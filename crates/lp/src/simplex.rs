@@ -1,12 +1,23 @@
 //! Two-phase primal simplex.
 //!
-//! Dense tableau, Bland's anti-cycling rule, `1e-9` tolerances. Built for
-//! correctness on the small/medium LPs the reproduction cross-validates
-//! against (hundreds of variables), not for industrial scale.
+//! Dense tableau, `1e-9` optimality tolerance. Pivot selection is
+//! Dantzig's rule with a numerically stable ratio test (ties broken by
+//! the largest pivot magnitude, and pivot elements below `PIVOT_TOL`
+//! are never eligible — a degenerate pivot on a ~1e-9 element scales
+//! the whole tableau by ~1e9 and the solve never recovers). A long
+//! degenerate streak switches to Bland's rule for its termination
+//! guarantee, and a hard pivot budget turns any residual stall into
+//! [`LpOutcome::Stalled`] instead of a hang. Built for correctness on
+//! the small/medium LPs the reproduction cross-validates against
+//! (hundreds of variables), not for industrial scale.
 
 use crate::model::{LinearProgram, Relation};
 
 const TOL: f64 = 1e-9;
+/// Minimum magnitude for a ratio-test pivot element.
+const PIVOT_TOL: f64 = 1e-7;
+/// Consecutive non-improving pivots before switching to Bland's rule.
+const DEGENERATE_STREAK: u64 = 256;
 
 /// An optimal solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +37,10 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded above.
     Unbounded,
+    /// The pivot budget ran out before reaching optimality (numerical
+    /// stall or pathological degeneracy). Callers should treat this as
+    /// a solver failure, not a property of the model.
+    Stalled,
 }
 
 impl LpOutcome {
@@ -89,44 +104,103 @@ impl Tableau {
     }
 
     /// Runs simplex to optimality (maximisation: stop when all reduced
-    /// costs ≤ tol). `allowed` masks columns eligible to enter. Returns
-    /// false on unboundedness.
-    fn optimise(&mut self, allowed: &[bool]) -> bool {
+    /// costs ≤ tol). `allowed` masks columns eligible to enter;
+    /// `max_pivots` bounds the total work.
+    fn optimise(&mut self, allowed: &[bool], max_pivots: u64) -> OptimiseOutcome {
+        let mut pivots = 0u64;
+        let mut degenerate_streak = 0u64;
         loop {
-            // Bland: entering = lowest-index column with positive reduced
-            // cost (we keep obj as +c form and maximise).
-            let Some(col) = (0..self.n_total)
-                .find(|&c| allowed[c] && self.obj[c] > TOL)
-            else {
-                return true;
-            };
-            // Ratio test; Bland ties by lowest basis index.
-            let mut best: Option<(f64, usize)> = None;
-            for r in 0..self.a.len() {
-                if self.a[r][col] > TOL {
-                    let ratio = self.b[r] / self.a[r][col];
-                    match best {
-                        None => best = Some((ratio, r)),
-                        Some((br, brow)) => {
-                            if ratio < br - TOL
-                                || (ratio < br + TOL && self.basis[r] < self.basis[brow])
-                            {
-                                best = Some((ratio, r));
-                            }
-                        }
+            pivots += 1;
+            if pivots > max_pivots {
+                return OptimiseOutcome::Stalled;
+            }
+            // Entering column: Dantzig (largest reduced cost) normally;
+            // Bland (lowest index) after a long degenerate streak, for
+            // its termination guarantee.
+            let bland = degenerate_streak >= DEGENERATE_STREAK;
+            let mut col: Option<usize> = None;
+            for (c, &ok) in allowed.iter().enumerate().take(self.n_total) {
+                if ok && self.obj[c] > TOL {
+                    if bland {
+                        col = Some(c);
+                        break;
+                    }
+                    if col.is_none_or(|best| self.obj[c] > self.obj[best]) {
+                        col = Some(c);
                     }
                 }
             }
-            let Some((_, row)) = best else {
-                return false; // unbounded
+            let Some(col) = col else {
+                return OptimiseOutcome::Optimal;
             };
+            // Ratio test. Pivot elements below PIVOT_TOL are ineligible:
+            // a degenerate pivot on a near-zero element blows the tableau
+            // up numerically. Ties on the minimum ratio go to the row
+            // with the largest pivot magnitude (or lowest basis index
+            // under Bland).
+            let mut best: Option<(f64, usize)> = None;
+            for r in 0..self.a.len() {
+                let p = self.a[r][col];
+                if p > PIVOT_TOL {
+                    let ratio = self.b[r] / p;
+                    let better = match best {
+                        None => true,
+                        Some((br, brow)) => {
+                            ratio < br - TOL
+                                || (ratio < br + TOL
+                                    && if bland {
+                                        self.basis[r] < self.basis[brow]
+                                    } else {
+                                        p > self.a[brow][col]
+                                    })
+                        }
+                    };
+                    if better {
+                        best = Some((ratio, r));
+                    }
+                }
+            }
+            let Some((ratio, row)) = best else {
+                // No eligible pivot row. If some column entries are in the
+                // numerically grey zone (TOL, PIVOT_TOL] we cannot honestly
+                // certify unboundedness; call it a stall.
+                if (0..self.a.len()).any(|r| self.a[r][col] > TOL) {
+                    return OptimiseOutcome::Stalled;
+                }
+                return OptimiseOutcome::Unbounded;
+            };
+            if ratio.abs() <= TOL {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
             self.pivot(row, col);
         }
     }
 }
 
-/// Solves an LP (maximisation, `x ≥ 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OptimiseOutcome {
+    Optimal,
+    Unbounded,
+    Stalled,
+}
+
+/// Solves an LP (maximisation, `x ≥ 0`) with a pivot budget scaled to
+/// the problem size.
 pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let m = lp.n_constraints() as u64;
+    let n = lp.n_vars() as u64;
+    // Generous: typical solves take O(m) pivots; the budget only trips
+    // on numerical stalls or adversarial degeneracy.
+    let budget = 100_000u64.max(50 * (m + n));
+    solve_with_budget(lp, budget)
+}
+
+/// Solves an LP (maximisation, `x ≥ 0`) with an explicit per-phase
+/// pivot budget. Returns [`LpOutcome::Stalled`] when the budget runs
+/// out, which callers should surface as a solver error.
+pub fn solve_with_budget(lp: &LinearProgram, max_pivots: u64) -> LpOutcome {
     lp.validate().expect("invalid LP");
     let n = lp.n_vars();
     let m = lp.n_constraints();
@@ -211,21 +285,24 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
             }
         }
         let allowed = vec![true; n_total];
-        let bounded = t.optimise(&allowed);
-        debug_assert!(bounded, "phase 1 cannot be unbounded");
+        match t.optimise(&allowed, max_pivots) {
+            OptimiseOutcome::Optimal => {}
+            OptimiseOutcome::Stalled => return LpOutcome::Stalled,
+            OptimiseOutcome::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+        }
         if t.obj_val < -1e-7 {
             return LpOutcome::Infeasible;
         }
         // Pivot remaining artificials out of the basis where possible.
         for r in 0..m {
             if artificial_cols.contains(&t.basis[r]) {
-                if let Some(col) =
-                    (0..n).chain(n..n + n_slack + n_surplus).find(|&c| t.a[r][c].abs() > TOL)
+                if let Some(col) = (0..n + n_slack + n_surplus)
+                    .find(|&c| t.a[r][c].abs() > PIVOT_TOL)
                 {
                     t.pivot(r, col);
                 }
-                // Degenerate all-zero row: harmless, leave the artificial
-                // basic at value 0.
+                // Near-zero row: harmless, leave the artificial basic at
+                // value 0 (pivoting on a tiny element would be worse).
             }
         }
     }
@@ -250,8 +327,10 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
     for &c in &artificial_cols {
         allowed[c] = false;
     }
-    if !t.optimise(&allowed) {
-        return LpOutcome::Unbounded;
+    match t.optimise(&allowed, max_pivots) {
+        OptimiseOutcome::Optimal => {}
+        OptimiseOutcome::Stalled => return LpOutcome::Stalled,
+        OptimiseOutcome::Unbounded => return LpOutcome::Unbounded,
     }
 
     let mut x = vec![0.0; n];

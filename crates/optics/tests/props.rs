@@ -69,7 +69,7 @@ proptest! {
         });
         for idx in steps {
             let target = Modulation::LADDER[idx];
-            let report = bvt.reconfigure(target, &mut rng);
+            let report = bvt.reconfigure(target, &mut rng).unwrap();
             prop_assert!(bvt.laser_on() && bvt.locked());
             prop_assert_eq!(bvt.modulation(), target);
             prop_assert_eq!(report.downtime, report.total());

@@ -11,7 +11,7 @@
 //! remains oblivious to fake upgrade edges — the property §4 requires.
 
 use crate::problem::{TeProblem, TeSolution};
-use crate::TeAlgorithm;
+use crate::{TeAlgorithm, TeError};
 use rwc_flow::EPS;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -95,11 +95,18 @@ fn tunnels(
         }
         let mut path = Vec::new();
         let mut v = dst;
+        let mut complete = true;
         while v != src {
-            let ei = parent[v].expect("path incomplete");
+            let Some(ei) = parent[v] else {
+                complete = false;
+                break;
+            };
             path.push(ei);
             suppressed[ei] = true;
             v = edges[ei].0;
+        }
+        if !complete {
+            break;
         }
         path.reverse();
         found.push(path);
@@ -112,9 +119,19 @@ impl TeAlgorithm for B4Te {
         "b4"
     }
 
-    fn solve(&self, problem: &TeProblem) -> TeSolution {
-        assert!(self.k_tunnels > 0, "need at least one tunnel");
-        assert!(self.quantum > 0.0, "quantum must be positive");
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
+        if self.k_tunnels == 0 {
+            return Err(TeError::InvalidConfig {
+                algorithm: self.name(),
+                detail: "need at least one tunnel".into(),
+            });
+        }
+        if self.quantum <= 0.0 {
+            return Err(TeError::InvalidConfig {
+                algorithm: self.name(),
+                detail: format!("quantum must be positive, got {}", self.quantum),
+            });
+        }
         let net = &problem.net;
         let n = net.n_nodes();
         let edges: Vec<(usize, usize)> = net.edges().iter().map(|e| (e.from, e.to)).collect();
@@ -177,7 +194,7 @@ impl TeAlgorithm for B4Te {
             }
         }
         let total = routed.iter().sum();
-        TeSolution { routed, edge_flows, total }
+        Ok(TeSolution { routed, edge_flows, total })
     }
 }
 

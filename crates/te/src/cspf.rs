@@ -9,7 +9,7 @@
 //! (and of dynamic capacity) visible in the experiments.
 
 use crate::problem::{TeProblem, TeSolution};
-use crate::TeAlgorithm;
+use crate::{TeAlgorithm, TeError};
 use rwc_flow::EPS;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -83,7 +83,7 @@ fn constrained_shortest_path(
     let mut path = Vec::new();
     let mut v = dst;
     while v != src {
-        let ei = parent[v].expect("path incomplete");
+        let ei = parent[v]?;
         path.push(ei);
         v = edges[ei].0;
     }
@@ -96,7 +96,7 @@ impl TeAlgorithm for CspfTe {
         "cspf"
     }
 
-    fn solve(&self, problem: &TeProblem) -> TeSolution {
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
         let net = &problem.net;
         let n = net.n_nodes();
         let edges: Vec<(usize, usize)> = net.edges().iter().map(|e| (e.from, e.to)).collect();
@@ -147,7 +147,7 @@ impl TeAlgorithm for CspfTe {
             }
         }
         let total = routed.iter().sum();
-        TeSolution { routed, edge_flows, total }
+        Ok(TeSolution { routed, edge_flows, total })
     }
 }
 

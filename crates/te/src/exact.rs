@@ -7,7 +7,7 @@
 //! solvers and for the Theorem 1 cross-validation.
 
 use crate::problem::{TeProblem, TeSolution};
-use crate::TeAlgorithm;
+use crate::{TeAlgorithm, TeError};
 use rwc_lp::model::{LpBuilder, Relation};
 use rwc_lp::simplex::{solve, LpOutcome};
 
@@ -36,12 +36,12 @@ impl TeAlgorithm for ExactTe {
         "exact-lp"
     }
 
-    fn solve(&self, problem: &TeProblem) -> TeSolution {
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
         let net = &problem.net;
         let k = problem.commodities.len();
         let m = net.n_edges();
         if k == 0 {
-            return TeSolution { routed: vec![], edge_flows: vec![0.0; m], total: 0.0 };
+            return Ok(TeSolution { routed: vec![], edge_flows: vec![0.0; m], total: 0.0 });
         }
         let mut b = LpBuilder::new();
         // Variable (ki, ei) at ki*m + ei; objective = net outflow at each
@@ -94,7 +94,18 @@ impl TeAlgorithm for ExactTe {
         }
         let solution = match solve(&b.build()) {
             LpOutcome::Optimal(s) => s,
-            other => panic!("TE LP must be optimal, got {other:?}"),
+            LpOutcome::Stalled => {
+                return Err(TeError::SolverTimeout {
+                    algorithm: self.name(),
+                    detail: format!("simplex exhausted its pivot budget ({k} commodities, {m} edges)"),
+                })
+            }
+            other => {
+                return Err(TeError::SolverAbort {
+                    algorithm: self.name(),
+                    detail: format!("LP not optimal: {other:?}"),
+                })
+            }
         };
         let mut routed = vec![0.0; k];
         let mut edge_flows = vec![0.0; m];
@@ -113,7 +124,7 @@ impl TeAlgorithm for ExactTe {
             routed[ki] = net_out.max(0.0);
         }
         let total = routed.iter().sum();
-        TeSolution { routed, edge_flows, total }
+        Ok(TeSolution { routed, edge_flows, total })
     }
 }
 

@@ -38,6 +38,58 @@ pub mod updates;
 pub use demand::{Demand, DemandMatrix, Priority};
 pub use problem::{TeProblem, TeSolution};
 
+use std::fmt;
+
+/// A typed solver failure — what used to be a panic in the hot path.
+///
+/// The run/walk/crawl controller reacts to these by falling back to the
+/// last feasible allocation instead of tearing the network down, so every
+/// variant carries enough context to log the decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeError {
+    /// The optimiser exhausted its iteration/pivot budget without
+    /// converging (e.g. simplex stalling on a degenerate basis).
+    SolverTimeout {
+        /// Name of the algorithm that timed out.
+        algorithm: &'static str,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// The solver aborted: the instance was infeasible or unbounded, or an
+    /// internal invariant failed.
+    SolverAbort {
+        /// Name of the algorithm that aborted.
+        algorithm: &'static str,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// The algorithm was constructed with parameters it cannot run with.
+    InvalidConfig {
+        /// Name of the misconfigured algorithm.
+        algorithm: &'static str,
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeError::SolverTimeout { algorithm, detail } => {
+                write!(f, "{algorithm}: solver timed out: {detail}")
+            }
+            TeError::SolverAbort { algorithm, detail } => {
+                write!(f, "{algorithm}: solver aborted: {detail}")
+            }
+            TeError::InvalidConfig { algorithm, detail } => {
+                write!(f, "{algorithm}: invalid configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeError {}
+
 /// A traffic-engineering algorithm: topology + demands in, flows out.
 ///
 /// Implementations must treat the problem as opaque — no peeking at which
@@ -46,6 +98,17 @@ pub use problem::{TeProblem, TeSolution};
 pub trait TeAlgorithm {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
-    /// Solves the problem.
-    fn solve(&self, problem: &TeProblem) -> TeSolution;
+    /// Solves the problem, surfacing solver failures as [`TeError`]
+    /// instead of panicking. This is the entry point the fault-tolerant
+    /// pipeline uses.
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError>;
+    /// Solves the problem, panicking on solver failure. Convenience for
+    /// callers (tests, examples, offline studies) that treat a failed
+    /// solve as fatal.
+    fn solve(&self, problem: &TeProblem) -> TeSolution {
+        match self.try_solve(problem) {
+            Ok(s) => s,
+            Err(e) => panic!("TE solve failed: {e}"),
+        }
+    }
 }

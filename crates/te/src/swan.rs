@@ -10,7 +10,7 @@
 
 use crate::demand::Priority;
 use crate::problem::{TeProblem, TeSolution};
-use crate::TeAlgorithm;
+use crate::{TeAlgorithm, TeError};
 use rwc_flow::mcf::{max_multicommodity_flow, Commodity};
 use rwc_flow::network::FlowNetwork;
 
@@ -35,11 +35,16 @@ impl TeAlgorithm for SwanTe {
         "swan"
     }
 
-    fn solve(&self, problem: &TeProblem) -> TeSolution {
-        assert!(
-            (0.0..1.0).contains(&self.scratch_fraction),
-            "scratch fraction out of [0,1)"
-        );
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
+        if !(0.0..1.0).contains(&self.scratch_fraction) {
+            return Err(TeError::InvalidConfig {
+                algorithm: self.name(),
+                detail: format!(
+                    "scratch fraction must lie in [0,1), got {}",
+                    self.scratch_fraction
+                ),
+            });
+        }
         let n_edges = problem.net.n_edges();
         let mut residual: Vec<f64> = problem
             .net
@@ -78,7 +83,7 @@ impl TeAlgorithm for SwanTe {
             }
         }
         let total = routed.iter().sum();
-        TeSolution { routed, edge_flows, total }
+        Ok(TeSolution { routed, edge_flows, total })
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::demand::DemandMatrix;
 use crate::metrics::churn;
 use crate::problem::{TeProblem, TeSolution};
-use crate::TeAlgorithm;
+use crate::{TeAlgorithm, TeError};
 use rwc_optics::Modulation;
 use rwc_topology::wan::{LinkId, WanTopology};
 
@@ -64,7 +64,30 @@ pub fn plan_capacity_changes(
     hitless: bool,
     current: Option<&TeSolution>,
 ) -> UpdatePlan {
-    assert!(!changes.is_empty(), "no changes to plan");
+    match try_plan_capacity_changes(wan, demands, changes, algorithm, hitless, current) {
+        Ok(plan) => plan,
+        Err(e) => panic!("update planning failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`plan_capacity_changes`] for the fault-tolerant
+/// pipeline: an empty change set or a solver failure comes back as a
+/// [`TeError`] instead of a panic, so the caller can keep the previous
+/// allocation in force.
+pub fn try_plan_capacity_changes(
+    wan: &WanTopology,
+    demands: &DemandMatrix,
+    changes: &[CapacityChange],
+    algorithm: &dyn TeAlgorithm,
+    hitless: bool,
+    current: Option<&TeSolution>,
+) -> Result<UpdatePlan, TeError> {
+    if changes.is_empty() {
+        return Err(TeError::InvalidConfig {
+            algorithm: algorithm.name(),
+            detail: "no changes to plan".into(),
+        });
+    }
 
     // Interim problem: changing links at their transition capacity.
     let mut interim_problem = TeProblem::from_wan(wan, demands);
@@ -78,7 +101,7 @@ pub fn plan_capacity_changes(
         // from_wan lays out edges as (2·link, 2·link+1).
         interim_problem.override_link_capacity(change.link, transition);
     }
-    let interim = algorithm.solve(&interim_problem);
+    let interim = algorithm.try_solve(&interim_problem)?;
 
     // Final problem: changes applied.
     let mut final_wan = wan.clone();
@@ -86,17 +109,17 @@ pub fn plan_capacity_changes(
         final_wan.set_modulation(change.link, change.to);
     }
     let final_problem = TeProblem::from_wan(&final_wan, demands);
-    let final_solution = algorithm.solve(&final_problem);
+    let final_solution = algorithm.try_solve(&final_problem)?;
 
     let zero = vec![0.0; interim.edge_flows.len()];
     let before = current.map(|s| s.edge_flows.as_slice()).unwrap_or(&zero);
-    UpdatePlan {
+    Ok(UpdatePlan {
         churn_into_interim: churn(before, &interim.edge_flows),
         churn_into_final: churn(&interim.edge_flows, &final_solution.edge_flows),
         interim_throughput_gap: (final_solution.total - interim.total).max(0.0),
         interim,
         final_solution,
-    }
+    })
 }
 
 #[cfg(test)]

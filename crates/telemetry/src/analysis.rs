@@ -119,6 +119,10 @@ impl LinkAnalysis {
     }
 }
 
+/// Per-rung fleet series: the rung plus (failure count per link, duration
+/// in hours per episode, floor in dB per episode).
+type RungStats = (Modulation, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Streaming accumulator of per-link analyses into fleet-level series.
 ///
 /// Push one [`LinkAnalysis`] per link (the generator materialises links one
@@ -129,9 +133,7 @@ pub struct FleetAccumulator {
     ranges: Vec<f64>,
     feasible_caps: Vec<f64>,
     gains: Vec<f64>,
-    /// Per-rung: (failure count per link, duration in hours per episode,
-    /// floor in dB per episode).
-    per_rung: Vec<(Modulation, Vec<f64>, Vec<f64>, Vec<f64>)>,
+    per_rung: Vec<RungStats>,
 }
 
 impl FleetAccumulator {
@@ -242,7 +244,7 @@ impl FleetAccumulator {
         floors.iter().filter(|&&f| f >= floor.value()).count() as f64 / floors.len() as f64
     }
 
-    fn rung(&self, m: Modulation) -> Option<&(Modulation, Vec<f64>, Vec<f64>, Vec<f64>)> {
+    fn rung(&self, m: Modulation) -> Option<&RungStats> {
         self.per_rung.iter().find(|r| r.0 == m)
     }
 

@@ -296,7 +296,7 @@ mod tests {
     fn serde_round_trip() {
         let g = diamond();
         let json = serde_json::to_string(&g).unwrap();
-        let back: Graph<&str, u32> = serde_json::from_str(&json).unwrap();
+        let back: Graph<String, u32> = serde_json::from_str(&json).unwrap();
         assert_eq!(g.n_edges(), back.n_edges());
         assert_eq!(back.edge(EdgeId(3)).payload, 4);
     }

@@ -111,8 +111,8 @@ pub fn waxman(config: &WaxmanConfig) -> WanTopology {
             if !in_tree[i] {
                 continue;
             }
-            for j in 0..n {
-                if in_tree[j] {
+            for (j, &jt) in in_tree.iter().enumerate().take(n) {
+                if jt {
                     continue;
                 }
                 let d = dist(i, j);

@@ -15,6 +15,7 @@
 //! | [`optics`] | modulation ladder, link budgets, constellations, BVT model |
 //! | [`telemetry`] | synthetic 2.5-year SNR fleet (the paper's measurement corpus) |
 //! | [`failures`] | failure-ticket corpus + root-cause/availability analyses |
+//! | [`faults`] | deterministic fault injection: BVT/telemetry/TE fault plans |
 //! | [`topology`] | WAN graphs: Abilene, B4-like, Waxman, the paper's Fig. 7 |
 //! | [`flow`] | Dinic, min-cost max-flow, multicommodity FPTAS |
 //! | [`lp`] | two-phase simplex + flow-problem encoders (exact baselines) |
@@ -60,6 +61,7 @@
 
 pub use rwc_core as core;
 pub use rwc_failures as failures;
+pub use rwc_faults as faults;
 pub use rwc_flow as flow;
 pub use rwc_lp as lp;
 pub use rwc_optics as optics;

@@ -1,0 +1,59 @@
+//! Determinism of the fault-injection pipeline: the same fault plan and
+//! scenario seed must yield a byte-identical report, run to run — the
+//! property that makes fault campaigns reproducible and diffable.
+
+use rwc::core::scenario::{Scenario, ScenarioConfig, ScenarioReport};
+use rwc::faults::FaultPlanConfig;
+use rwc::te::demand::{DemandMatrix, Priority};
+use rwc::te::swan::SwanTe;
+use rwc::telemetry::FleetConfig;
+use rwc::topology::builders;
+use rwc::util::time::SimDuration;
+use rwc::util::units::Gbps;
+
+fn run_campaign() -> ScenarioReport {
+    let wan = builders::fig7_example();
+    let a = wan.node_by_name("A").unwrap();
+    let b = wan.node_by_name("B").unwrap();
+    let c = wan.node_by_name("C").unwrap();
+    let d = wan.node_by_name("D").unwrap();
+    let mut dm = DemandMatrix::new();
+    dm.add(a, b, Gbps(120.0), Priority::Elastic);
+    dm.add(c, d, Gbps(120.0), Priority::Elastic);
+    let fleet = FleetConfig {
+        n_fibers: 1,
+        wavelengths_per_fiber: 4,
+        horizon: SimDuration::from_days(4),
+        fiber_baseline_mean_db: 13.0,
+        fiber_baseline_sd_db: 0.3,
+        wavelength_jitter_sd_db: 0.5,
+        ..FleetConfig::paper()
+    };
+    let plan = FaultPlanConfig {
+        n_links: wan.n_links(),
+        horizon: SimDuration::from_days(3),
+        bvt_rate_per_link_day: 1.5,
+        telemetry_rate_per_link_day: 1.5,
+        te_rate_per_day: 1.0,
+        seed: 0xD0_0D,
+        ..FaultPlanConfig::default()
+    }
+    .generate();
+    let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
+    let mut scenario = Scenario::new(wan, fleet, dm, config);
+    scenario.run(SimDuration::from_days(3), &SwanTe::default())
+}
+
+#[test]
+fn same_plan_same_seed_byte_identical_reports() {
+    let a = serde_json::to_string(&run_campaign()).unwrap();
+    let b = serde_json::to_string(&run_campaign()).unwrap();
+    assert_eq!(a, b, "fault campaign must be byte-for-byte reproducible");
+    // And it exercised something: the serialised report mentions at least
+    // one non-zero degradation counter.
+    let report = run_campaign();
+    assert!(
+        report.te_fallbacks + report.stale_holds + report.retries as usize + report.flaps > 0,
+        "campaign was a no-op; plan too sparse to be a meaningful check"
+    );
+}

@@ -1,0 +1,191 @@
+//! Negative-path and property tests for the fault-injection subsystem:
+//! the MDIO surface under bad inputs, transceiver state consistency after
+//! failed reconfigurations, and the controller's quarantine invariant.
+
+use proptest::prelude::*;
+use rwc::core::controller::{Controller, ControllerConfig};
+use rwc::faults::BvtFault;
+use rwc::optics::bvt::{regs, Bvt, BvtError, BvtStatus, ReconfigProcedure};
+use rwc::optics::Modulation;
+use rwc::topology::builders;
+use rwc::topology::wan::LinkId;
+use rwc::util::rng::Xoshiro256;
+use rwc::util::time::SimTime;
+use rwc::util::units::Db;
+
+fn bvt() -> (Bvt, Xoshiro256) {
+    (Bvt::new(Modulation::DpQpsk100), Xoshiro256::seed_from_u64(7))
+}
+
+// ---- MDIO negative paths -------------------------------------------------
+
+#[test]
+fn reading_an_unmapped_register_errors() {
+    let (mut bvt, _) = bvt();
+    let err = bvt.mdio_read(0x7777).unwrap_err();
+    assert_eq!(err, BvtError::UnknownRegister(0x7777));
+}
+
+#[test]
+fn read_only_registers_reject_writes() {
+    let (mut bvt, mut rng) = bvt();
+    for reg in [regs::VENDOR_ID, regs::STATUS, regs::RECONFIG_COUNT] {
+        let err = bvt.mdio_write(reg, 1, &mut rng).unwrap_err();
+        assert_eq!(err, BvtError::ReadOnly(reg));
+    }
+}
+
+#[test]
+fn out_of_range_modulation_value_is_rejected() {
+    let (mut bvt, mut rng) = bvt();
+    let err = bvt.mdio_write(regs::MODULATION, 0x00FF, &mut rng).unwrap_err();
+    assert!(
+        matches!(err, BvtError::InvalidValue { reg, .. } if reg == regs::MODULATION),
+        "{err}"
+    );
+    // Nothing changed.
+    assert_eq!(bvt.modulation(), Modulation::DpQpsk100);
+    assert_eq!(bvt.status(), BvtStatus::Ready);
+}
+
+#[test]
+fn writes_while_faulted_are_rejected_until_reset() {
+    let (mut bvt, mut rng) = bvt();
+    bvt.inject_fault(BvtFault::RelockFailure);
+    // A modulation write rides through `reconfigure`, which trips.
+    let err = bvt
+        .mdio_write(regs::MODULATION, 3, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, BvtError::ReconfigFailed { .. }), "{err}");
+    assert_eq!(bvt.status(), BvtStatus::Faulted);
+    // While faulted, further writes bounce with Busy — including plain
+    // register writes, the module needs a reset first.
+    let err = bvt.mdio_write(regs::MODULATION, 1, &mut rng).unwrap_err();
+    assert_eq!(err, BvtError::Busy);
+    let err = bvt.mdio_write(regs::PROCEDURE, 0, &mut rng).unwrap_err();
+    assert_eq!(err, BvtError::Busy);
+    // The status register stays readable and reports the fault bit.
+    let status = bvt.mdio_read(regs::STATUS).unwrap();
+    assert_ne!(status & 0b100, 0, "fault bit must be set");
+    bvt.reset(&mut rng);
+    assert_eq!(bvt.status(), BvtStatus::Ready);
+    bvt.mdio_write(regs::PROCEDURE, 0, &mut rng).unwrap();
+}
+
+// ---- Property: transceiver state stays consistent ------------------------
+
+const FAULTS: [BvtFault; 4] = [
+    BvtFault::RelockFailure,
+    BvtFault::StuckLaser,
+    BvtFault::MdioTimeout,
+    BvtFault::CorruptRegister,
+];
+
+fn arb_fault() -> impl Strategy<Value = BvtFault> {
+    (0usize..FAULTS.len()).prop_map(|i| FAULTS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever fault trips a reconfiguration, the module's state stays
+    /// internally consistent: lock implies light, the modulation register
+    /// holds one of the two formats involved, and a reset always recovers
+    /// a Ready, lit, locked module.
+    #[test]
+    fn failed_reconfigure_leaves_consistent_state(
+        fault in arb_fault(),
+        legacy in proptest::bool::ANY,
+        from_idx in 0usize..6,
+        to_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let from = Modulation::LADDER[from_idx];
+        let to = Modulation::LADDER[to_idx];
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut bvt = Bvt::new(from);
+        bvt.set_procedure(if legacy {
+            ReconfigProcedure::Legacy
+        } else {
+            ReconfigProcedure::Efficient
+        });
+        bvt.inject_fault(fault);
+        match bvt.reconfigure(to, &mut rng) {
+            Ok(_) => {
+                // No-op changes and corrupt-register faults don't trip.
+                prop_assert_eq!(bvt.status(), BvtStatus::Ready);
+                prop_assert!(bvt.laser_on() && bvt.locked());
+                prop_assert_eq!(bvt.modulation(), to);
+            }
+            Err(BvtError::Timeout) => {
+                // Command never reached the module: fully unchanged.
+                prop_assert_eq!(bvt.status(), BvtStatus::Ready);
+                prop_assert!(bvt.laser_on() && bvt.locked());
+                prop_assert_eq!(bvt.modulation(), from);
+            }
+            Err(BvtError::ReconfigFailed { .. }) => {
+                prop_assert_eq!(bvt.status(), BvtStatus::Faulted);
+                // Lock implies light — never "locked in the dark".
+                prop_assert!(!bvt.locked() || bvt.laser_on());
+                let m = bvt.modulation();
+                prop_assert!(m == from || m == to, "landed on {m}");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+        // Recovery is always possible and always complete.
+        bvt.reset(&mut rng);
+        prop_assert_eq!(bvt.status(), BvtStatus::Ready);
+        prop_assert!(bvt.laser_on() && bvt.locked());
+        prop_assert_eq!(bvt.pending_fault(), None);
+    }
+
+    /// The quarantine pin is never an infeasible modulation: after any
+    /// streak of faulted changes, a link is either pinned at a rate its
+    /// last-known-good SNR supports, or declared down — never "up" at a
+    /// rate the signal cannot carry.
+    #[test]
+    fn quarantine_never_pins_infeasible_modulation(
+        fault in arb_fault(),
+        snr_db in 6.8f64..15.0,
+        to_idx in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut wan = builders::fig7_example();
+        let link = LinkId(0);
+        let snr = Db(snr_db);
+        wan.set_snr(link, snr);
+        let config = ControllerConfig {
+            auto_upgrade: false,
+            max_retries: 1,
+            quarantine_after: 2,
+            ..ControllerConfig::default()
+        };
+        let table = config.table.clone();
+        let n_links = wan.n_links();
+        let mut controller = Controller::new(config, n_links, seed);
+        let now = SimTime::EPOCH;
+        // Establish last-known-good telemetry on every link.
+        let readings: Vec<(LinkId, Option<Db>)> =
+            (0..n_links).map(|l| (LinkId(l), Some(wan.link(LinkId(l)).snr))).collect();
+        controller.sweep_observed(&mut wan, &readings, now);
+
+        // Hammer the link with faulted changes until it quarantines.
+        let target = Modulation::LADDER[to_idx];
+        for _ in 0..4 {
+            if controller.is_quarantined(link, now) {
+                break;
+            }
+            controller.inject_bvt_fault(link, fault);
+            let _ = controller.execute_change(&mut wan, link, target, now);
+        }
+
+        if controller.is_quarantined(link, now) {
+            let pinned = wan.link(link).modulation;
+            prop_assert!(
+                controller.is_down(link) || table.supports(snr, pinned),
+                "quarantined at {pinned} with {snr} (down={})",
+                controller.is_down(link)
+            );
+        }
+    }
+}

@@ -72,7 +72,7 @@ fn bvt_walks_the_whole_ladder_hitlessly() {
     bvt.set_procedure(ReconfigProcedure::Efficient);
     let mut total_downtime = rwc::util::time::SimDuration::ZERO;
     for m in Modulation::LADDER.iter().skip(1) {
-        let report = bvt.reconfigure(*m, &mut rng);
+        let report = bvt.reconfigure(*m, &mut rng).unwrap();
         assert!(bvt.laser_on(), "laser must stay lit");
         total_downtime += report.downtime;
     }
@@ -96,7 +96,7 @@ fn snr_capacity_feedback_loop() {
     for km in [200.0, 2400.0, 900.0] {
         let snr = LinkBudget::for_route_km(km).snr();
         let target = table.feasible(snr).expect("route must carry something");
-        bvt.reconfigure(target, &mut rng);
+        bvt.reconfigure(target, &mut rng).unwrap();
         assert!(table.supports(snr, bvt.modulation()), "{km} km");
     }
 }

@@ -1,0 +1,160 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benchmarks compile and run as smoke tests: each `iter` call executes the
+//! closure a handful of times and reports wall-clock time per iteration.
+//! There is no statistical analysis, warm-up, or HTML report — the goal is
+//! that `cargo test`/`cargo bench` exercise every bench body cheaply and
+//! deterministically in an offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Iterations per `iter` call. Kept tiny so `cargo test` (which runs
+/// `harness = false` bench targets) stays fast.
+const ITERS: u32 = 3;
+
+/// Re-export used by `b.iter(|| black_box(...))` patterns.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and reports per-iteration timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Times `routine` over a few iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed() / ITERS;
+        println!("    {: >12?}/iter", per_iter);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench: {id}");
+        f(&mut Bencher::default());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: group_name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut label = String::new();
+        let _ = write!(label, "{}/{}", self.name, id);
+        println!("bench: {label}");
+        f(&mut Bencher::default(), input);
+        self
+    }
+
+    /// Runs an unparameterised benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench: {}/{}", self.name, id);
+        f(&mut Bencher::default());
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        for n in [10u64, 20] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The workspace implements its own PRNG ([`rwc_util::rng::Xoshiro256`]) and
+//! only needs the `RngCore` trait so the generator stays interoperable with
+//! `rand`-shaped call sites. The build environment has no access to
+//! crates.io, so this crate provides just that surface with the same
+//! signatures as `rand 0.8`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type returned by fallible `RngCore` methods.
+///
+/// The workspace's generators are infallible; this exists only so
+/// `try_fill_bytes` has the upstream signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error carrying a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate supplies
+//! the pieces the workspace actually exercises: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums (no `#[serde(...)]`
+//! attributes), plus the trait surface `serde_json` needs to round-trip
+//! values. The data model is a self-describing [`Content`] tree: derived
+//! `Serialize` lowers a value into `Content`, derived `Deserialize` lifts it
+//! back, and `serde_json` renders/parses the tree. Representation follows
+//! upstream serde's JSON conventions (newtype structs are transparent, unit
+//! enum variants are strings, data-carrying variants are single-entry
+//! maps), so artifacts stay readable and diffable.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value — the crate's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map (insertion order is preserved for deterministic output).
+    Map(Vec<(String, Content)>),
+}
+
+/// A static `Null`, used for absent map fields so `Option` fields decode to
+/// `None` (mirroring serde's `missing_field` fallback).
+pub const NULL: Content = Content::Null;
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64` (rejects fractional floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (rejects negatives and fractional floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::U64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks a field up in a map body; absent fields read as `Null` so that
+/// `Option` fields deserialize to `None`.
+pub fn map_field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y" error.
+    pub fn expected(what: &str, target: &str) -> Self {
+        Self { msg: format!("expected {what} while deserializing {target}") }
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(variant: &str, target: &str) -> Self {
+        Self { msg: format!("unknown variant `{variant}` for {target}") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can lower itself into [`Content`].
+pub trait Serialize {
+    /// Lowers `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be lifted back out of [`Content`].
+pub trait Deserialize: Sized {
+    /// Lifts a value out of the serialization data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(v).map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_u64().ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(v).map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().map(|v| v as f32).ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserialises into a leaked `'static` string. Intended for
+    /// config-sized payloads (e.g. named constants round-tripped in
+    /// tests), where the one-off leak is harmless.
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let seq = c.as_seq().ok_or_else(|| DeError::expected("sequence", "Vec"))?;
+        seq.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = Deserialize::from_content(c)?;
+        let n = v.len();
+        v.try_into().map_err(|_| DeError::custom(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// A type usable as a JSON map key (maps serialize to objects with string
+/// keys, as in `serde_json`).
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::custom(format!(
+                    "invalid {} map key: {key:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_int_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c.as_map().ok_or_else(|| DeError::expected("map", "BTreeMap"))?;
+        map.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output; HashMap iteration order is not
+        // stable and serialized artifacts must be byte-reproducible.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K: MapKey + Ord + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c.as_map().ok_or_else(|| DeError::expected("map", "HashMap"))?;
+        map.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_reads_missing_field_as_none() {
+        let map = vec![("present".to_string(), Content::I64(3))];
+        let present: Option<i32> = Deserialize::from_content(map_field(&map, "present")).unwrap();
+        let absent: Option<i32> = Deserialize::from_content(map_field(&map, "absent")).unwrap();
+        assert_eq!(present, Some(3));
+        assert_eq!(absent, None);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(u16::from_content(&Content::I64(7)).unwrap(), 7);
+        assert_eq!(f64::from_content(&Content::I64(2)).unwrap(), 2.0);
+        assert!(u8::from_content(&Content::I64(-1)).is_err());
+        assert!(i8::from_content(&Content::I64(1000)).is_err());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let v = (1i32, "x".to_string(), 2.5f64);
+        let c = v.to_content();
+        let back: (i32, String, f64) = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,535 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! offline serde shim.
+//!
+//! The derives target the shim's [`Content`] data model: `Serialize` lowers
+//! a value into a `Content` tree and `Deserialize` lifts it back. Supported
+//! shapes are the ones this workspace uses — plain structs (named, tuple,
+//! unit) and enums (unit, newtype, tuple and struct variants), with
+//! unconstrained type generics. `#[serde(...)]` attributes are not
+//! supported and there is no `syn`/`quote` here: the input item is parsed
+//! directly from the token stream (only names and arity matter — field
+//! *types* are skipped, letting inference pick the right impls) and the
+//! output is assembled as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived.
+struct Input {
+    name: String,
+    /// Type-parameter names, in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    render(&item, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    render(&item, false)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let item_kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&toks, &mut i);
+
+    match item_kind.as_str() {
+        "struct" => loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    return Input { name, generics, kind: Kind::NamedStruct(fields) };
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    return Input { name, generics, kind: Kind::TupleStruct(n) };
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    return Input { name, generics, kind: Kind::UnitStruct };
+                }
+                Some(_) => i += 1, // `where` clause tokens
+                None => panic!("serde_derive: struct `{name}` has no body"),
+            }
+        },
+        "enum" => loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = parse_variants(g.stream());
+                    return Input { name, generics, kind: Kind::Enum(variants) };
+                }
+                Some(_) => i += 1,
+                None => panic!("serde_derive: enum `{name}` has no body"),
+            }
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` after the item name, returning type-parameter
+/// names. Lifetimes and const parameters are skipped; bounds and defaults
+/// are ignored (the derives emit their own bounds).
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut skip_chunk = false;
+    while depth > 0 {
+        let tok = toks.get(*i).expect("serde_derive: unclosed generics");
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => {
+                    at_param_start = true;
+                    skip_chunk = false;
+                }
+                '\'' if depth == 1 && at_param_start => {
+                    // Lifetime parameter: skip `'a` entirely.
+                    skip_chunk = true;
+                    at_param_start = false;
+                }
+                _ => at_param_start = false,
+            },
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    skip_chunk = true;
+                } else if !skip_chunk {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => at_param_start = false,
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Extracts field names from a named-struct body, skipping field types
+/// (tracking `<`/`>` depth so commas inside generic types don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // ':' then the type, up to a top-level ','.
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a top-level `,` (not consumed) or the
+/// end of the stream.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    let mut prev_dash = false;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' if !prev_dash => angle = angle.saturating_sub(1),
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut angle = 0usize;
+    let mut pending = false;
+    for tok in &toks {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle == 0 => {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                }
+                '<' => {
+                    angle += 1;
+                    pending = true;
+                }
+                '>' => {
+                    angle = angle.saturating_sub(1);
+                    pending = true;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                i += 1;
+                VariantFields::Named(names)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < toks.len()
+                && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render(item: &Input, ser: bool) -> TokenStream {
+    let trait_name = if ser { "Serialize" } else { "Deserialize" };
+    let bounds: Vec<String> =
+        item.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+    let impl_generics =
+        if bounds.is_empty() { String::new() } else { format!("<{}>", bounds.join(", ")) };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    let name = &item.name;
+
+    let body = if ser { render_serialize_body(item) } else { render_deserialize_body(item) };
+    let source = if ser {
+        format!(
+            "#[automatically_derived]\n\
+             impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+             }}\n"
+        )
+    } else {
+        format!(
+            "#[automatically_derived]\n\
+             impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+             }}\n"
+        )
+    };
+    source.parse().expect("serde_derive: generated code failed to parse")
+}
+
+fn render_serialize_body(item: &Input) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push(format!(
+                        "{name}::{vn} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantFields::Tuple(1) => arms.push(format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_content(__f0))]),"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __b_{f}")).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_content(__b_{f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn render_deserialize_body(item: &Input) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected {n} elements for {name}, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::map_field(__map, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __c.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_content(__v)?)),"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                             let __seq = __v.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence\", \"{name}::{vn}\"))?;\n\
+                             if __seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"expected {n} elements for {name}::{vn}, got {{}}\", \
+                                 __seq.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::map_field(__vmap, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                             let __vmap = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 let _ = __v;\n\
+                 match __k.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum\", \"{name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
