@@ -1,11 +1,12 @@
 //! Figure-reproduction CLI.
 //!
 //! ```text
-//! repro [--full] [--out DIR] <id>... | all
+//! repro [--quick|--full] [--out DIR] <id>... | all
 //! ```
 //!
 //! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
-//! avail scenario faults ablation. Default scale is a reduced fleet (fast); `--full` runs
+//! avail scenario faults srlg ablation. Default scale is a reduced fleet
+//! (fast); `--quick` spells that default out (handy in CI), `--full` runs
 //! the paper-scale corpus (2,000 links × 2.5 years — takes a while).
 
 use rwc_bench::experiments;
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -29,7 +31,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] <id>... | all");
+                println!("usage: repro [--quick|--full] [--out DIR] <id>... | all");
                 println!("ids: {} ablation", experiments::ALL.join(" "));
                 return ExitCode::SUCCESS;
             }

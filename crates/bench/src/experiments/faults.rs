@@ -69,12 +69,12 @@ pub fn run(scale: Scale) -> Report {
     let mut report =
         Report::new("faults", "fault injection: degradations ridden out vs outages");
     let (mut scenario, horizon, plan) = build(scale);
-    let (bvt_events, tel_events, te_events) = plan.class_counts();
+    let (bvt_events, tel_events, te_events, optical_events) = plan.class_counts();
     let result = scenario.run(horizon, &SwanTe::default());
 
     report.line(format!(
         "injected over {horizon}: {bvt_events} BVT faults, {tel_events} telemetry faults, \
-         {te_events} TE faults",
+         {te_events} TE faults, {optical_events} optical faults",
     ));
     report.line(format!(
         "handled: {} SNR degradations ridden as flaps, {} retries, {} TE fallback rounds, \

@@ -13,15 +13,16 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod scenario;
+pub mod srlg;
 pub mod thm1;
 pub mod tput;
 
 use crate::{Report, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6b", "fig7", "fig8", "thm1",
-    "tput", "avail", "scenario", "faults",
+    "tput", "avail", "scenario", "faults", "srlg",
 ];
 
 /// Runs one experiment by id (plus the "ablation" extra).
@@ -42,6 +43,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "avail" => avail::run(scale),
         "scenario" => scenario::run(scale),
         "faults" => faults::run(scale),
+        "srlg" => srlg::run(scale),
         "ablation" => ablation::run(scale),
         _ => return None,
     })

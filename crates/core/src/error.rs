@@ -5,8 +5,11 @@
 //! solver failures as [`rwc_te::TeError`], and everything the pipeline
 //! itself can reject is wrapped here so callers handle one error type.
 
+use rwc_faults::FaultPlanError;
 use rwc_optics::bvt::BvtError;
 use rwc_te::TeError;
+use rwc_topology::wan::LinkId;
+use rwc_util::time::SimTime;
 use std::fmt;
 
 /// Top-level error of the rwc pipeline.
@@ -21,6 +24,16 @@ pub enum RwcError {
     /// Telemetry cannot support the request (e.g. the horizon outruns the
     /// recorded traces).
     Telemetry(String),
+    /// A structurally invalid fault schedule was handed to the pipeline.
+    FaultPlan(FaultPlanError),
+    /// The requested change was refused because the link is inside its
+    /// quarantine hold-down.
+    Quarantined {
+        /// The pinned link.
+        link: LinkId,
+        /// When the hold-down expires.
+        until: SimTime,
+    },
 }
 
 impl fmt::Display for RwcError {
@@ -30,6 +43,10 @@ impl fmt::Display for RwcError {
             RwcError::Bvt(e) => write!(f, "BVT failure: {e}"),
             RwcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             RwcError::Telemetry(msg) => write!(f, "telemetry: {msg}"),
+            RwcError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            RwcError::Quarantined { link, until } => {
+                write!(f, "link {} is quarantined until {until}", link.0)
+            }
         }
     }
 }
@@ -39,8 +56,15 @@ impl std::error::Error for RwcError {
         match self {
             RwcError::Te(e) => Some(e),
             RwcError::Bvt(e) => Some(e),
+            RwcError::FaultPlan(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<FaultPlanError> for RwcError {
+    fn from(e: FaultPlanError) -> Self {
+        RwcError::FaultPlan(e)
     }
 }
 

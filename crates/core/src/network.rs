@@ -49,6 +49,10 @@ pub struct TeRound {
     /// Upgrades the solver asked for that the hardware failed to apply
     /// (retries exhausted or link quarantined).
     pub failed_changes: usize,
+    /// Of the failed changes, how many were staged commits that rolled
+    /// back to the prior modulation (make-before-break unhappy path) —
+    /// the link kept carrying its old rate instead of going dark.
+    pub rolled_back: usize,
     /// Retry attempts spent applying this round's upgrades.
     pub retries: u32,
 }
@@ -68,6 +72,41 @@ impl TeRound {
     }
 }
 
+/// Which stage of a make-before-break change failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbbPhase {
+    /// The reservation was refused (quarantine, insufficient margin,
+    /// module busy or bus timeout).
+    Prepare,
+    /// The drain plan could not shift enough demand off the link: the
+    /// interim flow exceeds the transition capacity, so committing would
+    /// have dropped live traffic. The reservation was aborted (free).
+    Drain,
+    /// The commit failed out of retries and the link was rolled back to
+    /// its prior modulation.
+    Commit,
+}
+
+/// Outcome of a single-link [`DynamicCapacityNetwork::reconfigure_mbb`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbbOutcome {
+    /// Whether the change is in force on the topology.
+    pub applied: bool,
+    /// Whether a failed commit was rolled back to the prior modulation.
+    pub rolled_back: bool,
+    /// The stage that failed, when `applied` is false.
+    pub failed_phase: Option<MbbPhase>,
+    /// The prepare-stage error, when that stage refused.
+    pub error: Option<RwcError>,
+    /// Traffic moved to drain the link before the change.
+    pub drain_churn: f64,
+    /// Downtime charged by the commit (zero for prepare/drain failures —
+    /// nothing optical happened yet).
+    pub downtime: SimDuration,
+    /// Retry attempts consumed by the commit.
+    pub retries: u32,
+}
+
 /// A WAN whose link capacities adapt to SNR, §4-style.
 #[derive(Debug, Clone)]
 pub struct DynamicCapacityNetwork {
@@ -82,6 +121,10 @@ pub struct DynamicCapacityNetwork {
     /// Throughputs of the last round whose solves succeeded, reported
     /// verbatim when a later round has to fall back.
     last_good_totals: Option<(f64, f64)>,
+    /// Whether TE-driven changes go through the staged make-before-break
+    /// path (prepare → drained-headroom check → commit, with rollback)
+    /// instead of the direct `execute_change` path.
+    mbb: bool,
 }
 
 impl DynamicCapacityNetwork {
@@ -100,7 +143,22 @@ impl DynamicCapacityNetwork {
             link_traffic: vec![0.0; n_links],
             previous_flows: None,
             last_good_totals: None,
+            mbb: true,
         }
+    }
+
+    /// Switches TE-driven changes between the staged make-before-break
+    /// path (default) and the direct break-then-make path. The direct path
+    /// is what PR-1 shipped: changes are executed in place and a failed
+    /// change can leave traffic planned over capacity that never arrived —
+    /// keep it only as the experimental baseline.
+    pub fn set_make_before_break(&mut self, on: bool) {
+        self.mbb = on;
+    }
+
+    /// Whether the staged make-before-break path is in force.
+    pub fn make_before_break(&self) -> bool {
+        self.mbb
     }
 
     /// Read access to the topology.
@@ -172,12 +230,14 @@ impl DynamicCapacityNetwork {
         // Augment + solve + translate.
         let aug = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
         let solution = algorithm.try_solve(&aug.problem)?;
-        let translation = translate(&aug, &self.wan, &solution);
+        let mut translation = translate(&aug, &self.wan, &solution);
 
         // Consistent-update plan + application through the hardware.
         let mut reconfig_downtime = SimDuration::ZERO;
         let mut failed_changes = 0usize;
+        let mut rolled_back = 0usize;
         let mut retries = 0u32;
+        let mut throughput = solution.total;
         let update_plan = if translation.upgrades.is_empty() {
             None
         } else {
@@ -195,6 +255,9 @@ impl DynamicCapacityNetwork {
                 edge_flows: flows.clone(),
                 total: 0.0,
             });
+            // The drain plan: its interim allocation routes every demand
+            // within min(old, new) capacity on each changing link, so it is
+            // feasible no matter which commits land.
             let plan = try_plan_capacity_changes(
                 &self.wan,
                 demands,
@@ -203,16 +266,73 @@ impl DynamicCapacityNetwork {
                 hitless,
                 current.as_ref(),
             )?;
-            // Apply the modulation changes through the per-link BVT state
-            // machines, with retry and quarantine on hardware faults.
-            for change in &changes {
-                let result =
-                    self.controller.execute_change(&mut self.wan, change.link, change.to, now);
-                reconfig_downtime += result.downtime;
-                retries += result.retries;
-                if !result.applied {
-                    failed_changes += 1;
+            let mut committed: Vec<(LinkId, rwc_optics::Modulation)> = Vec::new();
+            if self.mbb {
+                // Make-before-break: stage each change, verify the drain
+                // actually cleared the capacity delta, then commit. Any
+                // phase failure leaves the link carrying its old rate.
+                for change in &changes {
+                    if self
+                        .controller
+                        .prepare_change(&self.wan, change.link, change.to, now)
+                        .is_err()
+                    {
+                        failed_changes += 1;
+                        continue;
+                    }
+                    // Drained-headroom check: the interim flow on the link
+                    // must fit the transition capacity (the lesser of old
+                    // and new), else committing would drop live traffic.
+                    let fwd = plan.interim.edge_flows[2 * change.link.0];
+                    let bwd = plan.interim.edge_flows[2 * change.link.0 + 1];
+                    let transition_cap = self
+                        .wan
+                        .link(change.link)
+                        .capacity()
+                        .value()
+                        .min(change.to.capacity().value());
+                    if fwd.max(bwd) > transition_cap + 1e-6 {
+                        self.controller.abort_change(change.link);
+                        failed_changes += 1;
+                        continue;
+                    }
+                    let result = self.controller.commit_change(&mut self.wan, change.link, now);
+                    reconfig_downtime += result.downtime;
+                    retries += result.retries;
+                    if result.applied {
+                        committed.push((change.link, change.to));
+                    } else {
+                        failed_changes += 1;
+                        if result.rolled_back {
+                            rolled_back += 1;
+                        }
+                    }
                 }
+            } else {
+                // Direct path (experimental baseline): apply the changes in
+                // place through the per-link BVT state machines.
+                for change in &changes {
+                    let result =
+                        self.controller.execute_change(&mut self.wan, change.link, change.to, now);
+                    reconfig_downtime += result.downtime;
+                    retries += result.retries;
+                    if result.applied {
+                        committed.push((change.link, change.to));
+                    } else {
+                        failed_changes += 1;
+                    }
+                }
+            }
+            if self.mbb && committed.len() < changes.len() {
+                // Not every planned change landed. The solver's allocation
+                // assumed all of them, so it may route over capacity that
+                // was never committed; hold the drained interim allocation
+                // instead — it is feasible under the capacities the fleet
+                // actually has (rolled-back links still carry their old
+                // rate).
+                translation.upgrades = committed;
+                translation.real_edge_flows = plan.interim.edge_flows.clone();
+                throughput = plan.interim.total;
             }
             Some(plan)
         };
@@ -229,10 +349,10 @@ impl DynamicCapacityNetwork {
             self.link_traffic[id.0] = fwd.max(bwd);
         }
         self.previous_flows = Some(translation.real_edge_flows.clone());
-        self.last_good_totals = Some((solution.total, static_solution.total));
+        self.last_good_totals = Some((throughput, static_solution.total));
 
         Ok(TeRound {
-            throughput: solution.total,
+            throughput,
             static_throughput: static_solution.total,
             translation,
             update_plan,
@@ -240,6 +360,7 @@ impl DynamicCapacityNetwork {
             churn,
             te_fallback: false,
             failed_changes,
+            rolled_back,
             retries,
         })
     }
@@ -267,8 +388,91 @@ impl DynamicCapacityNetwork {
             churn: 0.0,
             te_fallback: true,
             failed_changes: 0,
+            rolled_back: 0,
             retries: 0,
         }
+    }
+
+    /// Reconfigures one link make-before-break, outside a TE round: asks
+    /// the algorithm for a drain plan that shifts demand off the link,
+    /// verifies the drained headroom covers the capacity delta, then runs
+    /// the staged prepare → commit through the controller. Any phase
+    /// failure rolls the link back to its prior modulation and reinstates
+    /// the drain plan's interim allocation (which is feasible at the old
+    /// rate) as the flows of record.
+    pub fn reconfigure_mbb(
+        &mut self,
+        link: LinkId,
+        target: rwc_optics::Modulation,
+        demands: &DemandMatrix,
+        algorithm: &dyn TeAlgorithm,
+        now: SimTime,
+    ) -> Result<MbbOutcome, RwcError> {
+        let changes = [CapacityChange { link, to: target }];
+        let hitless = matches!(
+            self.controller.config().procedure,
+            rwc_optics::bvt::ReconfigProcedure::Efficient
+        );
+        let current = self.previous_flows.as_ref().map(|flows| TeSolution {
+            routed: vec![],
+            edge_flows: flows.clone(),
+            total: 0.0,
+        });
+        let plan = try_plan_capacity_changes(
+            &self.wan,
+            demands,
+            &changes,
+            algorithm,
+            hitless,
+            current.as_ref(),
+        )?;
+        let drain_churn = plan.churn_into_interim;
+
+        if let Err(e) = self.controller.prepare_change(&self.wan, link, target, now) {
+            self.previous_flows = Some(plan.interim.edge_flows.clone());
+            return Ok(MbbOutcome {
+                applied: false,
+                rolled_back: false,
+                failed_phase: Some(MbbPhase::Prepare),
+                error: Some(e),
+                drain_churn,
+                downtime: SimDuration::ZERO,
+                retries: 0,
+            });
+        }
+        let fwd = plan.interim.edge_flows[2 * link.0];
+        let bwd = plan.interim.edge_flows[2 * link.0 + 1];
+        let transition_cap =
+            self.wan.link(link).capacity().value().min(target.capacity().value());
+        if fwd.max(bwd) > transition_cap + 1e-6 {
+            self.controller.abort_change(link);
+            self.previous_flows = Some(plan.interim.edge_flows.clone());
+            return Ok(MbbOutcome {
+                applied: false,
+                rolled_back: false,
+                failed_phase: Some(MbbPhase::Drain),
+                error: None,
+                drain_churn,
+                downtime: SimDuration::ZERO,
+                retries: 0,
+            });
+        }
+        let result = self.controller.commit_change(&mut self.wan, link, now);
+        let flows = if result.applied {
+            plan.final_solution.edge_flows.clone()
+        } else {
+            plan.interim.edge_flows.clone()
+        };
+        self.previous_flows = Some(flows);
+        Ok(MbbOutcome {
+            applied: result.applied,
+            rolled_back: result.rolled_back,
+            failed_phase: (!result.applied).then_some(MbbPhase::Commit),
+            error: None,
+            drain_churn,
+            downtime: result.downtime,
+            retries: result.retries,
+        })
     }
 }
 

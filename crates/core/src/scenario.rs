@@ -63,6 +63,11 @@ pub struct ScenarioConfig {
     /// Optional fault schedule interpreted by the run loop. `None` (the
     /// default) runs fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Whether TE-driven capacity changes go through the staged
+    /// make-before-break path (prepare → drain → commit, with rollback).
+    /// Default true; disable only to reproduce the break-then-make
+    /// baseline in experiments.
+    pub make_before_break: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -77,6 +82,7 @@ impl Default for ScenarioConfig {
             controller: ControllerConfig { auto_upgrade: false, ..Default::default() },
             seed: 0x5CE4A210,
             fault_plan: None,
+            make_before_break: true,
         }
     }
 }
@@ -116,6 +122,10 @@ pub struct ScenarioReport {
     pub te_fallbacks: usize,
     /// Modulation changes that failed even after retries.
     pub failed_changes: usize,
+    /// Of the failed changes, those the make-before-break path rolled
+    /// back cleanly (prior modulation restored, traffic held on the
+    /// drained interim allocation).
+    pub rolled_back_changes: usize,
     /// Retry attempts spent on flaky reconfigurations.
     pub retries: u32,
     /// Links pushed into quarantine over the run.
@@ -125,6 +135,13 @@ pub struct ScenarioReport {
     pub stale_holds: usize,
     /// Link-ticks spent hard-down (the outage the paper wants to avoid).
     pub outage_link_ticks: usize,
+    /// Of the outage link-ticks, those spent while a *correlated*
+    /// (SRLG- or domain-scoped) fault covered the link — one shared
+    /// incident taking several links down together.
+    pub correlated_outage_link_ticks: usize,
+    /// Outage link-ticks with no correlated fault covering the link:
+    /// independent per-link failures.
+    pub independent_outage_link_ticks: usize,
     /// Link-ticks spent degraded but carrying traffic (retrying,
     /// quarantined at a safe rung, or riding a stale reading) — the
     /// "flap, don't fail" share of the imperfect time.
@@ -173,6 +190,17 @@ impl ScenarioReport {
             0.0
         } else {
             self.degraded_link_ticks as f64 / imperfect as f64
+        }
+    }
+
+    /// Of the outage link-ticks, the fraction attributable to correlated
+    /// (shared-segment) incidents — the number the SRLG experiment
+    /// reports: how much of the fleet's outage one amplifier can cause.
+    pub fn correlated_outage_share(&self) -> f64 {
+        if self.outage_link_ticks == 0 {
+            0.0
+        } else {
+            self.correlated_outage_link_ticks as f64 / self.outage_link_ticks as f64
         }
     }
 }
@@ -250,12 +278,13 @@ impl Scenario {
         let telemetry: Vec<LinkTelemetry> =
             (0..wan.n_links()).map(|i| gen.link(i)).collect();
         let static_wan = wan.clone();
-        let network = DynamicCapacityNetwork::new(
+        let mut network = DynamicCapacityNetwork::new(
             wan,
             config.augment.clone(),
             config.controller.clone(),
             config.seed,
         );
+        network.set_make_before_break(config.make_before_break);
         Self { network, static_wan, telemetry, demands, config }
     }
 
@@ -298,8 +327,16 @@ impl Scenario {
         }
         let te_every = (self.config.te_interval.as_millis() / tick.as_millis()) as usize;
         let day = SimDuration::from_days(1).as_secs_f64();
-        let injector =
-            FaultInjector::new(self.config.fault_plan.clone().unwrap_or_default());
+        // Structurally invalid plans are a wiring error, not a fault to
+        // ride out: reject them before the first tick.
+        let plan = self.config.fault_plan.clone().unwrap_or_default();
+        plan.validate()?;
+        // SRLG-scoped events resolve against the topology's real link →
+        // fiber map, so one amplifier event covers every wavelength on
+        // its segment.
+        let fibers: Vec<usize> =
+            self.network.wan().links().map(|(_, link)| link.fiber_id).collect();
+        let injector = FaultInjector::with_fibers(plan, fibers);
         let n_links = self.network.wan().n_links();
         // Per-link value delivered when a FreezeReadings fault started.
         let mut frozen: Vec<Option<Db>> = vec![None; n_links];
@@ -313,10 +350,13 @@ impl Scenario {
             reconfig_downtime: SimDuration::ZERO,
             te_fallbacks: 0,
             failed_changes: 0,
+            rolled_back_changes: 0,
             retries: 0,
             quarantines: 0,
             stale_holds: 0,
             outage_link_ticks: 0,
+            correlated_outage_link_ticks: 0,
+            independent_outage_link_ticks: 0,
             degraded_link_ticks: 0,
             total_link_ticks: 0,
         };
@@ -329,7 +369,10 @@ impl Scenario {
             let mut readings: Vec<(LinkId, Option<Db>)> = Vec::with_capacity(n_links);
             for (l, t) in self.telemetry.iter().enumerate() {
                 let link = LinkId(l);
-                let raw = t.trace.snr_at(i);
+                // Optical faults change what the light can actually carry:
+                // the physical SNR drops by the (correlated) penalty before
+                // any telemetry-path fault distorts the *reporting* of it.
+                let raw = Db(t.trace.snr_at(i).value() - injector.optical_penalty_db(link, now));
                 match injector.telemetry_fault(link, now) {
                     Some(TelemetryFault::FreezeReadings) => {
                         if frozen[l].is_none() {
@@ -360,11 +403,19 @@ impl Scenario {
 
             // Availability accounting: an outage link-tick is a link with
             // no feasible rung; a degraded one still carries traffic.
+            // Outage ticks are attributed to *correlated* incidents when a
+            // shared-scope (SRLG/domain) fault covers the link right now,
+            // and to independent failures otherwise.
             for l in 0..n_links {
                 let link = LinkId(l);
                 report.total_link_ticks += 1;
                 if self.network.controller().is_down(link) {
                     report.outage_link_ticks += 1;
+                    if injector.correlated_active(link, now) {
+                        report.correlated_outage_link_ticks += 1;
+                    } else {
+                        report.independent_outage_link_ticks += 1;
+                    }
                 } else if self.network.controller().health(link, now)
                     != crate::controller::LinkHealth::Healthy
                 {
@@ -393,6 +444,7 @@ impl Scenario {
                 };
                 report.reconfig_downtime += round.reconfig_downtime;
                 report.failed_changes += round.failed_changes;
+                report.rolled_back_changes += round.rolled_back;
                 report.retries += round.retries;
                 if round.te_fallback {
                     report.te_fallbacks += 1;
@@ -437,7 +489,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rwc_faults::{BvtFault, FaultEvent, FaultKind, FaultPlanConfig};
+    use rwc_faults::{BvtFault, FaultEvent, FaultKind, FaultPlanConfig, OpticalFault};
     use rwc_te::demand::Priority;
     use rwc_te::swan::SwanTe;
     use rwc_topology::builders;
@@ -529,12 +581,12 @@ mod tests {
         // Make the solver fail for the first six hours: every TE round
         // in that window must fall back, and throughput must carry the
         // last feasible totals instead of crashing to zero mid-run.
-        let plan = FaultPlan::none().with(FaultEvent {
-            kind: FaultKind::Te(TeFault::SolverTimeout),
-            link: LinkId(0),
-            start: SimTime::EPOCH + SimDuration::from_hours(1),
-            duration: SimDuration::from_hours(6),
-        });
+        let plan = FaultPlan::none().with(FaultEvent::on_link(
+            FaultKind::Te(TeFault::SolverTimeout),
+            LinkId(0),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(6),
+        ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
         let report = s.run(SimDuration::from_days(1), &SwanTe::default());
@@ -552,12 +604,12 @@ mod tests {
         // Drop all of link 0's samples for two hours mid-day: within the
         // staleness bound the controller rides last-known-good, so the
         // link never goes down.
-        let plan = FaultPlan::none().with(FaultEvent {
-            kind: FaultKind::Telemetry(TelemetryFault::DropSamples),
-            link: LinkId(0),
-            start: SimTime::EPOCH + SimDuration::from_hours(6),
-            duration: SimDuration::from_minutes(40),
-        });
+        let plan = FaultPlan::none().with(FaultEvent::on_link(
+            FaultKind::Telemetry(TelemetryFault::DropSamples),
+            LinkId(0),
+            SimTime::EPOCH + SimDuration::from_hours(6),
+            SimDuration::from_minutes(40),
+        ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
         let report = s.run(SimDuration::from_days(1), &SwanTe::default());
@@ -572,12 +624,12 @@ mod tests {
         // the controller's retry machinery shows up in the report.
         let mut plan = FaultPlan::none();
         for l in 0..4 {
-            plan = plan.with(FaultEvent {
-                kind: FaultKind::Bvt(BvtFault::RelockFailure),
-                link: LinkId(l),
-                start: SimTime::EPOCH,
-                duration: SimDuration::from_days(1),
-            });
+            plan = plan.with(FaultEvent::on_link(
+                FaultKind::Bvt(BvtFault::RelockFailure),
+                LinkId(l),
+                SimTime::EPOCH,
+                SimDuration::from_days(1),
+            ));
         }
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
@@ -609,6 +661,104 @@ mod tests {
         assert_eq!(report.samples.len(), 72);
         assert!(report.outage_link_ticks + report.degraded_link_ticks <= report.total_link_ticks);
         assert!(report.availability() <= 1.0 && report.availability() >= 0.0);
+    }
+
+    /// Fig. 7 fleet with links 0 and 2 riding the same fiber segment —
+    /// the SRLG an amplifier event takes down in one shot.
+    fn srlg_scenario_with(days_capacity: u64, config: ScenarioConfig) -> Scenario {
+        let mut wan = builders::fig7_example();
+        let shared = wan.link(LinkId(0)).fiber_id;
+        wan.link_mut(LinkId(2)).fiber_id = shared;
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(120.0), Priority::Elastic);
+        dm.add(c, d, Gbps(120.0), Priority::Elastic);
+        let fleet = FleetConfig {
+            n_fibers: 1,
+            wavelengths_per_fiber: 4,
+            horizon: SimDuration::from_days(days_capacity),
+            fiber_baseline_mean_db: 13.5,
+            fiber_baseline_sd_db: 0.2,
+            wavelength_jitter_sd_db: 0.3,
+            ..FleetConfig::paper()
+        };
+        Scenario::new(wan, fleet, dm, config)
+    }
+
+    #[test]
+    fn srlg_amplifier_event_downs_the_whole_segment() {
+        // One severe amplifier outage on the shared fiber: 25 dB off a
+        // ≈13.5 dB baseline leaves nothing feasible, so links 0 AND 2 go
+        // down together and every outage tick is attributed correlated.
+        let fiber = builders::fig7_example().link(LinkId(0)).fiber_id;
+        let plan = FaultPlan::none().with(FaultEvent::on_srlg(
+            FaultKind::Optical(OpticalFault::AmplifierOutage { severity_db: 25.0 }),
+            fiber,
+            SimTime::EPOCH + SimDuration::from_hours(6),
+            SimDuration::from_hours(6),
+        ));
+        let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
+        let mut s = srlg_scenario_with(10, config.clone());
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        // Both links of the segment went hard-down; the off-segment links
+        // (1 and 3) never did.
+        assert_eq!(report.hard_downs, 2, "the whole SRLG fails together");
+        // 6 h × 4 ticks/h × 2 links = 48 outage link-ticks, all inside
+        // the event window, all correlated (recovery happens on the first
+        // post-window sweep, before accounting).
+        assert_eq!(report.outage_link_ticks, 48);
+        assert_eq!(report.correlated_outage_link_ticks, 48);
+        assert_eq!(report.independent_outage_link_ticks, 0);
+        assert!((report.correlated_outage_share() - 1.0).abs() < 1e-12);
+        // Determinism: the same plan + seed reproduces byte-identically.
+        let mut s2 = srlg_scenario_with(10, config);
+        let report2 = s2.run(SimDuration::from_days(1), &SwanTe::default());
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&report2).unwrap()
+        );
+    }
+
+    #[test]
+    fn link_scoped_outages_attribute_independent() {
+        // The same severity on a single link: outage ticks accrue on that
+        // link only and land in the *independent* bucket.
+        let plan = FaultPlan::none().with(FaultEvent::on_link(
+            FaultKind::Optical(OpticalFault::AmplifierOutage { severity_db: 25.0 }),
+            LinkId(0),
+            SimTime::EPOCH + SimDuration::from_hours(6),
+            SimDuration::from_hours(6),
+        ));
+        let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
+        let mut s = srlg_scenario_with(10, config);
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        assert_eq!(report.hard_downs, 1);
+        assert_eq!(report.outage_link_ticks, 24);
+        assert_eq!(report.correlated_outage_link_ticks, 0);
+        assert_eq!(report.independent_outage_link_ticks, 24);
+    }
+
+    #[test]
+    fn structurally_invalid_plans_are_rejected_up_front() {
+        let plan = FaultPlan::none().with(FaultEvent::on_link(
+            FaultKind::Te(TeFault::SolverTimeout),
+            LinkId(0),
+            SimTime::EPOCH,
+            SimDuration::ZERO, // empty window: can never fire
+        ));
+        let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
+        let mut s = scenario_with(10, config);
+        let err = s.try_run(SimDuration::from_days(1), &SwanTe::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RwcError::FaultPlan(rwc_faults::FaultPlanError::EmptyWindow { index: 0 })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! matters because real optical WANs misbehave: transceivers fail to
 //! relock, management buses time out, telemetry goes stale, TE solvers
 //! blow their deadline. This crate describes those misbehaviours as a
-//! declarative [`FaultPlan`] (*what* fails, *when*, for *how long*) that
-//! the simulation pipeline interprets:
+//! declarative [`FaultPlan`] (*what* fails, *where*, *when*, for *how
+//! long*) that the simulation pipeline interprets:
 //!
 //! - **BVT faults** ([`BvtFault`], re-exported from `rwc-optics`) are
 //!   armed on the per-link transceiver model and trip the next
@@ -16,7 +16,28 @@
 //! - **telemetry faults** ([`TelemetryFault`]) drop, freeze or corrupt
 //!   the SNR samples the controller sees;
 //! - **TE faults** ([`TeFault`]) abort or time out a traffic-engineering
-//!   round, exercising the last-feasible-solution fallback.
+//!   round, exercising the last-feasible-solution fallback;
+//! - **optical faults** ([`OpticalFault`]) model amplifier and fiber-span
+//!   incidents that drag the *physical* SNR down — usually for every
+//!   wavelength riding the affected segment at once.
+//!
+//! ## Fault domains
+//!
+//! The paper's failure data (and the robust-design literature it cites)
+//! says the dangerous events are *shared*: one amplifier failure dims
+//! every wavelength on its span together. Each event therefore carries a
+//! [`FaultScope`]:
+//!
+//! - [`FaultScope::Link`] — one wavelength (the PR-1 behaviour);
+//! - [`FaultScope::Srlg`] — every link sharing a fiber segment, matching
+//!   the shared-risk groups `rwc_te::srlg` derives from the topology;
+//! - [`FaultScope::Domain`] — an arbitrary named set of links declared in
+//!   [`FaultPlan::domains`] (e.g. "everything through conduit 7").
+//!
+//! Severities inside a correlated event are drawn *correlated*: the event
+//! stores one common shock and every covered link sees that shock plus a
+//! small deterministic per-link deviation (see
+//! [`FaultInjector::optical_penalty_db`]).
 //!
 //! Everything is reproducible: plans are plain data (serde-serialisable)
 //! and the random generator ([`FaultPlanConfig::generate`]) derives every
@@ -33,6 +54,7 @@ use rwc_util::rng::Xoshiro256;
 use rwc_util::time::{SimDuration, SimTime};
 use rwc_util::units::Db;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A telemetry-path fault on one link's SNR stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,15 +80,79 @@ pub enum TeFault {
     SolverAbort,
 }
 
+/// An optical-layer incident: the *physical* SNR of every covered link
+/// drops by the severity for the duration of the window. Unlike a
+/// [`TelemetryFault::SnrSpike`] — which only lies to the controller —
+/// an optical fault changes what the light can actually carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpticalFault {
+    /// An inline amplifier on the span fails or brown-outs: a deep,
+    /// shared SNR collapse (typically enough to force links to crawl or
+    /// go dark).
+    AmplifierOutage {
+        /// Common SNR penalty (dB) applied to every covered link.
+        severity_db: f64,
+    },
+    /// Span ageing, a macro-bend or a dirty splice: a milder correlated
+    /// penalty that degrades but rarely kills.
+    SpanDegradation {
+        /// Common SNR penalty (dB) applied to every covered link.
+        severity_db: f64,
+    },
+}
+
+impl OpticalFault {
+    /// The common (shared-shock) severity of the incident, in dB.
+    pub fn severity_db(&self) -> f64 {
+        match *self {
+            OpticalFault::AmplifierOutage { severity_db }
+            | OpticalFault::SpanDegradation { severity_db } => severity_db,
+        }
+    }
+}
+
 /// What fails.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
-    /// Transceiver-level fault on one link.
+    /// Transceiver-level fault.
     Bvt(BvtFault),
-    /// Telemetry-path fault on one link.
+    /// Telemetry-path fault.
     Telemetry(TelemetryFault),
-    /// TE-layer fault (fleet-wide, no link).
+    /// TE-layer fault (fleet-wide, scope ignored).
     Te(TeFault),
+    /// Optical-layer fault (amplifier/span incident, physical SNR drop).
+    Optical(OpticalFault),
+}
+
+/// *Where* a fault lands: one link, a shared-risk fiber segment, or a
+/// declared multi-link domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// A single wavelength/IP link.
+    Link(LinkId),
+    /// Every link whose `fiber_id` matches — the SRLG of one fiber
+    /// segment (see `rwc_te::srlg::shared_risk_groups`).
+    Srlg(usize),
+    /// Every link of the domain at this index in [`FaultPlan::domains`].
+    Domain(usize),
+}
+
+impl FaultScope {
+    /// Whether the scope couples multiple links into one failure domain.
+    pub fn is_correlated(&self) -> bool {
+        !matches!(self, FaultScope::Link(_))
+    }
+}
+
+/// A named set of links that fail together (a conduit, a degenerate
+/// amplifier chain, a site's patch panel, …). Referenced by index from
+/// [`FaultScope::Domain`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultDomain {
+    /// Human-readable label used in reports.
+    pub name: String,
+    /// Member links.
+    pub links: Vec<LinkId>,
 }
 
 /// One scheduled fault: what, where, when, for how long.
@@ -74,9 +160,9 @@ pub enum FaultKind {
 pub struct FaultEvent {
     /// The fault.
     pub kind: FaultKind,
-    /// Affected link. Ignored (use `LinkId(0)`) for [`FaultKind::Te`],
-    /// which is fleet-wide.
-    pub link: LinkId,
+    /// Where it lands. Ignored for [`FaultKind::Te`], which is
+    /// fleet-wide.
+    pub scope: FaultScope,
     /// When the fault becomes active.
     pub start: SimTime,
     /// How long it stays active. BVT faults are *armed* for this window:
@@ -85,10 +171,72 @@ pub struct FaultEvent {
 }
 
 impl FaultEvent {
+    /// A single-link event.
+    pub fn on_link(kind: FaultKind, link: LinkId, start: SimTime, duration: SimDuration) -> Self {
+        Self { kind, scope: FaultScope::Link(link), start, duration }
+    }
+
+    /// An SRLG-wide event hitting every link on `fiber_id`.
+    pub fn on_srlg(kind: FaultKind, fiber_id: usize, start: SimTime, duration: SimDuration) -> Self {
+        Self { kind, scope: FaultScope::Srlg(fiber_id), start, duration }
+    }
+
+    /// A domain-wide event hitting every link of `FaultPlan::domains[domain]`.
+    pub fn on_domain(kind: FaultKind, domain: usize, start: SimTime, duration: SimDuration) -> Self {
+        Self { kind, scope: FaultScope::Domain(domain), start, duration }
+    }
+
     /// Whether the fault is active at `now` (half-open `[start, end)`).
     pub fn active_at(&self, now: SimTime) -> bool {
         now >= self.start && now < self.start + self.duration
     }
+
+    /// First instant *after* the window.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// An event's window is empty (`end <= start`, i.e. zero duration).
+    EmptyWindow {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+    },
+    /// An event references a domain index that [`FaultPlan::domains`]
+    /// does not define.
+    UnknownDomain {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The dangling domain index.
+        domain: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { index } => {
+                write!(f, "fault event #{index} has an empty window (end <= start)")
+            }
+            FaultPlanError::UnknownDomain { index, domain } => {
+                write!(f, "fault event #{index} references undefined domain #{domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Outcome of a successful [`FaultPlan::validate`]: the plan is usable,
+/// but some schedules deserve a second look.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlanCheck {
+    /// Human-readable warnings (e.g. overlapping same-link windows of the
+    /// same fault class, whose semantics are first-match-wins).
+    pub warnings: Vec<String>,
 }
 
 /// A declarative fault schedule.
@@ -96,6 +244,9 @@ impl FaultEvent {
 pub struct FaultPlan {
     /// All scheduled faults, in no particular order.
     pub events: Vec<FaultEvent>,
+    /// Named multi-link failure domains referenced by
+    /// [`FaultScope::Domain`].
+    pub domains: Vec<FaultDomain>,
 }
 
 impl FaultPlan {
@@ -120,33 +271,99 @@ impl FaultPlan {
         self
     }
 
-    /// Count of events of each class `(bvt, telemetry, te)`.
-    pub fn class_counts(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
+    /// Declares a failure domain, returning its index for use in
+    /// [`FaultScope::Domain`].
+    pub fn add_domain(&mut self, domain: FaultDomain) -> usize {
+        self.domains.push(domain);
+        self.domains.len() - 1
+    }
+
+    /// Count of events of each class `(bvt, telemetry, te, optical)`.
+    pub fn class_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
         for e in &self.events {
             match e.kind {
                 FaultKind::Bvt(_) => counts.0 += 1,
                 FaultKind::Telemetry(_) => counts.1 += 1,
                 FaultKind::Te(_) => counts.2 += 1,
+                FaultKind::Optical(_) => counts.3 += 1,
             }
         }
         counts
+    }
+
+    /// Number of events whose scope couples multiple links.
+    pub fn correlated_count(&self) -> usize {
+        self.events.iter().filter(|e| e.scope.is_correlated()).count()
+    }
+
+    /// Structural validation: rejects events that can never fire (empty
+    /// windows, dangling domain references) and warns — via the returned
+    /// [`FaultPlanCheck`] — about overlapping same-scope windows of the
+    /// same fault class, whose first-match-wins semantics are usually a
+    /// schedule mistake rather than an intent.
+    pub fn validate(&self) -> Result<FaultPlanCheck, FaultPlanError> {
+        for (index, e) in self.events.iter().enumerate() {
+            if e.duration == SimDuration::ZERO {
+                return Err(FaultPlanError::EmptyWindow { index });
+            }
+            if let FaultScope::Domain(d) = e.scope {
+                if d >= self.domains.len() {
+                    return Err(FaultPlanError::UnknownDomain { index, domain: d });
+                }
+            }
+        }
+        let mut check = FaultPlanCheck::default();
+        let class = |k: &FaultKind| match k {
+            FaultKind::Bvt(_) => 0u8,
+            FaultKind::Telemetry(_) => 1,
+            FaultKind::Te(_) => 2,
+            FaultKind::Optical(_) => 3,
+        };
+        for (i, a) in self.events.iter().enumerate() {
+            for (j, b) in self.events.iter().enumerate().skip(i + 1) {
+                if a.scope == b.scope
+                    && class(&a.kind) == class(&b.kind)
+                    && a.start < b.end()
+                    && b.start < a.end()
+                {
+                    check.warnings.push(format!(
+                        "events #{i} and #{j} overlap on {:?} with the same fault class \
+                         (first match wins while both are active)",
+                        a.scope
+                    ));
+                }
+            }
+        }
+        Ok(check)
     }
 }
 
 /// Answers "which faults are active right now?" against a [`FaultPlan`].
 ///
 /// Purely a time-indexed view; it holds no mutable state, so querying is
-/// idempotent and never perturbs determinism.
+/// idempotent and never perturbs determinism. Resolving an
+/// [`FaultScope::Srlg`] scope needs the topology's link → fiber map: pass
+/// it through [`FaultInjector::with_fibers`]. Without one, the injector
+/// falls back to the `WanTopology` default of one fiber per link
+/// (`fiber_id == link index`).
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    /// `fibers[link] = fiber_id`; `None` means the identity default.
+    fibers: Option<Vec<usize>>,
 }
 
 impl FaultInjector {
-    /// Wraps a plan.
+    /// Wraps a plan with the default one-fiber-per-link mapping.
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan }
+        Self { plan, fibers: None }
+    }
+
+    /// Wraps a plan with an explicit link → fiber-segment map, so
+    /// [`FaultScope::Srlg`] events resolve against the real topology.
+    pub fn with_fibers(plan: FaultPlan, fibers: Vec<usize>) -> Self {
+        Self { plan, fibers: Some(fibers) }
     }
 
     /// The underlying plan.
@@ -159,11 +376,31 @@ impl FaultInjector {
         self.plan.events.iter().filter(move |e| e.active_at(now))
     }
 
+    fn fiber_of(&self, link: LinkId) -> usize {
+        match &self.fibers {
+            Some(f) => f.get(link.0).copied().unwrap_or(link.0),
+            None => link.0,
+        }
+    }
+
+    /// Whether an event's scope covers `link`.
+    pub fn covers(&self, event: &FaultEvent, link: LinkId) -> bool {
+        match event.scope {
+            FaultScope::Link(l) => l == link,
+            FaultScope::Srlg(fiber) => self.fiber_of(link) == fiber,
+            FaultScope::Domain(d) => self
+                .plan
+                .domains
+                .get(d)
+                .is_some_and(|dom| dom.links.contains(&link)),
+        }
+    }
+
     /// The BVT fault armed on `link` at `now`, if any (first match wins;
     /// overlapping BVT faults on one link are not meaningful).
     pub fn bvt_fault(&self, link: LinkId, now: SimTime) -> Option<BvtFault> {
         self.active_at(now).find_map(|e| match e.kind {
-            FaultKind::Bvt(f) if e.link == link => Some(f),
+            FaultKind::Bvt(f) if self.covers(e, link) => Some(f),
             _ => None,
         })
     }
@@ -171,7 +408,7 @@ impl FaultInjector {
     /// The telemetry fault affecting `link` at `now`, if any.
     pub fn telemetry_fault(&self, link: LinkId, now: SimTime) -> Option<TelemetryFault> {
         self.active_at(now).find_map(|e| match e.kind {
-            FaultKind::Telemetry(f) if e.link == link => Some(f),
+            FaultKind::Telemetry(f) if self.covers(e, link) => Some(f),
             _ => None,
         })
     }
@@ -182,6 +419,36 @@ impl FaultInjector {
             FaultKind::Te(f) => Some(f),
             _ => None,
         })
+    }
+
+    /// Total physical SNR penalty (dB) on `link` at `now` from active
+    /// optical faults.
+    ///
+    /// Severities are *correlated, not identical*: every covered link
+    /// shares the event's common shock, plus a deterministic per-link
+    /// deviation of up to ±10 % of the shock (hashed from the event start
+    /// and the link id), which is how one amplifier incident dims forty
+    /// wavelengths by *almost* the same amount. Overlapping optical
+    /// events stack additively.
+    pub fn optical_penalty_db(&self, link: LinkId, now: SimTime) -> f64 {
+        self.active_at(now)
+            .filter_map(|e| match e.kind {
+                FaultKind::Optical(f) if self.covers(e, link) => {
+                    let common = f.severity_db();
+                    let jitter = severity_deviation(e.start, link);
+                    Some((common * (1.0 + 0.1 * jitter)).max(0.0))
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether any *correlated* (SRLG- or domain-scoped) fault covers
+    /// `link` at `now` — the attribution bit the availability accounting
+    /// uses to split outage time into independent vs correlated.
+    pub fn correlated_active(&self, link: LinkId, now: SimTime) -> bool {
+        self.active_at(now)
+            .any(|e| e.scope.is_correlated() && self.covers(e, link))
     }
 
     /// Applies the active telemetry fault (if any) to a raw reading.
@@ -205,9 +472,26 @@ impl FaultInjector {
     }
 }
 
+/// Deterministic per-link severity deviation in `[-1, 1]`, hashed from
+/// the event start and the link id (splitmix64 finalizer). Pure data →
+/// the same event always dims the same link by the same amount.
+fn severity_deviation(start: SimTime, link: LinkId) -> f64 {
+    let mut z = start
+        .since_epoch()
+        .as_millis()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(link.0 as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to [-1, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
 /// Tuning for the random plan generator. Rates are Poisson-ish: each
 /// class draws `rate_per_link_day × links × days` events (TE faults are
-/// fleet-wide: `rate × days`), with exponential-ish durations around the
+/// fleet-wide: `rate × days`; amplifier-span faults are per *fiber*:
+/// `rate × fibers × days`), with exponential-ish durations around the
 /// configured means. Everything derives from `seed`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlanConfig {
@@ -221,12 +505,28 @@ pub struct FaultPlanConfig {
     pub telemetry_rate_per_link_day: f64,
     /// TE faults per day (fleet-wide).
     pub te_rate_per_day: f64,
+    /// Amplifier/fiber-span incidents per fiber-day. These generate
+    /// [`FaultScope::Srlg`] events that hit every link sharing the
+    /// segment. `0.0` (the default) disables correlated generation, which
+    /// keeps plans from older configs byte-identical.
+    pub amplifier_rate_per_fiber_day: f64,
     /// Mean armed window of a BVT fault.
     pub bvt_mean_duration: SimDuration,
     /// Mean duration of a telemetry fault.
     pub telemetry_mean_duration: SimDuration,
     /// Mean duration of a TE fault.
     pub te_mean_duration: SimDuration,
+    /// Mean duration of an amplifier-span incident.
+    pub amplifier_mean_duration: SimDuration,
+    /// Mean common-shock severity (dB SNR penalty) of an amplifier-span
+    /// incident. Individual events draw around this mean; full
+    /// [`OpticalFault::AmplifierOutage`]s use the draw as-is while
+    /// [`OpticalFault::SpanDegradation`]s halve it.
+    pub amplifier_mean_severity_db: f64,
+    /// Link → fiber-segment map used when placing SRLG events. Empty (the
+    /// default) means one fiber per link — every "correlated" event then
+    /// degenerates to a single link, matching the `WanTopology` default.
+    pub fiber_of_link: Vec<usize>,
     /// Master seed; the whole plan is a pure function of the config.
     pub seed: u64,
 }
@@ -239,9 +539,13 @@ impl Default for FaultPlanConfig {
             bvt_rate_per_link_day: 0.5,
             telemetry_rate_per_link_day: 0.5,
             te_rate_per_day: 0.5,
+            amplifier_rate_per_fiber_day: 0.0,
             bvt_mean_duration: SimDuration::from_hours(2),
             telemetry_mean_duration: SimDuration::from_hours(1),
             te_mean_duration: SimDuration::from_minutes(30),
+            amplifier_mean_duration: SimDuration::from_minutes(45),
+            amplifier_mean_severity_db: 12.0,
+            fiber_of_link: Vec::new(),
             seed: 0xFA_017,
         }
     }
@@ -297,7 +601,44 @@ impl FaultPlanConfig {
             events.push(self.event(FaultKind::Te(kind), self.te_mean_duration, &mut rng));
         }
 
-        FaultPlan { events }
+        // Correlated amplifier-span incidents: one event per draw, scoped
+        // to a whole fiber segment. The severity is the *common shock*;
+        // per-link deviations are applied at injection time.
+        let fibers = self.fiber_segments();
+        let n_amp =
+            (self.amplifier_rate_per_fiber_day * fibers.len() as f64 * days).round() as usize;
+        for _ in 0..n_amp {
+            let fiber = fibers[rng.below(fibers.len())];
+            // Mean-centred severity with ±35 % spread, floored at 1 dB so
+            // an "incident" is never a no-op.
+            let severity = (self.amplifier_mean_severity_db
+                * (0.65 + 0.7 * rng.uniform()))
+            .max(1.0);
+            // 2-in-3 full amplifier outages, 1-in-3 milder span issues.
+            let kind = if rng.next_u64() % 3 < 2 {
+                OpticalFault::AmplifierOutage { severity_db: severity }
+            } else {
+                OpticalFault::SpanDegradation { severity_db: severity * 0.5 }
+            };
+            let template =
+                self.event(FaultKind::Optical(kind), self.amplifier_mean_duration, &mut rng);
+            events.push(FaultEvent { scope: FaultScope::Srlg(fiber), ..template });
+        }
+
+        FaultPlan { events, domains: Vec::new() }
+    }
+
+    /// Distinct fiber segments implied by the config's link → fiber map
+    /// (identity when the map is empty), sorted for determinism.
+    pub fn fiber_segments(&self) -> Vec<usize> {
+        if self.fiber_of_link.is_empty() {
+            (0..self.n_links).collect()
+        } else {
+            let mut fibers: Vec<usize> = self.fiber_of_link.clone();
+            fibers.sort_unstable();
+            fibers.dedup();
+            fibers
+        }
     }
 
     fn event(
@@ -315,7 +656,7 @@ impl FaultPlanConfig {
             (-u.ln() * mean_duration.as_secs_f64()).min(self.horizon.as_secs_f64() / 2.0);
         FaultEvent {
             kind,
-            link,
+            scope: FaultScope::Link(link),
             start: SimTime::EPOCH + SimDuration::from_secs_f64(start_secs),
             duration: SimDuration::from_secs_f64(dur_secs.max(1.0)),
         }
@@ -362,7 +703,7 @@ mod tests {
         }
         .generate();
         assert!(dense.len() > sparse.len() * 4, "{} vs {}", dense.len(), sparse.len());
-        let (bvt, tel, te) = dense.class_counts();
+        let (bvt, tel, te, _) = dense.class_counts();
         assert!(bvt > 0 && tel > 0 && te > 0);
     }
 
@@ -372,19 +713,53 @@ mod tests {
         let horizon = cfg().horizon;
         for e in &plan.events {
             assert!(e.start < SimTime::EPOCH + horizon);
-            assert!(e.link.0 < 8);
+            if let FaultScope::Link(l) = e.scope {
+                assert!(l.0 < 8);
+            }
             assert!(e.duration > SimDuration::ZERO);
         }
     }
 
     #[test]
+    fn amplifier_rate_generates_srlg_events() {
+        let plan = FaultPlanConfig {
+            amplifier_rate_per_fiber_day: 0.5,
+            // Four links on two fiber segments.
+            n_links: 4,
+            fiber_of_link: vec![0, 0, 1, 1],
+            ..cfg()
+        }
+        .generate();
+        let (_, _, _, optical) = plan.class_counts();
+        assert!(optical > 0, "amplifier rate must generate optical events");
+        assert_eq!(plan.correlated_count(), optical);
+        for e in &plan.events {
+            if let FaultKind::Optical(f) = e.kind {
+                assert!(matches!(e.scope, FaultScope::Srlg(fid) if fid <= 1));
+                assert!(f.severity_db() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_amplifier_rate_matches_pre_domain_plans() {
+        // The SRLG extension must not perturb existing seeded campaigns:
+        // with the default (zero) amplifier rate, the generated events are
+        // exactly the PR-1 classes in the PR-1 order.
+        let plan = cfg().generate();
+        let (_, _, _, optical) = plan.class_counts();
+        assert_eq!(optical, 0);
+        assert_eq!(plan.correlated_count(), 0);
+    }
+
+    #[test]
     fn injector_windows_are_half_open() {
-        let event = FaultEvent {
-            kind: FaultKind::Te(TeFault::SolverTimeout),
-            link: LinkId(0),
-            start: SimTime::EPOCH + SimDuration::from_hours(1),
-            duration: SimDuration::from_hours(1),
-        };
+        let event = FaultEvent::on_link(
+            FaultKind::Te(TeFault::SolverTimeout),
+            LinkId(0),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+        );
         let inj = FaultInjector::new(FaultPlan::none().with(event));
         let h = SimDuration::from_hours(1);
         assert_eq!(inj.te_fault(SimTime::EPOCH), None);
@@ -393,28 +768,163 @@ mod tests {
     }
 
     #[test]
+    fn srlg_scope_covers_every_link_on_the_fiber() {
+        let day = SimDuration::from_days(1);
+        let plan = FaultPlan::none().with(FaultEvent::on_srlg(
+            FaultKind::Bvt(BvtFault::RelockFailure),
+            7,
+            SimTime::EPOCH,
+            day,
+        ));
+        // Links 0 and 2 ride fiber 7; link 1 rides fiber 3.
+        let inj = FaultInjector::with_fibers(plan, vec![7, 3, 7]);
+        let t0 = SimTime::EPOCH;
+        assert_eq!(inj.bvt_fault(LinkId(0), t0), Some(BvtFault::RelockFailure));
+        assert_eq!(inj.bvt_fault(LinkId(2), t0), Some(BvtFault::RelockFailure));
+        assert_eq!(inj.bvt_fault(LinkId(1), t0), None);
+        assert!(inj.correlated_active(LinkId(0), t0));
+        assert!(!inj.correlated_active(LinkId(1), t0));
+    }
+
+    #[test]
+    fn domain_scope_uses_the_plan_domain_table() {
+        let day = SimDuration::from_days(1);
+        let mut plan = FaultPlan::none();
+        let conduit = plan.add_domain(FaultDomain {
+            name: "conduit-7".into(),
+            links: vec![LinkId(1), LinkId(3)],
+        });
+        let plan = plan.with(FaultEvent::on_domain(
+            FaultKind::Telemetry(TelemetryFault::DropSamples),
+            conduit,
+            SimTime::EPOCH,
+            day,
+        ));
+        let inj = FaultInjector::new(plan);
+        let t0 = SimTime::EPOCH;
+        assert_eq!(inj.telemetry_fault(LinkId(1), t0), Some(TelemetryFault::DropSamples));
+        assert_eq!(inj.telemetry_fault(LinkId(3), t0), Some(TelemetryFault::DropSamples));
+        assert_eq!(inj.telemetry_fault(LinkId(0), t0), None);
+        assert!(inj.correlated_active(LinkId(3), t0));
+    }
+
+    #[test]
+    fn optical_penalty_is_correlated_not_identical() {
+        let day = SimDuration::from_days(1);
+        let plan = FaultPlan::none().with(FaultEvent::on_srlg(
+            FaultKind::Optical(OpticalFault::AmplifierOutage { severity_db: 20.0 }),
+            0,
+            SimTime::EPOCH,
+            day,
+        ));
+        let inj = FaultInjector::with_fibers(plan, vec![0, 0, 0, 1]);
+        let t0 = SimTime::EPOCH;
+        let penalties: Vec<f64> =
+            (0..3).map(|l| inj.optical_penalty_db(LinkId(l), t0)).collect();
+        for &p in &penalties {
+            // Common shock 20 dB ± 10 % deviation.
+            assert!((18.0..=22.0).contains(&p), "penalty {p}");
+        }
+        // Correlated, not identical: the per-link deviations differ.
+        assert!(penalties.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+        // Off-segment link sees nothing; outside the window nothing.
+        assert_eq!(inj.optical_penalty_db(LinkId(3), t0), 0.0);
+        assert_eq!(
+            inj.optical_penalty_db(LinkId(0), t0 + day + SimDuration::from_secs(1)),
+            0.0
+        );
+        // And the same query always returns the same value.
+        assert_eq!(penalties[0], inj.optical_penalty_db(LinkId(0), t0));
+    }
+
+    #[test]
+    fn validate_rejects_empty_windows() {
+        let plan = FaultPlan::none().with(FaultEvent::on_link(
+            FaultKind::Te(TeFault::SolverAbort),
+            LinkId(0),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::ZERO,
+        ));
+        assert_eq!(plan.validate(), Err(FaultPlanError::EmptyWindow { index: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_domains() {
+        let plan = FaultPlan::none().with(FaultEvent::on_domain(
+            FaultKind::Te(TeFault::SolverAbort),
+            3,
+            SimTime::EPOCH,
+            SimDuration::from_hours(1),
+        ));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::UnknownDomain { index: 0, domain: 3 })
+        );
+    }
+
+    #[test]
+    fn validate_warns_on_overlapping_same_scope_windows() {
+        let h = SimDuration::from_hours(1);
+        let plan = FaultPlan::none()
+            .with(FaultEvent::on_link(
+                FaultKind::Bvt(BvtFault::StuckLaser),
+                LinkId(2),
+                SimTime::EPOCH,
+                h + h,
+            ))
+            .with(FaultEvent::on_link(
+                FaultKind::Bvt(BvtFault::MdioTimeout),
+                LinkId(2),
+                SimTime::EPOCH + h,
+                h,
+            ))
+            // Different class on the same link: not a warning.
+            .with(FaultEvent::on_link(
+                FaultKind::Telemetry(TelemetryFault::DropSamples),
+                LinkId(2),
+                SimTime::EPOCH,
+                h,
+            ));
+        let check = plan.validate().expect("plan is valid");
+        assert_eq!(check.warnings.len(), 1, "{:?}", check.warnings);
+        assert!(check.warnings[0].contains("#0"));
+        assert!(check.warnings[0].contains("#1"));
+    }
+
+    #[test]
+    fn generated_plans_validate_clean_of_errors() {
+        let plan = FaultPlanConfig {
+            amplifier_rate_per_fiber_day: 0.3,
+            fiber_of_link: vec![0, 0, 1, 1, 2, 2, 3, 3],
+            ..cfg()
+        }
+        .generate();
+        plan.validate().expect("generated plans are structurally valid");
+    }
+
+    #[test]
     fn observe_applies_telemetry_faults() {
         let t0 = SimTime::EPOCH;
         let day = SimDuration::from_days(1);
         let plan = FaultPlan::none()
-            .with(FaultEvent {
-                kind: FaultKind::Telemetry(TelemetryFault::DropSamples),
-                link: LinkId(0),
-                start: t0,
-                duration: day,
-            })
-            .with(FaultEvent {
-                kind: FaultKind::Telemetry(TelemetryFault::FreezeReadings),
-                link: LinkId(1),
-                start: t0,
-                duration: day,
-            })
-            .with(FaultEvent {
-                kind: FaultKind::Telemetry(TelemetryFault::SnrSpike { delta_db: 10.0 }),
-                link: LinkId(2),
-                start: t0,
-                duration: day,
-            });
+            .with(FaultEvent::on_link(
+                FaultKind::Telemetry(TelemetryFault::DropSamples),
+                LinkId(0),
+                t0,
+                day,
+            ))
+            .with(FaultEvent::on_link(
+                FaultKind::Telemetry(TelemetryFault::FreezeReadings),
+                LinkId(1),
+                t0,
+                day,
+            ))
+            .with(FaultEvent::on_link(
+                FaultKind::Telemetry(TelemetryFault::SnrSpike { delta_db: 10.0 }),
+                LinkId(2),
+                t0,
+                day,
+            ));
         let inj = FaultInjector::new(plan);
         assert_eq!(inj.observe(LinkId(0), Db(12.0), None, t0), None);
         assert_eq!(inj.observe(LinkId(1), Db(12.0), Some(Db(9.0)), t0), Some(Db(9.0)));
@@ -425,9 +935,31 @@ mod tests {
 
     #[test]
     fn plan_round_trips_through_json() {
-        let plan = cfg().generate();
+        let mut plan = FaultPlanConfig {
+            amplifier_rate_per_fiber_day: 0.4,
+            fiber_of_link: vec![0, 0, 1, 1, 2, 2, 3, 3],
+            ..cfg()
+        }
+        .generate();
+        plan.add_domain(FaultDomain { name: "conduit".into(), links: vec![LinkId(0)] });
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = FaultPlanConfig {
+            amplifier_rate_per_fiber_day: 0.25,
+            amplifier_mean_severity_db: 18.0,
+            fiber_of_link: vec![0, 1, 0, 1],
+            ..cfg()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FaultPlanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        // And the regenerated plan is identical — the config really is
+        // the plan's complete description.
+        assert_eq!(cfg.generate(), back.generate());
     }
 }
