@@ -1,0 +1,21 @@
+//! Full-rebuild vs incremental TE round engine.
+//!
+//! Runs the perf scenario's first day of rounds through
+//! `Scenario::try_run_timed` twice — once with the `full_rebuild`
+//! escape hatch (fresh augmentation, no static memo, no counterfactual
+//! cache) and once with the incremental engine — and once more with the
+//! warm-started exact LP, the configuration `repro --bench-json` gates
+//! in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_bench::perf::scenario_perf;
+use rwc_bench::Scale;
+
+fn bench_round_engine(c: &mut Criterion) {
+    c.bench_function("round_engine/full_vs_incremental_quick", |b| {
+        b.iter(|| std::hint::black_box(scenario_perf(Scale::Quick)))
+    });
+}
+
+criterion_group!(benches, bench_round_engine);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Cold vs warm simplex on a drifting TE LP.
+//!
+//! The workload mirrors what the round engine does: the same augmented
+//! TE problem re-solved as its capacities drift a few percent per round.
+//! `cold` allocates a fresh solver per solve (Phase I every time);
+//! `warm` reuses one [`SimplexSolver`], so successive solves either
+//! fast-resolve (rhs-only change) or refactorise the saved basis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_lp::SimplexSolver;
+use rwc_te::demand::DemandMatrix;
+use rwc_te::exact::build_lp;
+use rwc_te::problem::TeProblem;
+use rwc_topology::builders;
+use rwc_topology::wan::LinkId;
+use rwc_util::units::Gbps;
+
+/// The abilene TE LP with every link's capacity drifted by round.
+fn drifted_lp(round: usize) -> rwc_lp::LinearProgram {
+    let wan = builders::abilene();
+    let dm = DemandMatrix::gravity(&wan, Gbps(1_000.0), 11);
+    let mut problem = TeProblem::from_wan(&wan, &dm);
+    for l in 0..wan.n_links() {
+        // Deterministic per-round capacity drift of up to ±5%.
+        let phase = (round * (l + 3)) % 7;
+        let factor = 0.95 + 0.015 * phase as f64;
+        let id = LinkId(l);
+        problem.override_link_capacity(id, wan.link(id).capacity().0 * factor);
+    }
+    build_lp(&problem, 1.0)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let lps: Vec<_> = (0..4).map(drifted_lp).collect();
+    c.bench_function("simplex/cold_abilene_drift", |b| {
+        b.iter(|| {
+            for lp in &lps {
+                std::hint::black_box(SimplexSolver::new().solve(lp));
+            }
+        })
+    });
+    c.bench_function("simplex/warm_abilene_drift", |b| {
+        let mut solver = SimplexSolver::new();
+        b.iter(|| {
+            for lp in &lps {
+                std::hint::black_box(solver.solve(lp));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--out DIR] <id>... | all
+//! repro --bench-json [--perf-baseline FILE] [--quick|--full] [--out DIR]
 //! ```
 //!
 //! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
 //! avail scenario faults srlg ablation. Default scale is a reduced fleet
 //! (fast); `--quick` spells that default out (handy in CI), `--full` runs
 //! the paper-scale corpus (2,000 links × 2.5 years — takes a while).
+//!
+//! `--bench-json` times the scenario round engine (full-rebuild vs
+//! incremental, cold vs warm exact LP) and writes `BENCH_scenario.json`
+//! to the output directory. With `--perf-baseline FILE` it additionally
+//! exits non-zero when incremental rounds/sec falls below half the
+//! committed baseline — the CI perf-smoke gate.
 
 use rwc_bench::experiments;
+use rwc_bench::perf::ScenarioPerf;
 use rwc_bench::Scale;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,11 +26,21 @@ fn main() -> ExitCode {
     let mut scale = Scale::Quick;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
+    let mut bench_json = false;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--bench-json" => bench_json = true,
+            "--perf-baseline" => match args.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--perf-baseline needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -32,11 +50,19 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!("usage: repro [--quick|--full] [--out DIR] <id>... | all");
+                println!("       repro --bench-json [--perf-baseline FILE]");
                 println!("ids: {} ablation", experiments::ALL.join(" "));
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
         }
+    }
+    if bench_json {
+        return run_bench_json(scale, &out_dir, baseline_path.as_deref());
+    }
+    if baseline_path.is_some() {
+        eprintln!("--perf-baseline only makes sense with --bench-json");
+        return ExitCode::FAILURE;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
@@ -61,6 +87,66 @@ fn main() -> ExitCode {
             }
         }
         println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std::path::Path>) -> ExitCode {
+    let perf = rwc_bench::perf::scenario_perf(scale);
+    println!(
+        "round engine ({} scale): full {:.1} rounds/sec -> incremental {:.1} rounds/sec \
+         ({:.2}x solve speedup, reports identical: {})",
+        perf.scale,
+        perf.full.rounds_per_sec,
+        perf.incremental.rounds_per_sec,
+        perf.solve_speedup,
+        perf.reports_identical,
+    );
+    println!(
+        "exact LP: cold p50 {} us / p99 {} us -> warm p50 {} us / p99 {} us \
+         ({:.2}x solve speedup, warm hit rate {:.0}%, max throughput delta {:.2e} G)",
+        perf.exact_cold.solve_p50_micros,
+        perf.exact_cold.solve_p99_micros,
+        perf.exact_warm.solve_p50_micros,
+        perf.exact_warm.solve_p99_micros,
+        perf.exact_solve_speedup,
+        100.0 * perf.warm_hit_rate,
+        perf.max_throughput_delta,
+    );
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("BENCH_scenario.json");
+    if let Err(e) = std::fs::write(&path, perf.to_json() + "\n") {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("  -> {}", path.display());
+    if let Some(baseline_path) = baseline {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match ScenarioPerf::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = perf.check_against_baseline(&baseline) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf gate: {:.1} rounds/sec clears baseline floor {:.1}",
+            perf.incremental.rounds_per_sec,
+            baseline.incremental.rounds_per_sec / 2.0
+        );
     }
     ExitCode::SUCCESS
 }

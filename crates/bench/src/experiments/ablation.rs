@@ -7,6 +7,7 @@
 //! 3. **BVT procedure**: throughput lost during consistent updates under
 //!    legacy vs efficient reconfiguration.
 
+use crate::parallel::parallel_arms;
 use crate::{Report, Scale};
 use rwc_core::controller::{Controller, ControllerConfig};
 use rwc_core::{augment, translate, AugmentConfig, PenaltyPolicy};
@@ -61,10 +62,13 @@ pub fn penalty_ablation() -> Vec<(&'static str, usize, f64)> {
 /// Hysteresis ablation: reconfigurations of one noisy link over `ticks`
 /// telemetry ticks for each upgrade margin.
 pub fn hysteresis_ablation(margins_db: &[f64], ticks: usize) -> Vec<(f64, usize)> {
-    margins_db
+    // Every grid cell builds its own topology, controller, and seeded
+    // rng, so the cells run concurrently; results return in margin order.
+    let arms = margins_db
         .iter()
         .map(|&margin| {
-            let mut wan = rwc_topology::WanTopology::new();
+            Box::new(move || {
+                let mut wan = rwc_topology::WanTopology::new();
             let a = wan.add_node("A", None);
             let b = wan.add_node("B", None);
             wan.add_link(a, b, 500.0);
@@ -86,9 +90,11 @@ pub fn hysteresis_ablation(margins_db: &[f64], ticks: usize) -> Vec<(f64, usize)
                 let report = controller.sweep(&mut wan, &[(LinkId(0), snr)], now);
                 changes += report.changes.len();
             }
-            (margin, changes)
+                (margin, changes)
+            }) as Box<dyn FnOnce() -> (f64, usize) + Send>
         })
-        .collect()
+        .collect();
+    parallel_arms(arms)
 }
 
 /// Reactive vs predictive controller on a slowly decaying link: at-risk
@@ -102,10 +108,15 @@ pub fn predictive_ablation(horizons: &[u64]) -> Vec<(u64, usize, usize)> {
 
     let table = ModulationTable::paper_default();
     let readings: Vec<Db> = (0..80).map(|i| Db(14.0 - 0.04 * i as f64)).collect();
-    horizons
+    // One arm per horizon; each arm replays both controllers over shared
+    // read-only readings. Results return in horizon order.
+    let arms = horizons
         .iter()
         .map(|&h| {
-            let run = |predictive: bool| -> usize {
+            let table = &table;
+            let readings = &readings;
+            Box::new(move || {
+                let run = |predictive: bool| -> usize {
                 let mut wan = rwc_topology::WanTopology::new();
                 let a = wan.add_node("A", None);
                 let b = wan.add_node("B", None);
@@ -120,7 +131,7 @@ pub fn predictive_ablation(horizons: &[u64]) -> Vec<(u64, usize, usize)> {
                 let mut risk = 0;
                 for (i, &snr) in readings.iter().enumerate() {
                     let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
-                    risk += at_risk_ticks(&wan, &table, &[(LinkId(0), snr)]);
+                    risk += at_risk_ticks(&wan, table, &[(LinkId(0), snr)]);
                     if predictive {
                         pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
                     } else {
@@ -129,9 +140,11 @@ pub fn predictive_ablation(horizons: &[u64]) -> Vec<(u64, usize, usize)> {
                 }
                 risk
             };
-            (h, run(false), run(true))
+                (h, run(false), run(true))
+            }) as Box<dyn FnOnce() -> (u64, usize, usize) + Send>
         })
-        .collect()
+        .collect();
+    parallel_arms(arms)
 }
 
 /// BVT-procedure ablation: interim throughput gap of a consistent update

@@ -10,6 +10,7 @@
 //!    fixed-capacity failures it converts into flaps, plus the downtime it
 //!    spends reconfiguring under the legacy vs efficient BVT procedure.
 
+use crate::parallel::parallel_arms;
 use crate::{Report, Scale};
 use rwc_core::controller::{Controller, ControllerConfig};
 use rwc_failures::availability::AvailabilityReport;
@@ -72,8 +73,20 @@ pub fn run(scale: Scale) -> Report {
     let mut fleet_cfg = scale.fleet();
     fleet_cfg.n_fibers = fleet_cfg.n_fibers.min(2); // a 2-fiber sample is plenty
     let gen = FleetGenerator::new(fleet_cfg);
-    for procedure in [ReconfigProcedure::Efficient, ReconfigProcedure::Legacy] {
-        let (flaps, downs, downtime) = controller_replay(&gen, procedure);
+    let procedures = [ReconfigProcedure::Efficient, ReconfigProcedure::Legacy];
+    // Each procedure replays the same traces independently — run both
+    // arms concurrently; results come back in `procedures` order.
+    let replays = parallel_arms(
+        procedures
+            .iter()
+            .map(|&procedure| {
+                let gen = &gen;
+                Box::new(move || controller_replay(gen, procedure))
+                    as Box<dyn FnOnce() -> _ + Send>
+            })
+            .collect(),
+    );
+    for (procedure, (flaps, downs, downtime)) in procedures.into_iter().zip(replays) {
         report.line(format!(
             "controller replay ({} links, {:?} BVT): {} degradations ridden out as flaps, \
              {} hard downs, {} total reconfiguration downtime",

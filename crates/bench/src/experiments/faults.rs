@@ -22,6 +22,14 @@ use rwc_util::time::SimDuration;
 use rwc_util::units::Gbps;
 
 fn build(scale: Scale) -> (Scenario, SimDuration, FaultPlan) {
+    build_arm(scale, false)
+}
+
+/// Builds the fault campaign with the round engine pinned to either the
+/// incremental path or the `full_rebuild` escape hatch — the two must
+/// produce byte-identical reports (see the `incremental` integration
+/// test), so both are exposed.
+pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration, FaultPlan) {
     let wan = builders::fig7_example();
     let n_links = wan.n_links();
     let a = wan.node_by_name("A").unwrap();
@@ -59,8 +67,11 @@ fn build(scale: Scale) -> (Scenario, SimDuration, FaultPlan) {
         ..FaultPlanConfig::default()
     }
     .generate();
-    let config =
-        ScenarioConfig { fault_plan: Some(plan.clone()), ..ScenarioConfig::default() };
+    let config = ScenarioConfig {
+        fault_plan: Some(plan.clone()),
+        full_rebuild,
+        ..ScenarioConfig::default()
+    };
     (Scenario::new(wan, fleet, dm, config), horizon, plan)
 }
 

@@ -14,6 +14,15 @@ use rwc_util::time::SimDuration;
 use rwc_util::units::Gbps;
 
 fn build(scale: Scale) -> (Scenario, SimDuration) {
+    build_arm(scale, false)
+}
+
+/// Builds the scenario with the round engine pinned to either the
+/// incremental path (`full_rebuild = false`, the default) or the
+/// rebuild-everything escape hatch. Exposed so the perf harness and the
+/// byte-identity integration tests drive the exact experiment
+/// configuration rather than an approximation of it.
+pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
     let wan = builders::fig7_example();
     let a = wan.node_by_name("A").unwrap();
     let b = wan.node_by_name("B").unwrap();
@@ -35,7 +44,8 @@ fn build(scale: Scale) -> (Scenario, SimDuration) {
         wavelength_jitter_sd_db: 0.4,
         ..FleetConfig::paper()
     };
-    (Scenario::new(wan, fleet, dm, ScenarioConfig::default()), horizon)
+    let config = ScenarioConfig { full_rebuild, ..ScenarioConfig::default() };
+    (Scenario::new(wan, fleet, dm, config), horizon)
 }
 
 /// Runs the experiment.

@@ -17,6 +17,7 @@
 //! with the legacy break-then-make path, then reports the outage split
 //! (correlated vs independent link-ticks) and the rollback accounting.
 
+use crate::parallel::parallel_pair;
 use crate::report::series_csv;
 use crate::{Report, Scale};
 use rwc_core::scenario::{Scenario, ScenarioConfig, ScenarioReport};
@@ -32,6 +33,17 @@ use rwc_util::units::Gbps;
 /// Fig. 7 fleet with links 0 and 2 sharing one fiber segment — the SRLG
 /// an amplifier event takes down in a single shot.
 fn build(scale: Scale, make_before_break: bool) -> (Scenario, SimDuration, FaultPlan) {
+    build_arm(scale, make_before_break, false)
+}
+
+/// Builds one SRLG arm with the round engine pinned to either the
+/// incremental path or the `full_rebuild` escape hatch; exposed for the
+/// byte-identity integration tests.
+pub fn build_arm(
+    scale: Scale,
+    make_before_break: bool,
+    full_rebuild: bool,
+) -> (Scenario, SimDuration, FaultPlan) {
     let mut wan = builders::fig7_example();
     let shared = wan.link(LinkId(0)).fiber_id;
     wan.link_mut(LinkId(2)).fiber_id = shared;
@@ -78,6 +90,7 @@ fn build(scale: Scale, make_before_break: bool) -> (Scenario, SimDuration, Fault
     let config = ScenarioConfig {
         fault_plan: Some(plan.clone()),
         make_before_break,
+        full_rebuild,
         ..ScenarioConfig::default()
     };
     (Scenario::new(wan, fleet, dm, config), horizon, plan)
@@ -95,8 +108,10 @@ pub fn run(scale: Scale) -> Report {
         "srlg",
         "correlated SRLG fault domains, make-before-break vs break-then-make",
     );
-    let (mbb, plan, horizon) = run_arm(scale, true);
-    let (legacy, _, _) = run_arm(scale, false);
+    // The two arms replay the same fault plan independently — run them
+    // concurrently; the pair comes back in (MBB, legacy) order.
+    let ((mbb, plan, horizon), (legacy, _, _)) =
+        parallel_pair(|| run_arm(scale, true), || run_arm(scale, false));
 
     let (bvt_events, _, _, optical_events) = plan.class_counts();
     report.line(format!(

@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod parallel;
+pub mod perf;
 pub mod report;
 
 pub use report::{Report, Scale};

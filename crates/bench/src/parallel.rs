@@ -1,17 +1,31 @@
-//! Parallel fleet analysis.
+//! Parallel fleet analysis and the experiment-arm driver.
 //!
 //! The `--full` reproduction sweeps 2,000 links × 87,600 samples. Links
 //! are generated independently from `(seed, link_id)`, so the sweep is
-//! embarrassingly parallel: each worker analyses a stripe of link ids into
-//! its own [`FleetAccumulator`], and the stripes merge at the end.
-//! Determinism is preserved — the merged statistics are identical to a
-//! sequential sweep regardless of thread count.
+//! embarrassingly parallel. Work is distributed through a **shared
+//! atomic-counter chunk queue** rather than fixed striping: workers pull
+//! the next contiguous chunk of link ids off the counter as they finish,
+//! so one slow stretch of links (long traces, pathological SNR walks)
+//! cannot idle the rest of the pool the way a pre-assigned stripe can.
+//!
+//! Determinism is preserved by separating *scheduling* from *merging*:
+//! whichever worker processes chunk `c`, its partial accumulator lands in
+//! slot `c`, and slots merge in chunk order — the exact link order of a
+//! sequential sweep, regardless of thread count or scheduling jitter.
+//!
+//! [`parallel_arms`] generalises the same pattern to whole experiment
+//! arms (srlg's two arms, the ablation grid, multi-seed campaigns): each
+//! closure runs on the scoped pool, results come back in input order.
 
 use rwc_optics::ModulationTable;
 use rwc_telemetry::analysis::LinkAnalysis;
 use rwc_telemetry::{FleetAccumulator, FleetGenerator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Analyses the whole fleet across `n_threads` workers.
+/// Analyses the whole fleet across `n_threads` workers pulling chunks
+/// from a shared queue. The merged result is identical to a sequential
+/// sweep for every thread count.
 pub fn parallel_fleet_analysis(
     gen: &FleetGenerator,
     table: &ModulationTable,
@@ -19,32 +33,86 @@ pub fn parallel_fleet_analysis(
 ) -> FleetAccumulator {
     assert!(n_threads > 0, "need at least one worker");
     let n_links = gen.n_links();
-    let stripe = n_links.div_ceil(n_threads);
-    let mut partials: Vec<FleetAccumulator> = Vec::with_capacity(n_threads);
+    // Several chunks per worker so the queue can actually rebalance;
+    // chunky enough that the counter isn't contended per link.
+    let chunk = n_links.div_ceil(n_threads * 4).max(1);
+    let n_chunks = n_links.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<FleetAccumulator>>> =
+        (0..n_chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_threads)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut acc = FleetAccumulator::new();
-                    let start = w * stripe;
-                    let end = ((w + 1) * stripe).min(n_links);
-                    for link_id in start..end {
-                        let link = gen.link(link_id);
-                        acc.push(&LinkAnalysis::new(&link.trace, table));
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
+        for _ in 0..n_threads.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let mut acc = FleetAccumulator::new();
+                let start = c * chunk;
+                let end = (start + chunk).min(n_links);
+                for link_id in start..end {
+                    let link = gen.link(link_id);
+                    acc.push(&LinkAnalysis::new(&link.trace, table));
+                }
+                *slots[c].lock().expect("slot poisoned") = Some(acc);
+            });
         }
     });
+    // Merge in chunk order = link-id order = the sequential order.
     let mut merged = FleetAccumulator::new();
-    for p in partials {
-        merged.merge(p);
+    for slot in slots {
+        let partial = slot.into_inner().expect("slot poisoned").expect("chunk not processed");
+        merged.merge(partial);
     }
     merged
+}
+
+/// Runs independent experiment arms concurrently on a scoped pool and
+/// returns their results **in input order** — the deterministic-merge
+/// contract: output depends only on the arms, never on scheduling.
+///
+/// Arms are pulled from the same atomic-counter queue as the fleet sweep,
+/// so a long arm (srlg's MBB leg, a slow ablation cell) doesn't serialise
+/// behind a fixed assignment. Panics in an arm propagate to the caller.
+pub fn parallel_arms<T: Send>(arms: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
+    /// A queued arm: taken exactly once by whichever worker claims its index.
+    type QueuedArm<'a, T> = Mutex<Option<Box<dyn FnOnce() -> T + Send + 'a>>>;
+    let n = arms.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let queue: Vec<QueuedArm<'_, T>> = arms.into_iter().map(|a| Mutex::new(Some(a))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..default_workers().min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let arm = queue[i].lock().expect("arm poisoned").take().expect("arm taken twice");
+                *slots[i].lock().expect("slot poisoned") = Some(arm());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("arm not run"))
+        .collect()
+}
+
+/// Two-arm convenience for A/B experiments (MBB vs legacy, reactive vs
+/// predictive): runs both concurrently, returns them as a pair.
+pub fn parallel_pair<T: Send, A, B>(a: A, b: B) -> (T, T)
+where
+    A: FnOnce() -> T + Send,
+    B: FnOnce() -> T + Send,
+{
+    let mut results = parallel_arms(vec![Box::new(a) as Box<_>, Box::new(b) as Box<_>]);
+    let second = results.pop().expect("two arms in, two out");
+    let first = results.pop().expect("two arms in, two out");
+    (first, second)
 }
 
 /// Picks a sensible worker count for this machine.
@@ -91,8 +159,42 @@ mod tests {
     }
 
     #[test]
+    fn arms_return_in_input_order() {
+        // More arms than workers, deliberately uneven, values distinct:
+        // results must come back exactly in input order.
+        let arms: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..37)
+            .map(|i| {
+                Box::new(move || {
+                    // Uneven busywork so completion order scrambles.
+                    let spins = (37 - i) * 1000;
+                    let mut acc = 0usize;
+                    for k in 0..spins {
+                        acc = acc.wrapping_add(k);
+                    }
+                    std::hint::black_box(acc); // keep the busywork alive
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = parallel_arms(arms);
+        assert_eq!(results, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pair_preserves_sides() {
+        let (a, b) = parallel_pair(|| "left", || "right");
+        assert_eq!((a, b), ("left", "right"));
+    }
+
+    #[test]
+    fn empty_arms_are_fine() {
+        let results: Vec<u8> = parallel_arms(Vec::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
     fn default_workers_sane() {
         let w = default_workers();
-        assert!(w >= 1 && w <= 16);
+        assert!((1..=16).contains(&w));
     }
 }

@@ -1,0 +1,238 @@
+//! Machine-readable performance digest of the scenario round engine —
+//! the payload behind `repro --bench-json` and the CI perf-smoke gate.
+//!
+//! Four arms of the *same* week-in-the-life scenario:
+//!
+//! | arm           | round engine            | TE solver            |
+//! |---------------|-------------------------|----------------------|
+//! | `full`        | rebuild everything      | SWAN (stateless)     |
+//! | `incremental` | dirty-link + memo       | SWAN (stateless)     |
+//! | `exact_cold`  | rebuild everything      | exact LP, cold       |
+//! | `exact_warm`  | dirty-link + memo       | exact LP, warm-start |
+//!
+//! The SWAN pair must produce **byte-identical** reports (the incremental
+//! engine is an optimisation, not an approximation) and is where the
+//! headline `solve_speedup` comes from. The exact pair exercises the
+//! warm-started flat simplex: objectives agree to solver tolerance, so
+//! the digest reports the worst per-round throughput delta alongside the
+//! warm-start hit rate.
+//!
+//! Timing lives in [`ScenarioTiming`] sidecars and never in the reports
+//! themselves, so the determinism comparisons stay meaningful.
+
+use crate::Scale;
+use rwc_core::scenario::{Scenario, ScenarioConfig, ScenarioReport, ScenarioTiming};
+use rwc_te::demand::{DemandMatrix, Priority};
+use rwc_te::exact::{ExactTe, IncrementalExactTe};
+use rwc_te::swan::SwanTe;
+use rwc_te::TeAlgorithm;
+use rwc_telemetry::FleetConfig;
+use rwc_topology::builders;
+use rwc_util::time::SimDuration;
+use rwc_util::units::Gbps;
+use serde::{Deserialize, Serialize};
+
+/// Timing digest of one scenario arm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArmPerf {
+    /// TE rounds the arm completed.
+    pub rounds: u64,
+    /// Rounds per wall-clock second over the whole run.
+    pub rounds_per_sec: f64,
+    /// Median per-round solve time (static baseline + augmentation +
+    /// augmented solve), microseconds.
+    pub solve_p50_micros: u64,
+    /// 99th-percentile per-round solve time, microseconds.
+    pub solve_p99_micros: u64,
+    /// Total microseconds spent in TE solves.
+    pub total_solve_micros: u64,
+}
+
+impl ArmPerf {
+    fn from_timing(t: &ScenarioTiming) -> Self {
+        Self {
+            rounds: t.solve_micros.len() as u64,
+            rounds_per_sec: t.rounds_per_sec(),
+            solve_p50_micros: t.solve_percentile_micros(0.50),
+            solve_p99_micros: t.solve_percentile_micros(0.99),
+            total_solve_micros: t.total_solve_micros(),
+        }
+    }
+}
+
+/// The `BENCH_scenario.json` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioPerf {
+    /// Experiment id (always `"scenario"`).
+    pub experiment: String,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Full-rebuild engine, SWAN solver.
+    pub full: ArmPerf,
+    /// Incremental engine, SWAN solver.
+    pub incremental: ArmPerf,
+    /// `full.total_solve_micros / incremental.total_solve_micros`.
+    pub solve_speedup: f64,
+    /// Whether the SWAN pair's reports serialized byte-identically.
+    pub reports_identical: bool,
+    /// Full-rebuild engine, cold exact LP.
+    pub exact_cold: ArmPerf,
+    /// Incremental engine, warm-started exact LP.
+    pub exact_warm: ArmPerf,
+    /// `exact_cold.total_solve_micros / exact_warm.total_solve_micros`.
+    pub exact_solve_speedup: f64,
+    /// Warm starts attempted by the incremental exact arm.
+    pub warm_attempts: u64,
+    /// Warm starts that reached optimality without a cold fallback.
+    pub warm_hits: u64,
+    /// `warm_hits / warm_attempts` in `[0, 1]`.
+    pub warm_hit_rate: f64,
+    /// Worst per-round |warm − cold| throughput difference (Gbps) between
+    /// the exact arms — bounded by LP tolerance, not zero, because warm
+    /// and cold may land on different optimal vertices.
+    pub max_throughput_delta: f64,
+}
+
+/// Builds the perf scenario: continental-scale Abilene rather than the
+/// experiment's 5-link Fig. 7 example, because the round-engine
+/// optimisations (warm simplex bases, dirty-link patching) only show
+/// their worth once the augmented LP has real size. SNR baselines sit
+/// comfortably above the rung thresholds so ladders keep their shape
+/// most rounds — the regime warm starts are designed for.
+fn perf_build(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
+    let wan = builders::abilene();
+    let pick = |n: &str| wan.node_by_name(n).expect("abilene site");
+    let mut dm = DemandMatrix::new();
+    for (s, t) in
+        [("SEA", "NYC"), ("LAX", "WDC"), ("SNV", "CHI"), ("DEN", "ATL"), ("KSC", "NYC"), ("HOU", "CHI")]
+    {
+        dm.add(pick(s), pick(t), Gbps(120.0), Priority::Elastic);
+    }
+    let horizon = match scale {
+        Scale::Quick => SimDuration::from_days(7),
+        Scale::Full => SimDuration::from_days(30),
+    };
+    let fleet = FleetConfig {
+        n_fibers: 2,
+        wavelengths_per_fiber: 7,
+        horizon: horizon + SimDuration::from_days(1),
+        fiber_baseline_mean_db: 14.5,
+        fiber_baseline_sd_db: 0.1,
+        wavelength_jitter_sd_db: 0.15,
+        ..FleetConfig::paper()
+    };
+    let config = ScenarioConfig { full_rebuild, ..ScenarioConfig::default() };
+    (Scenario::new(wan, fleet, dm, config), horizon)
+}
+
+fn run_arm(
+    scale: Scale,
+    full_rebuild: bool,
+    algorithm: &dyn TeAlgorithm,
+) -> (ScenarioReport, ScenarioTiming) {
+    let (mut s, horizon) = perf_build(scale, full_rebuild);
+    s.try_run_timed(horizon, algorithm).expect("perf scenario wiring is valid")
+}
+
+/// Runs the four arms (sequentially, so the timings aren't fighting each
+/// other for cores) and assembles the digest.
+pub fn scenario_perf(scale: Scale) -> ScenarioPerf {
+    let (full_report, full_t) = run_arm(scale, true, &SwanTe::default());
+    let (inc_report, inc_t) = run_arm(scale, false, &SwanTe::default());
+    let (cold_report, cold_t) = run_arm(scale, true, &ExactTe::default());
+    let warm_algo = IncrementalExactTe::default();
+    let (warm_report, warm_t) = run_arm(scale, false, &warm_algo);
+    let stats = warm_algo.warm_stats().unwrap_or_default();
+
+    let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let max_throughput_delta = cold_report
+        .samples
+        .iter()
+        .zip(&warm_report.samples)
+        .map(|(c, w)| (c.throughput - w.throughput).abs())
+        .fold(0.0f64, f64::max);
+
+    ScenarioPerf {
+        experiment: "scenario".into(),
+        scale: match scale {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "full".into(),
+        },
+        solve_speedup: ratio(full_t.total_solve_micros(), inc_t.total_solve_micros()),
+        reports_identical: serde_json::to_string(&full_report).expect("report serializes")
+            == serde_json::to_string(&inc_report).expect("report serializes"),
+        full: ArmPerf::from_timing(&full_t),
+        incremental: ArmPerf::from_timing(&inc_t),
+        exact_solve_speedup: ratio(cold_t.total_solve_micros(), warm_t.total_solve_micros()),
+        exact_cold: ArmPerf::from_timing(&cold_t),
+        exact_warm: ArmPerf::from_timing(&warm_t),
+        warm_attempts: stats.warm_attempts,
+        warm_hits: stats.warm_hits,
+        warm_hit_rate: stats.warm_hit_rate(),
+        max_throughput_delta,
+    }
+}
+
+impl ScenarioPerf {
+    /// Pretty JSON for `BENCH_scenario.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("perf digest serializes")
+    }
+
+    /// Parses a digest (e.g. the committed baseline).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// CI regression gate: errors when incremental-engine throughput has
+    /// collapsed to less than half the committed baseline. The 2× band
+    /// absorbs runner-to-runner noise while still catching a lost
+    /// optimisation (which shows up as ~5–10×).
+    pub fn check_against_baseline(&self, baseline: &ScenarioPerf) -> Result<(), String> {
+        let floor = baseline.incremental.rounds_per_sec / 2.0;
+        if self.incremental.rounds_per_sec < floor {
+            return Err(format!(
+                "perf regression: incremental engine at {:.1} rounds/sec, \
+                 below half the baseline {:.1}",
+                self.incremental.rounds_per_sec, baseline.incremental.rounds_per_sec
+            ));
+        }
+        if !self.reports_identical {
+            return Err("incremental engine diverged from full rebuild".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_round_trips_and_gates() {
+        let perf = scenario_perf(Scale::Quick);
+        assert!(perf.reports_identical, "incremental must match full rebuild");
+        assert!(perf.full.rounds > 0 && perf.full.rounds == perf.incremental.rounds);
+        assert!(perf.warm_attempts > 0, "warm arm never attempted a warm start");
+        assert!(
+            perf.warm_hit_rate > 0.5,
+            "warm starts mostly missing: {:.2}",
+            perf.warm_hit_rate
+        );
+        // Warm and cold exact solves agree to LP tolerance per round.
+        assert!(
+            perf.max_throughput_delta < 1e-3,
+            "warm exact diverged from cold by {} Gbps",
+            perf.max_throughput_delta
+        );
+        let json = perf.to_json();
+        let back = ScenarioPerf::from_json(&json).expect("digest parses back");
+        assert_eq!(json, back.to_json(), "digest must round-trip");
+        // A digest always clears its own baseline.
+        perf.check_against_baseline(&back).expect("self-comparison passes");
+        // And a 10× faster baseline trips the gate.
+        let mut fast = back.clone();
+        fast.incremental.rounds_per_sec = perf.incremental.rounds_per_sec * 10.0;
+        assert!(perf.check_against_baseline(&fast).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Byte-identity of the incremental round engine.
+//!
+//! The dirty-link augmenter, static-solve memo, and counterfactual cache
+//! are pure performance machinery: with the `full_rebuild` escape hatch
+//! flipped, the exact same experiments must produce the exact same
+//! serialized [`ScenarioReport`], byte for byte. Any divergence means an
+//! engine cache leaked into the results.
+
+use rwc_bench::experiments::{faults, srlg};
+use rwc_bench::Scale;
+use rwc_core::scenario::ScenarioReport;
+use rwc_te::swan::SwanTe;
+
+fn json(report: &ScenarioReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[test]
+fn faults_report_is_byte_identical_incremental_vs_full_rebuild() {
+    let (mut inc, horizon, _) = faults::build_arm(Scale::Quick, false);
+    let (mut full, _, _) = faults::build_arm(Scale::Quick, true);
+    let inc_report = inc.run(horizon, &SwanTe::default());
+    let full_report = full.run(horizon, &SwanTe::default());
+    assert_eq!(json(&inc_report), json(&full_report));
+}
+
+#[test]
+fn srlg_reports_are_byte_identical_incremental_vs_full_rebuild() {
+    for mbb in [false, true] {
+        let (mut inc, horizon, _) = srlg::build_arm(Scale::Quick, mbb, false);
+        let (mut full, _, _) = srlg::build_arm(Scale::Quick, mbb, true);
+        let inc_report = inc.run(horizon, &SwanTe::default());
+        let full_report = full.run(horizon, &SwanTe::default());
+        assert_eq!(json(&inc_report), json(&full_report), "make_before_break={mbb}");
+    }
+}

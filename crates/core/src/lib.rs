@@ -42,10 +42,10 @@ pub mod scenario;
 pub mod theorem;
 pub mod translate;
 
-pub use augment::{augment, AugmentConfig, AugmentedProblem, FakeEdge};
+pub use augment::{augment, AugmentConfig, AugmentStats, AugmentedProblem, FakeEdge, IncrementalAugmenter};
 pub use controller::{Controller, ControllerConfig, Decision, LinkHealth};
 pub use error::RwcError;
 pub use network::DynamicCapacityNetwork;
-pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioReport, ScenarioTiming};
 pub use penalty::PenaltyPolicy;
 pub use translate::{translate, Translation};

@@ -13,8 +13,10 @@
 //! 5. plan **consistent updates** for the upgrades and apply them through
 //!    the BVT model, accounting downtime and churn.
 
-use crate::augment::{augment, AugmentConfig};
+use crate::augment::{augment, AugmentConfig, AugmentStats, IncrementalAugmenter};
 use crate::controller::{Controller, ControllerConfig, SweepReport};
+use std::collections::HashMap;
+use std::time::Duration;
 use crate::error::RwcError;
 use crate::translate::{translate, Translation};
 use rwc_optics::bvt::BvtFault;
@@ -46,6 +48,11 @@ pub struct TeRound {
     /// True when the TE solver failed this round and the last feasible
     /// allocation stayed in force instead (graceful degradation).
     pub te_fallback: bool,
+    /// Wall-clock time spent in TE solving this round: the static
+    /// baseline (when not served from cache), augmentation and the
+    /// augmented solve. Excludes plan/apply. Not part of any serialised
+    /// report — timing is measurement, not simulation state.
+    pub solve_time: Duration,
     /// Upgrades the solver asked for that the hardware failed to apply
     /// (retries exhausted or link quarantined).
     pub failed_changes: usize,
@@ -125,6 +132,41 @@ pub struct DynamicCapacityNetwork {
     /// path (prepare → drained-headroom check → commit, with rollback)
     /// instead of the direct `execute_change` path.
     mbb: bool,
+    /// Dirty-link incremental Algorithm 1 (the round engine's default).
+    augmenter: IncrementalAugmenter,
+    /// Escape hatch: rebuild the augmented problem from scratch every
+    /// round (the pre-incremental behaviour, kept for byte-identity
+    /// comparisons and debugging).
+    full_rebuild: bool,
+    /// Memoised static-baseline totals, keyed on the exact inputs the
+    /// baseline depends on (algorithm, per-link capacities, demands).
+    /// The solver is deterministic, so a hit bit-equals a recompute;
+    /// only successful solves are stored. Bounded in practice because
+    /// capacities move over a small rung set and diurnal demand scales
+    /// repeat daily.
+    static_memo: HashMap<StaticKey, f64>,
+}
+
+/// Exact memo key for the static-baseline solve: algorithm name, each
+/// link's capacity bits, and each demand's endpoints + volume bits. No
+/// hashing-to-u64 shortcuts — a collision would silently break the
+/// determinism guarantee the scenario tests pin down.
+type StaticKey = (&'static str, Vec<u64>, Vec<(usize, usize, u64)>);
+
+fn static_key(
+    algorithm: &dyn TeAlgorithm,
+    wan: &WanTopology,
+    demands: &DemandMatrix,
+) -> StaticKey {
+    (
+        algorithm.name(),
+        wan.links().map(|(_, l)| l.capacity().value().to_bits()).collect(),
+        demands
+            .demands()
+            .iter()
+            .map(|d| (d.from.0, d.to.0, d.volume.value().to_bits()))
+            .collect(),
+    )
 }
 
 impl DynamicCapacityNetwork {
@@ -144,7 +186,33 @@ impl DynamicCapacityNetwork {
             previous_flows: None,
             last_good_totals: None,
             mbb: true,
+            augmenter: IncrementalAugmenter::new(),
+            full_rebuild: false,
+            static_memo: HashMap::new(),
         }
+    }
+
+    /// Switches the round engine between dirty-link incremental
+    /// augmentation + static-solve memoisation (default) and the
+    /// from-scratch per-round path. Both produce identical rounds; the
+    /// escape hatch exists so tests can prove it and so a regression can
+    /// be bisected in the field.
+    pub fn set_full_rebuild(&mut self, on: bool) {
+        self.full_rebuild = on;
+        if on {
+            self.augmenter.reset();
+            self.static_memo.clear();
+        }
+    }
+
+    /// Whether the from-scratch escape hatch is in force.
+    pub fn full_rebuild(&self) -> bool {
+        self.full_rebuild
+    }
+
+    /// Incremental-augmentation counters (zeros under full rebuild).
+    pub fn augment_stats(&self) -> AugmentStats {
+        self.augmenter.stats()
     }
 
     /// Switches TE-driven changes between the staged make-before-break
@@ -223,14 +291,37 @@ impl DynamicCapacityNetwork {
         algorithm: &dyn TeAlgorithm,
         now: SimTime,
     ) -> Result<TeRound, RwcError> {
-        // Static baseline: same algorithm, no fake links.
-        let static_problem = TeProblem::from_wan(&self.wan, demands);
-        let static_solution = algorithm.try_solve(&static_problem)?;
+        let solve_start = std::time::Instant::now();
+        // Static baseline: same algorithm, no fake links. Memoised — the
+        // solver is deterministic, so a cached total bit-equals the
+        // recompute it replaces.
+        let static_total = if self.full_rebuild {
+            algorithm.try_solve(&TeProblem::from_wan(&self.wan, demands))?.total
+        } else {
+            let key = static_key(algorithm, &self.wan, demands);
+            match self.static_memo.get(&key) {
+                Some(&total) => total,
+                None => {
+                    let total =
+                        algorithm.try_solve(&TeProblem::from_wan(&self.wan, demands))?.total;
+                    self.static_memo.insert(key, total);
+                    total
+                }
+            }
+        };
 
-        // Augment + solve + translate.
-        let aug = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
+        // Augment (patching dirty links unless the escape hatch is on) +
+        // solve + translate.
+        let fresh;
+        let aug = if self.full_rebuild {
+            fresh = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
+            &fresh
+        } else {
+            self.augmenter.augment(&self.wan, demands, &self.augment_config, &self.link_traffic)
+        };
         let solution = algorithm.try_solve(&aug.problem)?;
-        let mut translation = translate(&aug, &self.wan, &solution);
+        let solve_time = solve_start.elapsed();
+        let mut translation = translate(aug, &self.wan, &solution);
 
         // Consistent-update plan + application through the hardware.
         let mut reconfig_downtime = SimDuration::ZERO;
@@ -349,16 +440,17 @@ impl DynamicCapacityNetwork {
             self.link_traffic[id.0] = fwd.max(bwd);
         }
         self.previous_flows = Some(translation.real_edge_flows.clone());
-        self.last_good_totals = Some((throughput, static_solution.total));
+        self.last_good_totals = Some((throughput, static_total));
 
         Ok(TeRound {
             throughput,
-            static_throughput: static_solution.total,
+            static_throughput: static_total,
             translation,
             update_plan,
             reconfig_downtime,
             churn,
             te_fallback: false,
+            solve_time,
             failed_changes,
             rolled_back,
             retries,
@@ -387,6 +479,7 @@ impl DynamicCapacityNetwork {
             reconfig_downtime: SimDuration::ZERO,
             churn: 0.0,
             te_fallback: true,
+            solve_time: Duration::ZERO,
             failed_changes: 0,
             rolled_back: 0,
             retries: 0,

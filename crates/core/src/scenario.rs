@@ -68,6 +68,12 @@ pub struct ScenarioConfig {
     /// Default true; disable only to reproduce the break-then-make
     /// baseline in experiments.
     pub make_before_break: bool,
+    /// Escape hatch: rebuild every TE problem from scratch each round and
+    /// skip all solve caches (the pre-incremental engine). Default false.
+    /// Both settings produce byte-identical [`ScenarioReport`]s — the
+    /// determinism tests compare them — so this exists for those tests
+    /// and for bisecting any future divergence.
+    pub full_rebuild: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -83,7 +89,50 @@ impl Default for ScenarioConfig {
             seed: 0x5CE4A210,
             fault_plan: None,
             make_before_break: true,
+            full_rebuild: false,
         }
+    }
+}
+
+/// Wall-clock measurements of a scenario run, kept strictly apart from
+/// [`ScenarioReport`]: timing is nondeterministic by nature and must
+/// never leak into the serialised report the determinism tests compare.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioTiming {
+    /// Per-TE-round solve time in microseconds: static baseline,
+    /// augmentation, augmented solve, and the binary counterfactual —
+    /// everything a round computes, so engine-level caching shows up.
+    pub solve_micros: Vec<u64>,
+    /// Whole-run wall time in microseconds.
+    pub wall_micros: u64,
+}
+
+impl ScenarioTiming {
+    /// TE rounds completed per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.solve_micros.len() as f64 / (self.wall_micros as f64 / 1e6)
+        }
+    }
+
+    /// Solve-time percentile in microseconds (`p` in `[0, 1]`), by the
+    /// nearest-rank method; 0 when no rounds ran.
+    pub fn solve_percentile_micros(&self, p: f64) -> u64 {
+        if self.solve_micros.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.solve_micros.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Total microseconds spent in TE solves.
+    pub fn total_solve_micros(&self) -> u64 {
+        self.solve_micros.iter().sum()
     }
 }
 
@@ -312,6 +361,17 @@ impl Scenario {
         horizon: SimDuration,
         algorithm: &dyn TeAlgorithm,
     ) -> Result<ScenarioReport, RwcError> {
+        self.try_run_timed(horizon, algorithm).map(|(report, _)| report)
+    }
+
+    /// [`Scenario::try_run`] plus wall-clock round timing. The report is
+    /// identical to an untimed run; the [`ScenarioTiming`] sidecar is
+    /// what `repro --bench-json` serialises.
+    pub fn try_run_timed(
+        &mut self,
+        horizon: SimDuration,
+        algorithm: &dyn TeAlgorithm,
+    ) -> Result<(ScenarioReport, ScenarioTiming), RwcError> {
         let tick = self.telemetry[0].trace.tick();
         let n_ticks = horizon.ticks(tick) as usize;
         let max_ticks = self
@@ -342,6 +402,18 @@ impl Scenario {
         let mut frozen: Vec<Option<Db>> = vec![None; n_links];
         // Counterfactual throughput carried over if its solver ever fails.
         let mut last_static_total = 0.0;
+        self.network.set_full_rebuild(self.config.full_rebuild);
+        // Counterfactual-solve cache. The static fleet's modulations are
+        // pinned, so its problem is fully determined by the demand scale
+        // and which links are below their rung's threshold — and with
+        // hourly rounds the diurnal scale repeats every day. Keys are
+        // exact (scale bits + down mask), values only stored on success,
+        // and the solver is deterministic, so a hit bit-equals the solve
+        // it replaces.
+        let mut counterfactual_cache: std::collections::HashMap<(u64, Vec<bool>), f64> =
+            std::collections::HashMap::new();
+        let mut timing = ScenarioTiming::default();
+        let run_start = std::time::Instant::now();
 
         let mut report = ScenarioReport {
             samples: Vec::new(),
@@ -435,6 +507,7 @@ impl Scenario {
                 let phase = std::f64::consts::TAU * now.since_epoch().as_secs_f64() / day;
                 let scale = 1.0 + self.config.demand_diurnal_amp * phase.sin();
                 let demands = self.demands.scaled(scale.max(0.0));
+                let round_start = std::time::Instant::now();
                 let round = match injector.te_fault(now) {
                     Some(fault) => {
                         let faulty = FaultInjectedTe::new(algorithm, fault);
@@ -452,24 +525,45 @@ impl Scenario {
 
                 // Counterfactual: never-upgraded links under the binary
                 // policy — a link whose SNR is below its (fixed) rung's
-                // threshold is simply down.
+                // threshold is simply down. Cached on (scale, down mask)
+                // unless the full-rebuild escape hatch is on.
                 let table = &self.config.controller.table;
-                let mut static_problem =
-                    TeProblem::from_wan(&self.static_wan, &demands);
-                for (id, link) in self.static_wan.links() {
-                    if !table.supports(link.snr, link.modulation) {
-                        static_problem.override_link_capacity(id, 0.0);
+                let down: Vec<bool> = self
+                    .static_wan
+                    .links()
+                    .map(|(_, link)| !table.supports(link.snr, link.modulation))
+                    .collect();
+                let cache_key = (scale.max(0.0).to_bits(), down.clone());
+                let cached = (!self.config.full_rebuild)
+                    .then(|| counterfactual_cache.get(&cache_key).copied())
+                    .flatten();
+                let static_total = match cached {
+                    Some(total) => {
+                        last_static_total = total;
+                        total
                     }
-                }
-                let static_total = match algorithm.try_solve(&static_problem) {
-                    Ok(s) => {
-                        last_static_total = s.total;
-                        s.total
+                    None => {
+                        let mut static_problem =
+                            TeProblem::from_wan(&self.static_wan, &demands);
+                        for (id, is_down) in down.iter().enumerate() {
+                            if *is_down {
+                                static_problem.override_link_capacity(LinkId(id), 0.0);
+                            }
+                        }
+                        match algorithm.try_solve(&static_problem) {
+                            Ok(s) => {
+                                counterfactual_cache.insert(cache_key, s.total);
+                                last_static_total = s.total;
+                                s.total
+                            }
+                            // The counterfactual gets the same grace the
+                            // real pipeline does: carry the last feasible
+                            // total.
+                            Err(_) => last_static_total,
+                        }
                     }
-                    // The counterfactual gets the same grace the real
-                    // pipeline does: carry the last feasible total.
-                    Err(_) => last_static_total,
                 };
+                timing.solve_micros.push(round_start.elapsed().as_micros() as u64);
 
                 report.samples.push(ScenarioSample {
                     time: now,
@@ -482,7 +576,8 @@ impl Scenario {
                 });
             }
         }
-        Ok(report)
+        timing.wall_micros = run_start.elapsed().as_micros() as u64;
+        Ok((report, timing))
     }
 }
 
@@ -758,6 +853,60 @@ mod tests {
                 RwcError::FaultPlan(rwc_faults::FaultPlanError::EmptyWindow { index: 0 })
             ),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn incremental_engine_matches_full_rebuild_byte_for_byte() {
+        // The whole point of the escape hatch: the incremental round
+        // engine (dirty-link augmentation + solve caches) must not change
+        // a single byte of the report relative to the from-scratch path,
+        // fault plan and all.
+        let plan = FaultPlanConfig {
+            n_links: 4,
+            horizon: SimDuration::from_days(2),
+            bvt_rate_per_link_day: 1.0,
+            telemetry_rate_per_link_day: 1.0,
+            seed: 0xC0FFEE,
+            ..FaultPlanConfig::default()
+        }
+        .generate();
+        let incremental = ScenarioConfig {
+            fault_plan: Some(plan.clone()),
+            ..ScenarioConfig::default()
+        };
+        let full = ScenarioConfig {
+            fault_plan: Some(plan),
+            full_rebuild: true,
+            ..ScenarioConfig::default()
+        };
+        let mut a = scenario_with(10, incremental);
+        let mut b = scenario_with(10, full);
+        let ra = a.run(SimDuration::from_days(2), &SwanTe::default());
+        let rb = b.run(SimDuration::from_days(2), &SwanTe::default());
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap(),
+            "incremental and full-rebuild engines diverged"
+        );
+        // The incremental arm actually exercised the caches.
+        let stats = a.network().augment_stats();
+        assert_eq!(stats.full_rebuilds, 1, "{stats:?}");
+        assert!(stats.in_place_patches + stats.suffix_rebuilds > 0, "{stats:?}");
+        assert_eq!(b.network().augment_stats(), crate::augment::AugmentStats::default());
+    }
+
+    #[test]
+    fn timed_run_reports_round_timing() {
+        let mut s = scenario(10);
+        let (report, timing) =
+            s.try_run_timed(SimDuration::from_days(1), &SwanTe::default()).unwrap();
+        assert_eq!(timing.solve_micros.len(), report.samples.len());
+        assert!(timing.wall_micros > 0);
+        assert!(timing.rounds_per_sec() > 0.0);
+        assert!(
+            timing.solve_percentile_micros(0.5) <= timing.solve_percentile_micros(0.99),
+            "p50 must not exceed p99"
         );
     }
 

@@ -24,4 +24,4 @@ pub mod model;
 pub mod simplex;
 
 pub use model::{LinearProgram, LpBuilder, Relation};
-pub use simplex::{solve, LpOutcome, Solution};
+pub use simplex::{solve, solve_with_budget, LpOutcome, SimplexSolver, Solution, SolverStats};

@@ -3,8 +3,8 @@
 //! the feasible polygon — checkable by hand).
 
 use proptest::prelude::*;
-use rwc_lp::model::{LpBuilder, Relation};
-use rwc_lp::simplex::{solve, LpOutcome};
+use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
+use rwc_lp::simplex::{solve, LpOutcome, SimplexSolver};
 
 /// Brute-force a 2-var LP: enumerate candidate vertices (constraint-pair
 /// intersections + axis intersections + origin), keep the feasible ones,
@@ -106,5 +106,77 @@ proptest! {
         let scaled = solve_with(k * cx, k * cy);
         prop_assert!((scaled - k * base).abs() < 1e-5 * (1.0 + k * base.abs()),
             "{scaled} vs {}", k * base);
+    }
+
+    /// One persistent solver re-solving a drifting LP family matches a
+    /// cold solver's optimal objective on every step — through
+    /// fast resolves (rhs-only drift), basis refactorisations
+    /// (coefficient drift), and forced cold fallbacks (structural edits
+    /// that change the constraint count, invalidating the saved basis).
+    #[test]
+    fn warm_resolve_matches_cold_across_perturbations(
+        objs in proptest::collection::vec(0.2f64..5.0, 3),
+        base_rows in proptest::collection::vec(
+            (0.1f64..5.0, 0.1f64..5.0, 0.1f64..5.0, 1.0f64..20.0), 2..5),
+        steps in proptest::collection::vec((0u8..3, 0usize..12, 0.4f64..1.6), 2..10),
+    ) {
+        let mut rows: Vec<([f64; 3], f64)> =
+            base_rows.iter().map(|&(a, b, c, r)| ([a, b, c], r)).collect();
+        let mut extra_row = false;
+        let build = |rows: &[([f64; 3], f64)], extra_row: bool| -> LinearProgram {
+            let mut b = LpBuilder::new();
+            let vars: Vec<usize> = objs.iter().map(|&o| b.add_var(o)).collect();
+            for (coef, rhs) in rows {
+                let terms: Vec<(usize, f64)> =
+                    vars.iter().zip(coef).map(|(&v, &a)| (v, a)).collect();
+                b.add_constraint(&terms, Relation::Le, *rhs);
+            }
+            for &v in &vars {
+                b.add_constraint(&[(v, 1.0)], Relation::Le, 50.0); // keep it bounded
+            }
+            if extra_row {
+                let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+                b.add_constraint(&terms, Relation::Le, 120.0);
+            }
+            b.build()
+        };
+        let mut warm = SimplexSolver::new();
+        let lp0 = build(&rows, extra_row);
+        let w0 = warm.solve(&lp0).expect_optimal().objective;
+        let c0 = solve(&lp0).expect_optimal().objective;
+        prop_assert!((w0 - c0).abs() < 1e-6 * (1.0 + c0.abs()));
+        let mut same_shape_steps = 0u64;
+        for &(kind, idx, factor) in &steps {
+            match kind {
+                // Rhs-only drift: the fast-resolve / dual-repair path.
+                // Shrinking the rhs is what makes the saved basis primal-
+                // infeasible, forcing the dual-simplex repair.
+                0 => {
+                    let i = idx % rows.len();
+                    rows[i].1 *= factor;
+                }
+                // Coefficient drift: full warm refactorisation.
+                1 => {
+                    let i = idx % rows.len();
+                    rows[i].0[idx % 3] *= factor;
+                }
+                // Structural edit: constraint count changes, so the saved
+                // basis cannot apply and the solver must go cold.
+                _ => extra_row = !extra_row,
+            }
+            if kind < 2 {
+                same_shape_steps += 1;
+            }
+            let lp = build(&rows, extra_row);
+            let w = warm.solve(&lp).expect_optimal().objective;
+            let c = solve(&lp).expect_optimal().objective;
+            prop_assert!((w - c).abs() < 1e-6 * (1.0 + c.abs()),
+                "warm {w} vs cold {c} after step kind={kind} idx={idx} factor={factor}");
+        }
+        // Every same-shape step should at least have attempted a warm
+        // start (hits depend on the drift, attempts do not).
+        prop_assert!(warm.stats().warm_attempts >= same_shape_steps,
+            "only {} warm attempts for {} same-shape steps",
+            warm.stats().warm_attempts, same_shape_steps);
     }
 }

@@ -158,8 +158,7 @@ mod tests {
     use rwc_topology::builders;
     use rwc_util::units::Gbps;
 
-    fn ab_problem(volumes: &[f64], unused: ()) -> TeProblem {
-        let _ = unused;
+    fn ab_problem(volumes: &[f64]) -> TeProblem {
         let wan = builders::fig7_example();
         let a = wan.node_by_name("A").unwrap();
         let b = wan.node_by_name("B").unwrap();
@@ -172,7 +171,7 @@ mod tests {
 
     #[test]
     fn splittable_fills_paths() {
-        let p = ab_problem(&[250.0], ());
+        let p = ab_problem(&[250.0]);
         let sol = CspfTe { unsplittable: false }.solve(&p);
         sol.validate(&p).unwrap();
         assert!(sol.total > 150.0, "total={}", sol.total);
@@ -181,12 +180,12 @@ mod tests {
     #[test]
     fn unsplittable_places_whole_or_nothing() {
         // 150 G cannot fit any single 100 G path: must be dropped.
-        let p = ab_problem(&[150.0], ());
+        let p = ab_problem(&[150.0]);
         let sol = CspfTe { unsplittable: true }.solve(&p);
         sol.validate(&p).unwrap();
         assert_eq!(sol.total, 0.0);
         // 80 G fits on the direct link.
-        let p = ab_problem(&[80.0], ());
+        let p = ab_problem(&[80.0]);
         let sol = CspfTe { unsplittable: true }.solve(&p);
         assert_eq!(sol.total, 80.0);
     }
@@ -194,20 +193,20 @@ mod tests {
     #[test]
     fn order_dependence_is_visible() {
         // First demand hogs the direct path; second detours.
-        let p = ab_problem(&[100.0, 100.0], ());
+        let p = ab_problem(&[100.0, 100.0]);
         let sol = CspfTe { unsplittable: true }.solve(&p);
         sol.validate(&p).unwrap();
         assert_eq!(sol.routed[0], 100.0);
         assert_eq!(sol.routed[1], 100.0, "detour via C exists");
         // Third demand of 100 must fail: no single remaining 100 G path.
-        let p3 = ab_problem(&[100.0, 100.0, 100.0], ());
+        let p3 = ab_problem(&[100.0, 100.0, 100.0]);
         let sol3 = CspfTe { unsplittable: true }.solve(&p3);
         assert_eq!(sol3.routed[2], 0.0);
     }
 
     #[test]
     fn shortest_path_preferred() {
-        let p = ab_problem(&[50.0], ());
+        let p = ab_problem(&[50.0]);
         let sol = CspfTe { unsplittable: true }.solve(&p);
         // Direct A→B edge is edge 0; all 50 G must ride it.
         assert_eq!(sol.edge_flows[0], 50.0);
@@ -216,7 +215,7 @@ mod tests {
 
     #[test]
     fn zero_demand_skipped() {
-        let p = ab_problem(&[0.0], ());
+        let p = ab_problem(&[0.0]);
         let sol = CspfTe::default().solve(&p);
         assert_eq!(sol.total, 0.0);
     }

@@ -8,8 +8,9 @@
 
 use crate::problem::{TeProblem, TeSolution};
 use crate::{TeAlgorithm, TeError};
-use rwc_lp::model::{LpBuilder, Relation};
-use rwc_lp::simplex::{solve, LpOutcome};
+use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
+use rwc_lp::simplex::{solve, LpOutcome, SimplexSolver, Solution, SolverStats};
+use std::cell::RefCell;
 
 /// Exact LP-based solver.
 ///
@@ -31,100 +32,179 @@ impl Default for ExactTe {
     }
 }
 
+/// Lowers a TE problem to the max-throughput multicommodity LP: variable
+/// `(ki, ei)` at `ki*m + ei`, objective = weighted net outflow at each
+/// commodity's source minus edge costs, with capacity, flow-conservation
+/// and demand-cap constraints. Public so the benches can solve the exact
+/// LP the round engine solves.
+pub fn build_lp(problem: &TeProblem, throughput_weight: f64) -> LinearProgram {
+    let net = &problem.net;
+    let k = problem.commodities.len();
+    let m = net.n_edges();
+    let mut b = LpBuilder::new();
+    for c in &problem.commodities {
+        for e in net.edges() {
+            let outflow = if e.from == c.source {
+                1.0
+            } else if e.to == c.source {
+                -1.0
+            } else {
+                0.0
+            };
+            b.add_var(outflow * throughput_weight - e.cost);
+        }
+    }
+    for (ei, e) in net.edges().iter().enumerate() {
+        let terms: Vec<(usize, f64)> = (0..k).map(|ki| (ki * m + ei, 1.0)).collect();
+        b.add_constraint(&terms, Relation::Le, e.capacity);
+    }
+    for (ki, c) in problem.commodities.iter().enumerate() {
+        for node in 0..net.n_nodes() {
+            if node == c.source || node == c.sink {
+                continue;
+            }
+            let mut terms = Vec::new();
+            for (ei, e) in net.edges().iter().enumerate() {
+                if e.from == node {
+                    terms.push((ki * m + ei, 1.0));
+                }
+                if e.to == node {
+                    terms.push((ki * m + ei, -1.0));
+                }
+            }
+            if !terms.is_empty() {
+                b.add_constraint(&terms, Relation::Eq, 0.0);
+            }
+        }
+        // Demand cap at the source.
+        let mut terms = Vec::new();
+        for (ei, e) in net.edges().iter().enumerate() {
+            if e.from == c.source {
+                terms.push((ki * m + ei, 1.0));
+            }
+            if e.to == c.source {
+                terms.push((ki * m + ei, -1.0));
+            }
+        }
+        b.add_constraint(&terms, Relation::Le, c.demand);
+    }
+    b.build()
+}
+
+/// Maps an LP outcome to a TE result, shared by the cold and warm solvers.
+fn outcome_to_solution(
+    outcome: LpOutcome,
+    problem: &TeProblem,
+    algorithm: &'static str,
+) -> Result<TeSolution, TeError> {
+    let k = problem.commodities.len();
+    let m = problem.net.n_edges();
+    let solution = match outcome {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Stalled => {
+            return Err(TeError::SolverTimeout {
+                algorithm,
+                detail: format!("simplex exhausted its pivot budget ({k} commodities, {m} edges)"),
+            })
+        }
+        other => {
+            return Err(TeError::SolverAbort {
+                algorithm,
+                detail: format!("LP not optimal: {other:?}"),
+            })
+        }
+    };
+    Ok(extract_solution(&solution, problem))
+}
+
+/// Reads the per-commodity flows back out of the LP point.
+fn extract_solution(solution: &Solution, problem: &TeProblem) -> TeSolution {
+    let net = &problem.net;
+    let k = problem.commodities.len();
+    let m = net.n_edges();
+    let mut routed = vec![0.0; k];
+    let mut edge_flows = vec![0.0; m];
+    for (ki, c) in problem.commodities.iter().enumerate() {
+        let mut net_out = 0.0;
+        for (ei, e) in net.edges().iter().enumerate() {
+            let f = solution.x[ki * m + ei];
+            edge_flows[ei] += f;
+            if e.from == c.source {
+                net_out += f;
+            }
+            if e.to == c.source {
+                net_out -= f;
+            }
+        }
+        routed[ki] = net_out.max(0.0);
+    }
+    let total = routed.iter().sum();
+    TeSolution { routed, edge_flows, total }
+}
+
 impl TeAlgorithm for ExactTe {
     fn name(&self) -> &'static str {
         "exact-lp"
     }
 
     fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
-        let net = &problem.net;
-        let k = problem.commodities.len();
-        let m = net.n_edges();
-        if k == 0 {
-            return Ok(TeSolution { routed: vec![], edge_flows: vec![0.0; m], total: 0.0 });
+        if problem.commodities.is_empty() {
+            return Ok(TeSolution {
+                routed: vec![],
+                edge_flows: vec![0.0; problem.net.n_edges()],
+                total: 0.0,
+            });
         }
-        let mut b = LpBuilder::new();
-        // Variable (ki, ei) at ki*m + ei; objective = net outflow at each
-        // commodity's source.
-        for c in &problem.commodities {
-            for e in net.edges() {
-                let outflow = if e.from == c.source {
-                    1.0
-                } else if e.to == c.source {
-                    -1.0
-                } else {
-                    0.0
-                };
-                b.add_var(outflow * self.throughput_weight - e.cost);
-            }
+        let lp = build_lp(problem, self.throughput_weight);
+        outcome_to_solution(solve(&lp), problem, self.name())
+    }
+}
+
+/// Warm-started LP-exact solver for *sequences* of similar problems.
+///
+/// Same LP as [`ExactTe`], but the simplex engine (and its last optimal
+/// basis) persists across `try_solve` calls: when consecutive rounds see
+/// the same problem shape with drifted capacities — exactly what the
+/// dynamic-capacity round loop produces — the solve skips Phase I and
+/// resumes from the previous basis, falling back to a cold solve when the
+/// basis no longer refactorises feasible. Warm and cold solves agree on
+/// the optimal objective to tolerance; among degenerate optima the argmax
+/// may differ, so determinism-sensitive comparisons should pin objectives,
+/// not flow vectors.
+#[derive(Debug, Default)]
+pub struct IncrementalExactTe {
+    /// The LP formulation knobs, shared with the cold solver.
+    pub base: ExactTe,
+    solver: RefCell<SimplexSolver>,
+}
+
+impl IncrementalExactTe {
+    /// A fresh solver with the default throughput weight and no basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TeAlgorithm for IncrementalExactTe {
+    fn name(&self) -> &'static str {
+        "exact-lp-warm"
+    }
+
+    fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
+        if problem.commodities.is_empty() {
+            return Ok(TeSolution {
+                routed: vec![],
+                edge_flows: vec![0.0; problem.net.n_edges()],
+                total: 0.0,
+            });
         }
-        for (ei, e) in net.edges().iter().enumerate() {
-            let terms: Vec<(usize, f64)> = (0..k).map(|ki| (ki * m + ei, 1.0)).collect();
-            b.add_constraint(&terms, Relation::Le, e.capacity);
-        }
-        for (ki, c) in problem.commodities.iter().enumerate() {
-            for node in 0..net.n_nodes() {
-                if node == c.source || node == c.sink {
-                    continue;
-                }
-                let mut terms = Vec::new();
-                for (ei, e) in net.edges().iter().enumerate() {
-                    if e.from == node {
-                        terms.push((ki * m + ei, 1.0));
-                    }
-                    if e.to == node {
-                        terms.push((ki * m + ei, -1.0));
-                    }
-                }
-                if !terms.is_empty() {
-                    b.add_constraint(&terms, Relation::Eq, 0.0);
-                }
-            }
-            // Demand cap at the source.
-            let mut terms = Vec::new();
-            for (ei, e) in net.edges().iter().enumerate() {
-                if e.from == c.source {
-                    terms.push((ki * m + ei, 1.0));
-                }
-                if e.to == c.source {
-                    terms.push((ki * m + ei, -1.0));
-                }
-            }
-            b.add_constraint(&terms, Relation::Le, c.demand);
-        }
-        let solution = match solve(&b.build()) {
-            LpOutcome::Optimal(s) => s,
-            LpOutcome::Stalled => {
-                return Err(TeError::SolverTimeout {
-                    algorithm: self.name(),
-                    detail: format!("simplex exhausted its pivot budget ({k} commodities, {m} edges)"),
-                })
-            }
-            other => {
-                return Err(TeError::SolverAbort {
-                    algorithm: self.name(),
-                    detail: format!("LP not optimal: {other:?}"),
-                })
-            }
-        };
-        let mut routed = vec![0.0; k];
-        let mut edge_flows = vec![0.0; m];
-        for (ki, c) in problem.commodities.iter().enumerate() {
-            let mut net_out = 0.0;
-            for (ei, e) in net.edges().iter().enumerate() {
-                let f = solution.x[ki * m + ei];
-                edge_flows[ei] += f;
-                if e.from == c.source {
-                    net_out += f;
-                }
-                if e.to == c.source {
-                    net_out -= f;
-                }
-            }
-            routed[ki] = net_out.max(0.0);
-        }
-        let total = routed.iter().sum();
-        Ok(TeSolution { routed, edge_flows, total })
+        let lp = build_lp(problem, self.base.throughput_weight);
+        let outcome = self.solver.borrow_mut().solve(&lp);
+        outcome_to_solution(outcome, problem, self.name())
+    }
+
+    fn warm_stats(&self) -> Option<SolverStats> {
+        Some(self.solver.borrow().stats())
     }
 }
 
@@ -187,5 +267,45 @@ mod tests {
         let p = TeProblem::from_wan(&wan, &DemandMatrix::new());
         let sol = ExactTe::default().solve(&p);
         assert_eq!(sol.total, 0.0);
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_across_capacity_drift() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(125.0), Priority::Elastic);
+        dm.add(c, d, Gbps(125.0), Priority::Elastic);
+        let base = TeProblem::from_wan(&wan, &dm);
+        let warm = IncrementalExactTe::new();
+        let cold = ExactTe::default();
+        // Drift one edge's capacity up and down across rounds; the warm
+        // solver must track the cold optimum each time (total throughput
+        // is the LP objective up to the cost tie-breaker, so compare it).
+        for cap in [100.0, 80.0, 120.0, 60.0, 100.0, 40.0, 140.0] {
+            let mut p = base.clone();
+            p.net.set_capacity(0, cap);
+            let w = warm.solve(&p);
+            let cvec = cold.solve(&p);
+            w.validate(&p).unwrap();
+            assert!(
+                (w.total - cvec.total).abs() < 1e-6,
+                "warm {} vs cold {} at cap {cap}",
+                w.total,
+                cvec.total
+            );
+        }
+        let stats = warm.warm_stats().unwrap();
+        assert!(stats.warm_attempts >= 6, "expected warm attempts, got {stats:?}");
+        assert!(stats.warm_hits >= 1, "expected at least one warm hit, got {stats:?}");
+    }
+
+    #[test]
+    fn stateless_algorithms_report_no_warm_stats() {
+        assert!(ExactTe::default().warm_stats().is_none());
+        assert!(SwanTe::default().warm_stats().is_none());
     }
 }

@@ -111,4 +111,10 @@ pub trait TeAlgorithm {
             Err(e) => panic!("TE solve failed: {e}"),
         }
     }
+    /// Warm-start counters, for algorithms that keep solver state across
+    /// rounds (see [`exact::IncrementalExactTe`]). Stateless algorithms
+    /// return `None`.
+    fn warm_stats(&self) -> Option<rwc_lp::SolverStats> {
+        None
+    }
 }

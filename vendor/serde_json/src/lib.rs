@@ -426,7 +426,7 @@ mod tests {
 
     #[test]
     fn float_roundtrip_is_exact() {
-        for &x in &[0.1f64, 1.0 / 3.0, 6.02214076e23, -1e-300, 123456789.123456789] {
+        for &x in &[0.1f64, 1.0 / 3.0, 6.02214076e23, -1e-300, 123_456_789.123_456_79] {
             let s = to_string(&x).unwrap();
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
