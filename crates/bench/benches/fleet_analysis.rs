@@ -1,0 +1,154 @@
+//! Fleet-telemetry fast path: the fused single-pass kernel vs the legacy
+//! trace-materialising pipeline, end to end and per stage.
+//!
+//! `fleet/paper_fiber` is the acceptance benchmark: one fiber of
+//! `FleetConfig::paper()` at the full 913-day horizon (40 links ×
+//! 87,600 samples), generated + analysed per iteration on each path. The
+//! per-stage groups isolate where the time goes: analysis with the trace
+//! already in hand, the sort under the HDR, and sample generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_optics::ModulationTable;
+use rwc_telemetry::analysis::LinkAnalysis;
+use rwc_telemetry::{FleetAccumulator, FleetConfig, FleetGenerator, FleetKernel};
+use rwc_util::rng::Xoshiro256;
+use rwc_util::stats::{hdi_of_unsorted, sort_f64_with_scratch};
+use rwc_util::time::SimTime;
+
+/// One fiber of the paper fleet at the full horizon — the per-link
+/// workload of `FleetConfig::paper()` without re-running all 50 fibers
+/// per smoke-shim iteration.
+fn paper_fiber() -> FleetGenerator {
+    FleetGenerator::new(FleetConfig { n_fibers: 1, ..FleetConfig::paper() })
+}
+
+fn bench_fleet_paper(c: &mut Criterion) {
+    let gen = paper_fiber();
+    let table = ModulationTable::paper_default();
+    let mut group = c.benchmark_group("fleet/paper_fiber");
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            let mut acc = FleetAccumulator::new();
+            for i in 0..gen.n_links() {
+                acc.push(&LinkAnalysis::new(&gen.link(i).trace, &table));
+            }
+            acc.len()
+        })
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            let mut kernel = FleetKernel::new();
+            let mut acc = FleetAccumulator::new();
+            for i in 0..gen.n_links() {
+                acc.push(&kernel.analyze_generated(&gen, i, &table));
+            }
+            acc.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis_only(c: &mut Criterion) {
+    let gen = paper_fiber();
+    let table = ModulationTable::paper_default();
+    let trace = gen.link(7).trace;
+    let mut group = c.benchmark_group("fleet/analysis_only_913d");
+    group.bench_function("legacy", |b| {
+        b.iter(|| LinkAnalysis::new(&trace, &table))
+    });
+    let mut kernel = FleetKernel::new();
+    group.bench_function("fused", |b| {
+        b.iter(|| kernel.analyze_trace(&trace, &table))
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let gen = paper_fiber();
+    let values = gen.link(3).trace.values().to_vec();
+    let mut group = c.benchmark_group("fleet/sort_87k");
+    let mut buf: Vec<f64> = Vec::new();
+    group.bench_function("comparison", |b| {
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&values);
+            buf.sort_unstable_by(f64::total_cmp);
+            buf[0]
+        })
+    });
+    let mut scratch: Vec<f64> = Vec::new();
+    group.bench_function("radix", |b| {
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&values);
+            sort_f64_with_scratch(&mut buf, &mut scratch);
+            buf[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_hdi(c: &mut Criterion) {
+    let gen = paper_fiber();
+    let values = gen.link(3).trace.values().to_vec();
+    let mut group = c.benchmark_group("fleet/hdi_87k");
+    let mut buf: Vec<f64> = Vec::new();
+    group.bench_function("full_sort_scan", |b| {
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&values);
+            buf.sort_by(f64::total_cmp);
+            rwc_util::stats::highest_density_interval(&buf, 0.95)
+        })
+    });
+    group.bench_function("selection", |b| {
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&values);
+            hdi_of_unsorted(&mut buf, 0.95)
+        })
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let gen = paper_fiber();
+    let cfg = gen.config().clone();
+    let profile = gen.link_profile(11);
+    let mut group = c.benchmark_group("fleet/generate_913d");
+    group.bench_function("trace", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(42);
+            profile
+                .process
+                .generate(SimTime::EPOCH, cfg.horizon, cfg.tick, &profile.events, &mut rng)
+                .len()
+        })
+    });
+    let mut buf: Vec<f64> = Vec::new();
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(42);
+            profile.process.generate_into(
+                SimTime::EPOCH,
+                cfg.horizon,
+                cfg.tick,
+                &profile.events,
+                &mut rng,
+                &mut buf,
+            );
+            buf.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_paper,
+    bench_analysis_only,
+    bench_sort,
+    bench_hdi,
+    bench_generation
+);
+criterion_main!(benches);

@@ -1,24 +1,32 @@
 //! Figure-reproduction CLI.
 //!
 //! ```text
-//! repro [--quick|--full] [--out DIR] <id>... | all
-//! repro --bench-json [--perf-baseline FILE] [--quick|--full] [--out DIR]
+//! repro [--quick|--full|--scale N] [--legacy-analysis] [--out DIR] <id>... | all
+//! repro --bench-json [--perf-baseline FILE] [--quick|--full|--scale N] [--out DIR]
 //! ```
 //!
 //! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
 //! avail scenario faults srlg ablation. Default scale is a reduced fleet
 //! (fast); `--quick` spells that default out (handy in CI), `--full` runs
-//! the paper-scale corpus (2,000 links × 2.5 years — takes a while).
+//! the paper-scale corpus (2,000 links × 2.5 years — takes a while), and
+//! `--scale N` multiplies the paper fleet (`--scale 10` = 20,000 links)
+//! for fleet-pipeline stress runs.
+//!
+//! `--legacy-analysis` re-runs fleet experiments on the original
+//! trace-materialising analysis path instead of the fused kernel — the
+//! escape hatch for bisecting or re-checking equivalence.
 //!
 //! `--bench-json` times the scenario round engine (full-rebuild vs
-//! incremental, cold vs warm exact LP) and writes `BENCH_scenario.json`
+//! incremental, cold vs warm exact LP) and the fleet-analysis pipeline
+//! (fused vs legacy), writing `BENCH_scenario.json` and `BENCH_fleet.json`
 //! to the output directory. With `--perf-baseline FILE` it additionally
-//! exits non-zero when incremental rounds/sec falls below half the
-//! committed baseline — the CI perf-smoke gate.
+//! exits non-zero when incremental rounds/sec or fused links/sec falls
+//! below half the committed baseline — the CI perf-smoke gate.
 
 use rwc_bench::experiments;
-use rwc_bench::perf::ScenarioPerf;
+use rwc_bench::perf::PerfBaseline;
 use rwc_bench::Scale;
+use rwc_telemetry::AnalysisMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,11 +36,20 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut bench_json = false;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut mode = AnalysisMode::Fused;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--scale" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => scale = Scale::Scaled(n),
+                _ => {
+                    eprintln!("--scale needs a positive integer fleet multiplier");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--legacy-analysis" => mode = AnalysisMode::Legacy,
             "--bench-json" => bench_json = true,
             "--perf-baseline" => match args.next() {
                 Some(file) => baseline_path = Some(PathBuf::from(file)),
@@ -49,7 +66,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: repro [--quick|--full] [--out DIR] <id>... | all");
+                println!(
+                    "usage: repro [--quick|--full|--scale N] [--legacy-analysis] \
+                     [--out DIR] <id>... | all"
+                );
                 println!("       repro --bench-json [--perf-baseline FILE]");
                 println!("ids: {} ablation", experiments::ALL.join(" "));
                 return ExitCode::SUCCESS;
@@ -57,6 +77,7 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
+    rwc_bench::experiments::set_analysis_mode(mode);
     if bench_json {
         return run_bench_json(scale, &out_dir, baseline_path.as_deref());
     }
@@ -113,16 +134,32 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
         100.0 * perf.warm_hit_rate,
         perf.max_throughput_delta,
     );
+    let fleet = rwc_bench::perf::fleet_perf(scale);
+    println!(
+        "fleet analysis ({} links, {} threads): legacy {:.1} links/sec -> fused {:.1} links/sec \
+         ({:.2}x, {:.1}x fewer allocated bytes, accumulators identical: {})",
+        fleet.fused.links,
+        fleet.n_threads,
+        fleet.legacy.links_per_sec,
+        fleet.fused.links_per_sec,
+        fleet.speedup,
+        fleet.alloc_ratio,
+        fleet.accumulators_identical,
+    );
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
-    let path = out_dir.join("BENCH_scenario.json");
-    if let Err(e) = std::fs::write(&path, perf.to_json() + "\n") {
-        eprintln!("cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
+    for (name, json) in
+        [("BENCH_scenario.json", perf.to_json()), ("BENCH_fleet.json", fleet.to_json())]
+    {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  -> {}", path.display());
     }
-    println!("  -> {}", path.display());
     if let Some(baseline_path) = baseline {
         let text = match std::fs::read_to_string(baseline_path) {
             Ok(t) => t,
@@ -131,21 +168,28 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
                 return ExitCode::FAILURE;
             }
         };
-        let baseline = match ScenarioPerf::from_json(&text) {
+        let baseline = match PerfBaseline::from_json(&text) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("bad baseline {}: {e}", baseline_path.display());
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = perf.check_against_baseline(&baseline) {
+        if let Err(e) = perf.check_against_baseline(&baseline.scenario) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = fleet.check_against_baseline(&baseline.fleet) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
         println!(
-            "perf gate: {:.1} rounds/sec clears baseline floor {:.1}",
+            "perf gate: {:.1} rounds/sec clears baseline floor {:.1}; \
+             {:.1} links/sec clears baseline floor {:.1}",
             perf.incremental.rounds_per_sec,
-            baseline.incremental.rounds_per_sec / 2.0
+            baseline.scenario.incremental.rounds_per_sec / 2.0,
+            fleet.fused.links_per_sec,
+            baseline.fleet.fused.links_per_sec / 2.0,
         );
     }
     ExitCode::SUCCESS

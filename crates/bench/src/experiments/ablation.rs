@@ -178,7 +178,7 @@ pub fn run(scale: Scale) -> Report {
     report.line("— hysteresis margin vs reconfigurations (noisy link) —".to_string());
     let ticks = match scale {
         Scale::Quick => 2_000,
-        Scale::Full => 20_000,
+        Scale::Full | Scale::Scaled(_) => 20_000,
     };
     let mut csv = String::from("margin_db,reconfigurations\n");
     for (margin, changes) in hysteresis_ablation(&[0.0, 0.25, 0.5, 1.0, 1.5, 2.0], ticks) {

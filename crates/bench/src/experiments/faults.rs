@@ -41,7 +41,7 @@ pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration, Fa
     dm.add(c, d, Gbps(120.0), Priority::Elastic);
     let horizon = match scale {
         Scale::Quick => SimDuration::from_days(7),
-        Scale::Full => SimDuration::from_days(60),
+        Scale::Full | Scale::Scaled(_) => SimDuration::from_days(60),
     };
     // Marginal baselines: SNR regularly crosses rung thresholds, so the
     // fault plan lands on a fleet that is already walking and crawling.

@@ -11,10 +11,11 @@ use rwc_util::units::{Db, Gbps};
 fn fleet_analysis(scale: Scale) -> (FleetAccumulator, usize) {
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis(
+    let acc = crate::parallel::parallel_fleet_analysis_with(
         &gen,
         &table,
         crate::parallel::default_workers(),
+        super::analysis_mode(),
     );
     (acc, gen.n_links())
 }

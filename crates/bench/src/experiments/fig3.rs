@@ -8,7 +8,9 @@
 
 use crate::{Report, Scale};
 use rwc_optics::{Modulation, ModulationTable};
-use rwc_telemetry::{analysis::LinkAnalysis, FleetConfig, FleetGenerator};
+use rwc_telemetry::{
+    analysis::LinkAnalysis, AnalysisMode, FleetConfig, FleetGenerator, FleetKernel,
+};
 use rwc_util::stats::Summary;
 use std::fmt::Write as _;
 
@@ -38,9 +40,17 @@ fn high_quality_fiber(scale: Scale) -> Vec<LinkAnalysis> {
     }
     let gen = FleetGenerator::new(cfg);
     let table = ModulationTable::paper_default();
-    (0..gen.n_links())
-        .map(|i| LinkAnalysis::new(&gen.link(i).trace, &table))
-        .collect()
+    match super::analysis_mode() {
+        AnalysisMode::Fused => {
+            let mut kernel = FleetKernel::new();
+            (0..gen.n_links())
+                .map(|i| kernel.analyze_generated(&gen, i, &table))
+                .collect()
+        }
+        AnalysisMode::Legacy => (0..gen.n_links())
+            .map(|i| LinkAnalysis::new(&gen.link(i).trace, &table))
+            .collect(),
+    }
 }
 
 /// Fig. 3a.
@@ -80,10 +90,11 @@ pub fn run_3b(scale: Scale) -> Report {
         Report::new("fig3b", "duration of hypothetical link failures vs capacity (whole WAN)");
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis(
+    let acc = crate::parallel::parallel_fleet_analysis_with(
         &gen,
         &table,
         crate::parallel::default_workers(),
+        super::analysis_mode(),
     );
     let mut csv = String::from("capacity_gbps,mean_h,p25_h,median_h,p75_h,max_h,episodes\n");
     for m in Modulation::LADDER {

@@ -19,7 +19,7 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new("fig5", "constellations: QPSK / 8QAM / 16QAM over AWGN");
     let n_symbols = match scale {
         Scale::Quick => 20_000,
-        Scale::Full => 200_000,
+        Scale::Full | Scale::Scaled(_) => 200_000,
     };
     // The testbed's short fiber: high SNR, so all three formats show
     // clean, well-separated clusters (as in the paper's screenshots).

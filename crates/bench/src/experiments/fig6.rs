@@ -15,7 +15,7 @@ pub fn run(scale: Scale) -> Report {
         Report::new("fig6b", "CDF of modulation-change latency: legacy vs efficient");
     let trials = match scale {
         Scale::Quick => 200, // the paper's own trial count
-        Scale::Full => 2_000,
+        Scale::Full | Scale::Scaled(_) => 2_000,
     };
     let model = LatencyModel::default();
     let mut rng = Xoshiro256::seed_from_u64(0xF6B);

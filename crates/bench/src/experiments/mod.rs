@@ -18,6 +18,27 @@ pub mod thm1;
 pub mod tput;
 
 use crate::{Report, Scale};
+use rwc_telemetry::AnalysisMode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static LEGACY_ANALYSIS: AtomicBool = AtomicBool::new(false);
+
+/// Selects the fleet-analysis path for every experiment in this process.
+/// Defaults to the fused kernel; the `repro --legacy-analysis` flag flips
+/// it back to the trace-materialising path for bisection and equivalence
+/// re-checks.
+pub fn set_analysis_mode(mode: AnalysisMode) {
+    LEGACY_ANALYSIS.store(mode == AnalysisMode::Legacy, Ordering::Relaxed);
+}
+
+/// The analysis path experiments should use.
+pub fn analysis_mode() -> AnalysisMode {
+    if LEGACY_ANALYSIS.load(Ordering::Relaxed) {
+        AnalysisMode::Legacy
+    } else {
+        AnalysisMode::Fused
+    }
+}
 
 /// All experiment ids, in paper order.
 pub const ALL: [&str; 16] = [

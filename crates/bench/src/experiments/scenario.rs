@@ -33,7 +33,7 @@ pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
     dm.add(c, d, Gbps(120.0), Priority::Elastic);
     let horizon = match scale {
         Scale::Quick => SimDuration::from_days(7),
-        Scale::Full => SimDuration::from_days(60),
+        Scale::Full | Scale::Scaled(_) => SimDuration::from_days(60),
     };
     let fleet = FleetConfig {
         n_fibers: 1,

@@ -58,7 +58,7 @@ pub fn build_arm(
     dm.add(c, d, Gbps(120.0), Priority::Elastic);
     let horizon = match scale {
         Scale::Quick => SimDuration::from_days(7),
-        Scale::Full => SimDuration::from_days(60),
+        Scale::Full | Scale::Scaled(_) => SimDuration::from_days(60),
     };
     // Marginal SNR baselines so the fleet is already walking between
     // rungs when the amplifier events land.

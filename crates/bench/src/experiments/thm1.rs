@@ -23,7 +23,7 @@ pub fn run(scale: Scale) -> Report {
         Report::new("thm1", "Theorem 1: min-cost max-flow on G′ ≡ max-flow on G");
     let trials = match scale {
         Scale::Quick => 20,
-        Scale::Full => 200,
+        Scale::Full | Scale::Scaled(_) => 200,
     };
 
     let mut csv = String::from("case,static_gbps,augmented_gbps,upgraded_gbps,holds\n");

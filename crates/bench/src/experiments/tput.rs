@@ -57,7 +57,7 @@ pub struct Cell {
 pub fn sweep(scale: Scale) -> Vec<Cell> {
     let loads: &[f64] = match scale {
         Scale::Quick => &[0.5, 1.0, 1.5, 2.0],
-        Scale::Full => &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0],
+        Scale::Full | Scale::Scaled(_) => &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0],
     };
     let mut cells = Vec::new();
     for (topo_name, wan) in topologies() {

@@ -12,8 +12,12 @@
 //! cargo run -p rwc-bench --release --bin repro -- --full fig2a   # paper-scale fleet
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting allocator in [`alloc`] needs a
+// scoped `allow` for its `GlobalAlloc` forwarding; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod alloc;
 pub mod experiments;
 pub mod parallel;
 pub mod perf;

@@ -19,17 +19,29 @@
 
 use rwc_optics::ModulationTable;
 use rwc_telemetry::analysis::LinkAnalysis;
-use rwc_telemetry::{FleetAccumulator, FleetGenerator};
+use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Analyses the whole fleet across `n_threads` workers pulling chunks
-/// from a shared queue. The merged result is identical to a sequential
-/// sweep for every thread count.
+/// from a shared queue, on the fused fast path. The merged result is
+/// identical to a sequential sweep for every thread count.
 pub fn parallel_fleet_analysis(
     gen: &FleetGenerator,
     table: &ModulationTable,
     n_threads: usize,
+) -> FleetAccumulator {
+    parallel_fleet_analysis_with(gen, table, n_threads, AnalysisMode::Fused)
+}
+
+/// [`parallel_fleet_analysis`] with an explicit analysis path. Each worker
+/// owns one [`FleetKernel`], so on the fused path a sweep's steady-state
+/// allocations are `n_threads` sample buffers — not a trace per link.
+pub fn parallel_fleet_analysis_with(
+    gen: &FleetGenerator,
+    table: &ModulationTable,
+    n_threads: usize,
+    mode: AnalysisMode,
 ) -> FleetAccumulator {
     assert!(n_threads > 0, "need at least one worker");
     let n_links = gen.n_links();
@@ -42,19 +54,29 @@ pub fn parallel_fleet_analysis(
         (0..n_chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..n_threads.min(n_chunks) {
-            scope.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+            scope.spawn(|| {
+                let mut kernel = FleetKernel::new(); // reused across chunks
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let mut acc = FleetAccumulator::new();
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n_links);
+                    for link_id in start..end {
+                        match mode {
+                            AnalysisMode::Fused => {
+                                acc.push(&kernel.analyze_generated(gen, link_id, table));
+                            }
+                            AnalysisMode::Legacy => {
+                                let link = gen.link(link_id);
+                                acc.push(&LinkAnalysis::new(&link.trace, table));
+                            }
+                        }
+                    }
+                    *slots[c].lock().expect("slot poisoned") = Some(acc);
                 }
-                let mut acc = FleetAccumulator::new();
-                let start = c * chunk;
-                let end = (start + chunk).min(n_links);
-                for link_id in start..end {
-                    let link = gen.link(link_id);
-                    acc.push(&LinkAnalysis::new(&link.trace, table));
-                }
-                *slots[c].lock().expect("slot poisoned") = Some(acc);
             });
         }
     });
@@ -156,6 +178,19 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn fused_and_legacy_modes_are_byte_identical() {
+        let gen = small();
+        let table = ModulationTable::paper_default();
+        let fused = parallel_fleet_analysis_with(&gen, &table, 3, AnalysisMode::Fused);
+        let legacy = parallel_fleet_analysis_with(&gen, &table, 3, AnalysisMode::Legacy);
+        assert_eq!(
+            serde_json::to_string(&fused).expect("accumulator serializes"),
+            serde_json::to_string(&legacy).expect("accumulator serializes"),
+            "fused parallel sweep diverged from the legacy path"
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn perf_build(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
     }
     let horizon = match scale {
         Scale::Quick => SimDuration::from_days(7),
-        Scale::Full => SimDuration::from_days(30),
+        Scale::Full | Scale::Scaled(_) => SimDuration::from_days(30),
     };
     let fleet = FleetConfig {
         n_fibers: 2,
@@ -154,10 +154,7 @@ pub fn scenario_perf(scale: Scale) -> ScenarioPerf {
 
     ScenarioPerf {
         experiment: "scenario".into(),
-        scale: match scale {
-            Scale::Quick => "quick".into(),
-            Scale::Full => "full".into(),
-        },
+        scale: scale.label(),
         solve_speedup: ratio(full_t.total_solve_micros(), inc_t.total_solve_micros()),
         reports_identical: serde_json::to_string(&full_report).expect("report serializes")
             == serde_json::to_string(&inc_report).expect("report serializes"),
@@ -204,9 +201,206 @@ impl ScenarioPerf {
     }
 }
 
+/// Timing + allocation digest of one fleet-analysis arm (fused or legacy).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetArmPerf {
+    /// Links analysed.
+    pub links: u64,
+    /// SNR samples generated and analysed (`links × ticks`).
+    pub samples: u64,
+    /// Wall-clock seconds for the sweep.
+    pub elapsed_secs: f64,
+    /// Links analysed per wall-clock second.
+    pub links_per_sec: f64,
+    /// Samples analysed per wall-clock second.
+    pub samples_per_sec: f64,
+    /// Bytes allocated during the sweep (allocation-counter proxy).
+    pub alloc_bytes: u64,
+    /// Allocation calls during the sweep.
+    pub alloc_count: u64,
+    /// Peak live heap bytes while the sweep ran — the RSS proxy.
+    pub peak_live_bytes: u64,
+}
+
+/// The `BENCH_fleet.json` payload: fused vs legacy fleet analysis of the
+/// scale's fleet, plus the byte-identity verdict between the two paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPerf {
+    /// Experiment id (always `"fleet"`).
+    pub experiment: String,
+    /// `"quick"`, `"full"`, or `"fleet_xN"`.
+    pub scale: String,
+    /// Worker threads used by both arms.
+    pub n_threads: u64,
+    /// Fused single-pass kernel sweep.
+    pub fused: FleetArmPerf,
+    /// Legacy trace-materialising sweep.
+    pub legacy: FleetArmPerf,
+    /// `legacy.elapsed_secs / fused.elapsed_secs`.
+    pub speedup: f64,
+    /// `legacy.alloc_bytes / fused.alloc_bytes`.
+    pub alloc_ratio: f64,
+    /// Whether the two accumulators serialized byte-identically.
+    pub accumulators_identical: bool,
+}
+
+fn fleet_arm(
+    gen: &rwc_telemetry::FleetGenerator,
+    table: &rwc_optics::ModulationTable,
+    n_threads: usize,
+    mode: rwc_telemetry::AnalysisMode,
+) -> (rwc_telemetry::FleetAccumulator, FleetArmPerf) {
+    let samples_per_link = gen.config().horizon.ticks(gen.config().tick);
+    let started = std::time::Instant::now();
+    let (acc, alloc) = crate::alloc::measure(|| {
+        crate::parallel::parallel_fleet_analysis_with(gen, table, n_threads, mode)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let links = gen.n_links() as u64;
+    let samples = links * samples_per_link;
+    let perf = FleetArmPerf {
+        links,
+        samples,
+        elapsed_secs: elapsed,
+        links_per_sec: links as f64 / elapsed,
+        samples_per_sec: samples as f64 / elapsed,
+        alloc_bytes: alloc.bytes,
+        alloc_count: alloc.count,
+        peak_live_bytes: alloc.peak_live_bytes,
+    };
+    (acc, perf)
+}
+
+/// Runs the fused and legacy fleet sweeps back to back (same fleet, same
+/// worker count) and assembles the digest.
+pub fn fleet_perf(scale: Scale) -> FleetPerf {
+    let gen = rwc_telemetry::FleetGenerator::new(scale.fleet());
+    let table = rwc_optics::ModulationTable::paper_default();
+    let n_threads = crate::parallel::default_workers();
+    let (fused_acc, fused) = fleet_arm(&gen, &table, n_threads, rwc_telemetry::AnalysisMode::Fused);
+    let (legacy_acc, legacy) =
+        fleet_arm(&gen, &table, n_threads, rwc_telemetry::AnalysisMode::Legacy);
+    let accumulators_identical = serde_json::to_string(&fused_acc).expect("accumulator serializes")
+        == serde_json::to_string(&legacy_acc).expect("accumulator serializes");
+    let ratio = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
+    FleetPerf {
+        experiment: "fleet".into(),
+        scale: scale.label(),
+        n_threads: n_threads as u64,
+        speedup: ratio(legacy.elapsed_secs, fused.elapsed_secs),
+        alloc_ratio: ratio(legacy.alloc_bytes as f64, fused.alloc_bytes as f64),
+        fused,
+        legacy,
+        accumulators_identical,
+    }
+}
+
+impl FleetPerf {
+    /// Pretty JSON for `BENCH_fleet.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet digest serializes")
+    }
+
+    /// Parses a digest.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// CI regression gate: errors when fused fleet throughput has fallen
+    /// below half the committed baseline, or the fused path has diverged
+    /// from legacy. Same 2× noise band as the scenario gate.
+    pub fn check_against_baseline(&self, baseline: &FleetPerf) -> Result<(), String> {
+        let floor = baseline.fused.links_per_sec / 2.0;
+        if self.fused.links_per_sec < floor {
+            return Err(format!(
+                "perf regression: fused fleet analysis at {:.1} links/sec, \
+                 below half the baseline {:.1}",
+                self.fused.links_per_sec, baseline.fused.links_per_sec
+            ));
+        }
+        if !self.accumulators_identical {
+            return Err("fused fleet analysis diverged from the legacy path".into());
+        }
+        Ok(())
+    }
+}
+
+/// The committed `ci/perf_baseline.json`: one scenario digest plus one
+/// fleet digest, gated together by `repro --bench-json --perf-baseline`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfBaseline {
+    /// Round-engine baseline (PR 3 machinery).
+    pub scenario: ScenarioPerf,
+    /// Fleet-analysis baseline.
+    pub fleet: FleetPerf,
+}
+
+impl PerfBaseline {
+    /// Pretty JSON for the committed baseline file.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline serializes")
+    }
+
+    /// Parses the committed baseline file.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_digest_gates_and_round_trips() {
+        let quick = Scale::Quick;
+        // A reduced-quick fleet keeps this test fast: 2 fibers, 60 days.
+        let mut cfg = quick.fleet();
+        cfg.n_fibers = 2;
+        cfg.horizon = rwc_util::time::SimDuration::from_days(60);
+        let gen = rwc_telemetry::FleetGenerator::new(cfg);
+        let table = rwc_optics::ModulationTable::paper_default();
+        let (fused_acc, fused) =
+            fleet_arm(&gen, &table, 2, rwc_telemetry::AnalysisMode::Fused);
+        let (legacy_acc, legacy) =
+            fleet_arm(&gen, &table, 2, rwc_telemetry::AnalysisMode::Legacy);
+        assert_eq!(fused.links, legacy.links);
+        assert_eq!(fused.samples, legacy.samples);
+        assert!(fused.links_per_sec > 0.0);
+        assert_eq!(
+            serde_json::to_string(&fused_acc).unwrap(),
+            serde_json::to_string(&legacy_acc).unwrap(),
+            "fused arm diverged from legacy"
+        );
+        // The fused path must allocate far less: no per-link trace clone,
+        // no per-call HDR clone.
+        assert!(
+            fused.alloc_bytes * 2 < legacy.alloc_bytes,
+            "fused {} bytes vs legacy {} bytes",
+            fused.alloc_bytes,
+            legacy.alloc_bytes
+        );
+        let perf = FleetPerf {
+            experiment: "fleet".into(),
+            scale: quick.label(),
+            n_threads: 2,
+            speedup: legacy.elapsed_secs / fused.elapsed_secs,
+            alloc_ratio: legacy.alloc_bytes as f64 / fused.alloc_bytes as f64,
+            fused,
+            legacy,
+            accumulators_identical: true,
+        };
+        let json = perf.to_json();
+        let back = FleetPerf::from_json(&json).expect("digest parses back");
+        assert_eq!(json, back.to_json(), "digest must round-trip");
+        perf.check_against_baseline(&back).expect("self-comparison passes");
+        let mut fast = back.clone();
+        fast.fused.links_per_sec = perf.fused.links_per_sec * 10.0;
+        assert!(perf.check_against_baseline(&fast).is_err());
+        let mut diverged = back;
+        diverged.accumulators_identical = false;
+        assert!(diverged.check_against_baseline(&perf).is_err());
+    }
 
     #[test]
     fn digest_round_trips_and_gates() {

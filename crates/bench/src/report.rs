@@ -10,15 +10,27 @@ pub enum Scale {
     Quick,
     /// Paper scale: 2,000 links over 2.5 years, 250 tickets over 7 months.
     Full,
+    /// The paper fleet multiplied: `Scaled(n)` runs `n × 2,000` links at
+    /// the full horizon (`repro --scale N`). Non-fleet experiments treat
+    /// it as `Full` — the knob exists to stress the fleet pipeline, e.g.
+    /// `--scale 10` for a 20,000-link sweep.
+    Scaled(u32),
 }
 
 impl Scale {
     /// Fleet configuration at this scale.
     pub fn fleet(self) -> rwc_telemetry::FleetConfig {
         let mut cfg = rwc_telemetry::FleetConfig::paper();
-        if self == Scale::Quick {
-            cfg.n_fibers = 5; // 200 links
-            cfg.horizon = rwc_util::time::SimDuration::from_days(120);
+        match self {
+            Scale::Quick => {
+                cfg.n_fibers = 5; // 200 links
+                cfg.horizon = rwc_util::time::SimDuration::from_days(120);
+            }
+            Scale::Full => {}
+            Scale::Scaled(n) => {
+                assert!(n > 0, "--scale must be at least 1");
+                cfg.n_fibers *= n as usize;
+            }
         }
         cfg
     }
@@ -30,6 +42,15 @@ impl Scale {
             cfg.n_events = 250; // the paper's count is already cheap
         }
         cfg
+    }
+
+    /// Digest label: `quick`, `full`, or `fleet_x<N>`.
+    pub fn label(self) -> String {
+        match self {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "full".into(),
+            Scale::Scaled(n) => format!("fleet_x{n}"),
+        }
     }
 }
 

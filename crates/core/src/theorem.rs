@@ -280,7 +280,7 @@ mod tests {
             );
             // Thin to the 6 largest demands to keep the LP small.
             let mut top: Vec<_> = dm.demands().to_vec();
-            top.sort_by(|x, y| y.volume.partial_cmp(&x.volume).unwrap());
+            top.sort_by(|x, y| f64::total_cmp(&y.volume.value(), &x.volume.value()));
             let mut thin = rwc_te::demand::DemandMatrix::new();
             for d in top.into_iter().take(6) {
                 thin.add(d.from, d.to, d.volume * 3.0, d.priority);

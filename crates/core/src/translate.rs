@@ -93,7 +93,7 @@ pub fn translate(
                 .iter()
                 .filter(|f| f.link == id && f.forward)
                 .collect();
-            steps.sort_by(|a, b| a.target.capacity().partial_cmp(&b.target.capacity()).unwrap());
+            steps.sort_by(|a, b| f64::total_cmp(&a.target.capacity().value(), &b.target.capacity().value()));
             for step in steps {
                 if overflow <= EPS {
                     break;

@@ -14,6 +14,7 @@ use crate::rootcause::RootCause;
 use crate::ticket::FailureTicket;
 use rwc_util::stats::{percentage_shares, Ecdf};
 use rwc_util::units::Db;
+use std::sync::OnceLock;
 
 /// Aggregated corpus statistics.
 #[derive(Debug, Clone)]
@@ -24,6 +25,8 @@ pub struct TicketAnalysis {
     pub outage_hours: [f64; 4],
     /// All SNR floors, dB.
     floors: Vec<f64>,
+    /// Lazily built floor ECDF (the corpus is immutable after `new`).
+    floor_ecdf: OnceLock<Ecdf>,
     total_events: usize,
 }
 
@@ -40,7 +43,13 @@ impl TicketAnalysis {
             outage_hours[idx] += t.duration.as_hours_f64();
             floors.push(t.lowest_snr.value());
         }
-        Self { event_counts, outage_hours, floors, total_events: tickets.len() }
+        Self {
+            event_counts,
+            outage_hours,
+            floors,
+            floor_ecdf: OnceLock::new(),
+            total_events: tickets.len(),
+        }
     }
 
     /// Fig. 4b: percentage of events per cause, parallel to
@@ -54,9 +63,10 @@ impl TicketAnalysis {
         percentage_shares(&self.outage_hours)
     }
 
-    /// Fig. 4c: ECDF of the lowest SNR during failure events.
-    pub fn floor_ecdf(&self) -> Ecdf {
-        Ecdf::new(self.floors.clone())
+    /// Fig. 4c: ECDF of the lowest SNR during failure events. Built once
+    /// on first call and cached (the corpus never changes after `new`).
+    pub fn floor_ecdf(&self) -> &Ecdf {
+        self.floor_ecdf.get_or_init(|| Ecdf::new(self.floors.clone()))
     }
 
     /// Share of events (0..1) whose floor stayed at or above `floor` — the
@@ -154,7 +164,8 @@ mod tests {
             ..TicketConfig::paper()
         })
         .generate();
-        let ecdf = TicketAnalysis::new(&tickets).floor_ecdf();
+        let analysis = TicketAnalysis::new(&tickets);
+        let ecdf = analysis.floor_ecdf();
         // Fig. 4c's x-axis spans 0..6.5 dB.
         assert!(ecdf.min() >= 0.0);
         assert!(ecdf.max() < 6.5);

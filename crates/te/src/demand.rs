@@ -194,7 +194,7 @@ mod tests {
         assert_eq!(a, b);
         // Lognormal masses ⇒ some pairs dominate.
         let mut volumes: Vec<f64> = a.demands().iter().map(|d| d.volume.value()).collect();
-        volumes.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        volumes.sort_unstable_by(f64::total_cmp);
         let max = volumes.last().unwrap();
         let median = volumes[volumes.len() / 2];
         assert!(max / median > 3.0, "max={max} median={median}");

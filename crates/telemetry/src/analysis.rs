@@ -16,7 +16,8 @@ use rwc_optics::{Modulation, ModulationTable};
 use rwc_util::stats::Ecdf;
 use rwc_util::time::{SimDuration, SimTime};
 use rwc_util::units::{Db, Gbps};
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A maximal run of consecutive samples below a threshold — one link
 /// failure at the corresponding capacity.
@@ -126,7 +127,10 @@ type RungStats = (Modulation, Vec<f64>, Vec<f64>, Vec<f64>);
 /// Streaming accumulator of per-link analyses into fleet-level series.
 ///
 /// Push one [`LinkAnalysis`] per link (the generator materialises links one
-/// at a time), then read off the figure series.
+/// at a time), then read off the figure series. The ECDF views are built
+/// lazily on first access and cached until the next `push`/`merge`, so
+/// repeated reads (Fig. 2's several series, Fig. 4's floor scans) stop
+/// cloning and re-sorting the full per-link vectors each call.
 #[derive(Debug, Clone, Default)]
 pub struct FleetAccumulator {
     hdr_widths: Vec<f64>,
@@ -134,6 +138,9 @@ pub struct FleetAccumulator {
     feasible_caps: Vec<f64>,
     gains: Vec<f64>,
     per_rung: Vec<RungStats>,
+    hdr_width_ecdf: OnceLock<Ecdf>,
+    range_ecdf: OnceLock<Ecdf>,
+    feasible_capacity_ecdf: OnceLock<Ecdf>,
 }
 
 impl FleetAccumulator {
@@ -154,6 +161,7 @@ impl FleetAccumulator {
 
     /// Folds one link into the fleet statistics.
     pub fn push(&mut self, link: &LinkAnalysis) {
+        self.invalidate_ecdfs();
         self.hdr_widths.push(link.hdr.width().value());
         self.ranges.push(link.range.value());
         self.feasible_caps.push(link.feasible_capacity.value());
@@ -182,19 +190,29 @@ impl FleetAccumulator {
         }
     }
 
-    /// ECDF of 95% HDR widths (Fig. 2a red curve).
-    pub fn hdr_width_ecdf(&self) -> Ecdf {
-        Ecdf::new(self.hdr_widths.clone())
+    /// Drops the cached ECDF views; called by every mutation.
+    fn invalidate_ecdfs(&mut self) {
+        self.hdr_width_ecdf = OnceLock::new();
+        self.range_ecdf = OnceLock::new();
+        self.feasible_capacity_ecdf = OnceLock::new();
     }
 
-    /// ECDF of SNR ranges (Fig. 2a blue curve).
-    pub fn range_ecdf(&self) -> Ecdf {
-        Ecdf::new(self.ranges.clone())
+    /// ECDF of 95% HDR widths (Fig. 2a red curve). Built once, cached
+    /// until the next `push`/`merge`.
+    pub fn hdr_width_ecdf(&self) -> &Ecdf {
+        self.hdr_width_ecdf.get_or_init(|| Ecdf::new(self.hdr_widths.clone()))
     }
 
-    /// ECDF of feasible capacities in Gbps (Fig. 2b).
-    pub fn feasible_capacity_ecdf(&self) -> Ecdf {
-        Ecdf::new(self.feasible_caps.clone())
+    /// ECDF of SNR ranges (Fig. 2a blue curve). Cached like
+    /// [`hdr_width_ecdf`](Self::hdr_width_ecdf).
+    pub fn range_ecdf(&self) -> &Ecdf {
+        self.range_ecdf.get_or_init(|| Ecdf::new(self.ranges.clone()))
+    }
+
+    /// ECDF of feasible capacities in Gbps (Fig. 2b). Cached like
+    /// [`hdr_width_ecdf`](Self::hdr_width_ecdf).
+    pub fn feasible_capacity_ecdf(&self) -> &Ecdf {
+        self.feasible_capacity_ecdf.get_or_init(|| Ecdf::new(self.feasible_caps.clone()))
     }
 
     /// Fraction of links whose HDR is narrower than `width` (the paper: 83%
@@ -252,6 +270,7 @@ impl FleetAccumulator {
     /// one. Both must have been fed links analysed against the same
     /// modulation table.
     pub fn merge(&mut self, other: FleetAccumulator) {
+        self.invalidate_ecdfs();
         self.hdr_widths.extend(other.hdr_widths);
         self.ranges.extend(other.ranges);
         self.feasible_caps.extend(other.feasible_caps);
@@ -267,6 +286,24 @@ impl FleetAccumulator {
                 slot.3.extend(o.3);
             }
         }
+    }
+}
+
+/// Hand-written because the lazy ECDF caches are derived state that must
+/// stay out of the serialized form (and the vendored `serde_derive` has no
+/// `#[serde(skip)]`). Serializes exactly the accumulated data fields, so
+/// two accumulators with equal contents — however their caches differ —
+/// produce identical bytes. That is what the fused-vs-legacy byte-identity
+/// tests compare.
+impl Serialize for FleetAccumulator {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("hdr_widths".into(), self.hdr_widths.to_content()),
+            ("ranges".into(), self.ranges.to_content()),
+            ("feasible_caps".into(), self.feasible_caps.to_content()),
+            ("gains".into(), self.gains.to_content()),
+            ("per_rung".into(), self.per_rung.to_content()),
+        ])
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::analysis::{FleetAccumulator, LinkAnalysis};
 use crate::events::{Event, EventKind, EventLog};
+use crate::kernel::{AnalysisMode, FleetKernel};
 use crate::process::SnrProcess;
 use crate::trace::SnrTrace;
 use rwc_optics::ModulationTable;
@@ -126,6 +127,26 @@ impl FleetConfig {
     }
 }
 
+/// A link's identity and generative model *without* the sampled trace —
+/// everything [`FleetGenerator::link`] derives before sampling. The fused
+/// fleet path analyses links from their profile, streaming samples into a
+/// reusable buffer instead of materialising a [`LinkTelemetry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Fleet-wide link index (`fiber · wavelengths_per_fiber + wavelength`).
+    pub link_id: usize,
+    /// Which cable the wavelength rides.
+    pub fiber_id: usize,
+    /// Index of the wavelength on its cable.
+    pub wavelength_index: usize,
+    /// Healthy-state baseline SNR.
+    pub baseline: Db,
+    /// The stochastic process parameters used.
+    pub process: SnrProcess,
+    /// Ground-truth impairment schedule (fiber + link events merged).
+    pub events: EventLog,
+}
+
 /// One fully materialised link: identity, process parameters, ground-truth
 /// events and the sampled SNR trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -220,8 +241,20 @@ impl FleetGenerator {
             .clamp(cfg.baseline_clamp_db.0 + 0.5, cfg.baseline_clamp_db.1 - 0.5))
     }
 
-    /// Materialises one link (deterministic in `link_id`).
-    pub fn link(&self, link_id: usize) -> LinkTelemetry {
+    /// The trace-sampling RNG stream of a link — the same stream
+    /// [`link`](Self::link) uses, exposed so the fused kernel can generate
+    /// samples without materialising the link.
+    pub(crate) fn trace_rng(&self, link_id: usize) -> Xoshiro256 {
+        let fiber_id = link_id / self.config.wavelengths_per_fiber;
+        let wavelength_index = link_id % self.config.wavelengths_per_fiber;
+        self.stream(4, fiber_id as u64, wavelength_index as u64)
+    }
+
+    /// Derives one link's profile — identity, baseline, process parameters
+    /// and event schedule — without sampling its trace (deterministic in
+    /// `link_id`, and byte-identical to the corresponding fields of
+    /// [`link`](Self::link)).
+    pub fn link_profile(&self, link_id: usize) -> LinkProfile {
         assert!(link_id < self.n_links(), "link out of range");
         let cfg = &self.config;
         let fiber_id = link_id / cfg.wavelengths_per_fiber;
@@ -272,10 +305,17 @@ impl FleetGenerator {
             diurnal_phase: rng.uniform_in(0.0, std::f64::consts::TAU),
             noise_floor_db: 0.2,
         };
-        let mut trace_rng = self.stream(4, fiber_id as u64, wavelength_index as u64);
+        LinkProfile { link_id, fiber_id, wavelength_index, baseline, process, events }
+    }
+
+    /// Materialises one link (deterministic in `link_id`).
+    pub fn link(&self, link_id: usize) -> LinkTelemetry {
+        let cfg = &self.config;
+        let LinkProfile { link_id, fiber_id, wavelength_index, baseline, process, events } =
+            self.link_profile(link_id);
+        let mut trace_rng = self.trace_rng(link_id);
         let trace =
             process.generate(SimTime::EPOCH, cfg.horizon, cfg.tick, &events, &mut trace_rng);
-
         LinkTelemetry { link_id, fiber_id, wavelength_index, baseline, process, events, trace }
     }
 
@@ -286,12 +326,35 @@ impl FleetGenerator {
     }
 
     /// Streams the whole fleet through per-link analysis into a
-    /// [`FleetAccumulator`], holding only one trace at a time.
+    /// [`FleetAccumulator`] on the fused fast path (one reused sample
+    /// buffer, never a materialised trace).
     pub fn fleet_analysis(&self, table: &ModulationTable) -> FleetAccumulator {
+        self.fleet_analysis_with(table, AnalysisMode::Fused)
+    }
+
+    /// [`fleet_analysis`](Self::fleet_analysis) with an explicit analysis
+    /// path — `AnalysisMode::Legacy` re-runs the original per-trace
+    /// pipeline (the `--legacy-analysis` escape hatch). Both modes produce
+    /// byte-identical accumulators.
+    pub fn fleet_analysis_with(
+        &self,
+        table: &ModulationTable,
+        mode: AnalysisMode,
+    ) -> FleetAccumulator {
         let mut acc = FleetAccumulator::new();
-        for link_id in 0..self.n_links() {
-            let link = self.link(link_id);
-            acc.push(&LinkAnalysis::new(&link.trace, table));
+        match mode {
+            AnalysisMode::Fused => {
+                let mut kernel = FleetKernel::new();
+                for link_id in 0..self.n_links() {
+                    acc.push(&kernel.analyze_generated(self, link_id, table));
+                }
+            }
+            AnalysisMode::Legacy => {
+                for link_id in 0..self.n_links() {
+                    let link = self.link(link_id);
+                    acc.push(&LinkAnalysis::new(&link.trace, table));
+                }
+            }
         }
         acc
     }

@@ -29,7 +29,7 @@ impl Hdr {
     /// Computes the HDR of a trace at the given coverage.
     pub fn of_trace(trace: &SnrTrace, coverage: f64) -> Hdr {
         let mut sorted = trace.values().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let (low, high) = highest_density_interval(&sorted, coverage);
         Hdr { low: Db(low), high: Db(high), coverage }
     }

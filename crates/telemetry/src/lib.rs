@@ -31,9 +31,11 @@ pub mod events;
 pub mod forecast;
 pub mod generator;
 pub mod hdr;
+pub mod kernel;
 pub mod process;
 pub mod trace;
 
 pub use analysis::{FleetAccumulator, LinkAnalysis};
-pub use generator::{FleetConfig, FleetGenerator, LinkTelemetry};
+pub use generator::{FleetConfig, FleetGenerator, LinkProfile, LinkTelemetry};
+pub use kernel::{AnalysisMode, FleetKernel};
 pub use trace::SnrTrace;

@@ -62,6 +62,32 @@ impl SnrProcess {
         events: &EventLog,
         rng: &mut Xoshiro256,
     ) -> SnrTrace {
+        let mut samples = Vec::new();
+        self.generate_into(start, horizon, tick, events, rng, &mut samples);
+        SnrTrace::new(start, tick, samples)
+    }
+
+    /// Streams the same series as [`generate`](Self::generate) into a
+    /// caller-owned buffer (cleared first) — the fleet fast path, which
+    /// analyses links without materialising an [`SnrTrace`] per link and
+    /// reuses one allocation across the whole sweep.
+    ///
+    /// Events are applied with an **active-set sweep** instead of scanning
+    /// the full schedule at every tick: the log is ordered by start, so a
+    /// cursor admits events as time reaches them and drops them when they
+    /// end. Inactive events contribute an exact `0.0` to the offset sum, so
+    /// skipping them leaves every sample *bit-identical* to the full scan
+    /// (adding `0.0` never changes an f64 total that cannot be `-0.0`, and
+    /// active events keep their log order).
+    pub fn generate_into(
+        &self,
+        start: SimTime,
+        horizon: SimDuration,
+        tick: SimDuration,
+        events: &EventLog,
+        rng: &mut Xoshiro256,
+        out: &mut Vec<f64>,
+    ) {
         assert!(self.ou_sigma_db >= 0.0, "sigma must be non-negative");
         assert!(self.ou_relaxation > SimDuration::ZERO, "relaxation must be positive");
         let n = horizon.ticks(tick);
@@ -73,12 +99,31 @@ impl SnrProcess {
         let mut ou = self.ou_sigma_db * rng.standard_normal(); // stationary init
 
         let day = SimDuration::from_days(1).as_secs_f64();
-        let mut samples = Vec::with_capacity(n as usize);
+        let schedule = events.events();
+        let mut upcoming = 0; // first event whose start is still in the future
+        let mut active: Vec<usize> = Vec::new(); // indices into `schedule`, log order
+        out.clear();
+        out.reserve(n as usize);
         for t in Ticks::new(start, start + horizon, tick) {
+            while upcoming < schedule.len() && schedule[upcoming].start <= t {
+                active.push(upcoming); // increasing index ⇒ log order preserved
+                upcoming += 1;
+            }
+            active.retain(|&i| schedule[i].end() > t);
+            let mut offset = Some(0.0);
+            for &i in &active {
+                offset = match (offset, schedule[i].snr_effect_at(t)) {
+                    (Some(total), Some(o)) => Some(total + o),
+                    _ => None, // an active loss-of-light blanks the sample
+                };
+                if offset.is_none() {
+                    break;
+                }
+            }
             let phase = std::f64::consts::TAU * (t.since_epoch().as_secs_f64() / day)
                 + self.diurnal_phase;
             let diurnal = self.diurnal_amp_db * phase.sin();
-            let sample = match events.snr_effect_at(t) {
+            let sample = match offset {
                 None => {
                     // Loss of light: a jittered noise-floor reading.
                     (self.noise_floor_db + 0.05 * rng.standard_normal()).max(0.01)
@@ -87,10 +132,9 @@ impl SnrProcess {
                     (self.baseline_db + ou + diurnal + offset).max(0.01)
                 }
             };
-            samples.push(sample);
+            out.push(sample);
             ou = ou * rho + innovation * rng.standard_normal();
         }
-        SnrTrace::new(start, tick, samples)
     }
 }
 
@@ -98,7 +142,7 @@ impl SnrProcess {
 mod tests {
     use super::*;
     use crate::events::{Event, EventKind};
-    use rwc_util::stats::{highest_density_interval, Summary};
+    use rwc_util::stats::Summary;
 
     fn quiet_process() -> SnrProcess {
         SnrProcess { diurnal_amp_db: 0.0, ..SnrProcess::default() }
@@ -134,10 +178,48 @@ mod tests {
         // The paper: 83% of links keep 95% of samples within < 2 dB.
         // A healthy (event-free) link with default noise must satisfy that.
         let trace = telemetry_trace(&SnrProcess::default(), &EventLog::new(), 365, 2);
-        let mut sorted = trace.values().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let (lo, hi) = highest_density_interval(&sorted, 0.95);
-        assert!(hi - lo < 2.0, "hdr width = {}", hi - lo);
+        let hdr = crate::hdr::Hdr::paper(&trace);
+        assert!(hdr.width().value() < 2.0, "hdr width = {}", hdr.width());
+    }
+
+    #[test]
+    fn generate_into_matches_generate_bitwise() {
+        // The streaming path must be the same function as the trace path,
+        // sample for sample, including around event boundaries.
+        let mut events = EventLog::new();
+        events.push(Event {
+            kind: EventKind::Dip { depth_db: 4.0 },
+            start: SimTime::EPOCH + SimDuration::from_hours(5),
+            duration: SimDuration::from_hours(9),
+        });
+        events.push(Event {
+            kind: EventKind::LossOfLight,
+            start: SimTime::EPOCH + SimDuration::from_days(2),
+            duration: SimDuration::from_hours(3),
+        });
+        events.push(Event {
+            kind: EventKind::Step { delta_db: 1.0 },
+            start: SimTime::EPOCH + SimDuration::from_hours(7),
+            duration: SimDuration::from_days(4),
+        });
+        let p = SnrProcess::default();
+        let trace = telemetry_trace(&p, &events, 7, 11);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut streamed = vec![0.0; 3]; // dirty buffer must be cleared
+        p.generate_into(
+            SimTime::EPOCH,
+            SimDuration::from_days(7),
+            SimDuration::TELEMETRY_TICK,
+            &events,
+            &mut rng,
+            &mut streamed,
+        );
+        assert_eq!(streamed.len(), trace.len());
+        let same = streamed
+            .iter()
+            .zip(trace.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "streamed generation diverged from trace generation");
     }
 
     #[test]

@@ -209,7 +209,7 @@ where
         if candidates.is_empty() {
             break;
         }
-        candidates.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap());
+        candidates.sort_by(|a, b| f64::total_cmp(&a.weight, &b.weight));
         found.push(candidates.remove(0));
     }
     found

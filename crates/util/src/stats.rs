@@ -8,6 +8,88 @@
 
 use std::fmt;
 
+/// Below this length an LSD radix sort's histogram setup costs more than a
+/// comparison sort of the whole slice; [`sort_f64`] falls back to
+/// `sort_unstable_by(f64::total_cmp)`.
+const RADIX_CUTOFF: usize = 64;
+
+/// Maps an `f64` onto a `u64` key whose unsigned order equals the IEEE-754
+/// *total order* of the float (`-NaN < -inf < … < -0.0 < +0.0 < … < +NaN`):
+/// positive floats get their sign bit flipped, negative floats are fully
+/// inverted. Monotone and invertible, so a radix sort on the keys is an
+/// exact value sort — no epsilon, no NaN panic.
+#[inline]
+fn total_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    bits ^ (((bits as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Sorts `values` ascending in IEEE-754 total order.
+///
+/// Equivalent to `sort_unstable_by(f64::total_cmp)` but O(n) instead of
+/// O(n log n): an exact LSD radix sort over the total-order bit keys, one
+/// byte per pass, with uniform-digit passes skipped (SNR data spans a few
+/// dB, so the exponent bytes are nearly constant and most passes vanish).
+/// Unlike the `partial_cmp(..).unwrap()` idiom this never panics on NaN —
+/// NaNs deterministically sort to the ends.
+pub fn sort_f64(values: &mut [f64]) {
+    let mut scratch = Vec::new();
+    sort_f64_with_scratch(values, &mut scratch);
+}
+
+/// [`sort_f64`] with a caller-owned scratch buffer, for hot loops that sort
+/// one trace per link and want zero steady-state allocation. The scratch is
+/// resized to `values.len()` once and reused across calls.
+pub fn sort_f64_with_scratch(values: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = values.len();
+    if n < RADIX_CUTOFF {
+        values.sort_unstable_by(f64::total_cmp);
+        return;
+    }
+    scratch.clear();
+    scratch.resize(n, 0.0);
+
+    // One prefix scan builds all eight byte histograms, so fully uniform
+    // digits (the common case for the high exponent bytes) are detected and
+    // their passes skipped without touching the data again.
+    let mut hist = [[0usize; 256]; 8];
+    for &v in values.iter() {
+        let key = total_order_key(v);
+        for (byte, h) in hist.iter_mut().enumerate() {
+            h[((key >> (8 * byte)) & 0xFF) as usize] += 1;
+        }
+    }
+
+    // `src` flips between the caller's slice and the scratch each performed
+    // pass; a final copy lands the result back in `values` if needed.
+    let mut in_values = true;
+    for (byte, h) in hist.iter().enumerate() {
+        if h.contains(&n) {
+            continue; // every key shares this byte — nothing to reorder
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0usize;
+        for (digit, &count) in h.iter().enumerate() {
+            offsets[digit] = running;
+            running += count;
+        }
+        let (src, dst): (&[f64], &mut [f64]) = if in_values {
+            (&*values, scratch.as_mut_slice())
+        } else {
+            (scratch.as_slice(), &mut *values)
+        };
+        for &v in src.iter() {
+            let digit = ((total_order_key(v) >> (8 * byte)) & 0xFF) as usize;
+            dst[offsets[digit]] = v;
+            offsets[digit] += 1;
+        }
+        in_values = !in_values;
+    }
+    if !in_values {
+        values.copy_from_slice(scratch);
+    }
+}
+
 /// An empirical cumulative distribution function over `f64` samples.
 ///
 /// Construction sorts the samples once; evaluation is a binary search.
@@ -27,7 +109,7 @@ impl Ecdf {
             samples.iter().all(|x| x.is_finite()),
             "ECDF samples must be finite"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sort_f64(&mut samples);
         Self { sorted: samples }
     }
 
@@ -244,6 +326,69 @@ pub fn highest_density_interval(sorted: &[f64], coverage: f64) -> (f64, f64) {
     best
 }
 
+/// [`highest_density_interval`] of *unsorted* samples, bit-identical to
+/// sorting first but cheaper: the window scan only ever reads positions
+/// `0..=n-k` and `k-1..n` of the sorted order — the two tails — so for
+/// high coverage the middle ~90% of samples never needs sorting at all.
+/// Two `select_nth` partitions put the exact full-sort values at every
+/// position the scan reads (the multiset below any sorted position is
+/// unique, and equal `f64`s in total order are bit-identical), then only
+/// the tails are comparison-sorted. O(n) plus two O(n·(1−coverage)) tail
+/// sorts; reorders `values` in place.
+pub fn hdi_of_unsorted(values: &mut [f64], coverage: f64) -> (f64, f64) {
+    assert!(!values.is_empty(), "HDI of zero samples");
+    assert!(
+        (0.0..=1.0).contains(&coverage) && coverage > 0.0,
+        "coverage out of (0,1]: {coverage}"
+    );
+    let n = values.len();
+    let k = ((coverage * n as f64).ceil() as usize).clamp(1, n);
+    let tail = n - k;
+    if tail >= k {
+        // Low coverage: the window positions cover most of the slice, so a
+        // partial sort saves nothing.
+        sort_f64(values);
+        return highest_density_interval(values, coverage);
+    }
+    if tail > 0 {
+        // Partition at k-1: the pivot lands in its sorted place, the right
+        // part holds exactly the top `tail` values of the sorted order.
+        let (left, _pivot, right) = values.select_nth_unstable_by(k - 1, f64::total_cmp);
+        right.sort_unstable_by(f64::total_cmp);
+        if tail == left.len() {
+            left.sort_unstable_by(f64::total_cmp);
+        } else {
+            let (low_tail, _p, _rest) = left.select_nth_unstable_by(tail, f64::total_cmp);
+            low_tail.sort_unstable_by(f64::total_cmp);
+        }
+    } else {
+        // Full coverage: the only window is the whole sample range.
+        let mut min = values[0];
+        let mut max = values[0];
+        for &v in values.iter() {
+            if v.total_cmp(&min).is_lt() {
+                min = v;
+            }
+            if v.total_cmp(&max).is_gt() {
+                max = v;
+            }
+        }
+        return (min, max);
+    }
+    // Positions 0 and n-1 are in sorted place, so this matches the sorted
+    // scan's initial value even when no window improves on it.
+    let mut best = (values[0], values[n - 1]);
+    let mut best_width = f64::INFINITY;
+    for start in 0..=tail {
+        let width = values[start + k - 1] - values[start];
+        if width < best_width {
+            best_width = width;
+            best = (values[start], values[start + k - 1]);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,7 +485,7 @@ mod tests {
         // exactly the Fig. 2a distinction between HDR and range.
         let mut samples: Vec<f64> = (0..95).map(|i| 10.0 + i as f64 * 0.01).collect();
         samples.extend([0.1, 0.2, 0.3, 0.2, 0.1]);
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sort_f64(&mut samples);
         let (lo, hi) = highest_density_interval(&samples, 0.95);
         assert!(lo >= 10.0 && hi <= 10.94 + 1e-9, "({lo},{hi})");
         assert!(hi - lo < 1.0);
@@ -364,5 +509,139 @@ mod tests {
         let (lo, hi) = highest_density_interval(&samples, 0.95);
         let inside = samples.iter().filter(|&&x| x >= lo && x <= hi).count();
         assert!(inside >= 95);
+    }
+
+    /// Deterministic pseudo-random f64s without pulling `rng` into this
+    /// module: SplitMix64 over the index, scaled into a signed range.
+    fn mixed(i: u64) -> f64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64 - 0.5) * 2e4
+    }
+
+    #[test]
+    fn radix_matches_total_cmp_sort() {
+        // Above and below the small-n comparison fallback, signed values,
+        // duplicates, and signed zeros.
+        for n in [0usize, 1, 2, 17, RADIX_CUTOFF - 1, RADIX_CUTOFF, 500, 4096] {
+            let mut values: Vec<f64> = (0..n as u64).map(mixed).collect();
+            if n > 4 {
+                values[1] = values[3]; // force duplicates
+                values[2] = -0.0;
+                values[4] = 0.0;
+            }
+            let mut expected = values.clone();
+            expected.sort_unstable_by(f64::total_cmp);
+            sort_f64(&mut values);
+            let same = values.iter().zip(&expected).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "radix sort diverged from total_cmp at n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_narrow_band_skips_passes_correctly() {
+        // SNR-like data: a few dB of spread, so every exponent byte is
+        // uniform and most radix passes are skipped. The skip logic must
+        // still produce a fully sorted slice.
+        let mut values: Vec<f64> = (0..2000u64).map(|i| 11.0 + (mixed(i).abs() % 3.0)).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable_by(f64::total_cmp);
+        sort_f64(&mut values);
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn radix_handles_nan_and_infinities_without_panicking() {
+        // The partial_cmp idiom this replaces panicked here.
+        let mut values: Vec<f64> = (0..200u64).map(mixed).collect();
+        values[10] = f64::NAN;
+        values[20] = -f64::NAN;
+        values[30] = f64::INFINITY;
+        values[40] = f64::NEG_INFINITY;
+        let mut expected = values.clone();
+        expected.sort_unstable_by(f64::total_cmp);
+        sort_f64(&mut values);
+        let same = values.iter().zip(&expected).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "NaN/inf placement diverged from total order");
+        assert!(values[0].is_nan() && values[0].is_sign_negative());
+        assert!(values[199].is_nan() && values[199].is_sign_positive());
+    }
+
+    #[test]
+    fn radix_scratch_reuse_is_clean() {
+        // A dirty, oversized scratch from a previous (larger, NaN-laden)
+        // sort must not leak into a later, smaller sort.
+        let mut scratch = vec![f64::NAN; 1000];
+        let mut first: Vec<f64> = (0..600u64).map(mixed).collect();
+        first[13] = f64::NAN;
+        sort_f64_with_scratch(&mut first, &mut scratch);
+        let mut second: Vec<f64> = (0..100u64).map(|i| mixed(i + 7)).collect();
+        let mut expected = second.clone();
+        expected.sort_unstable_by(f64::total_cmp);
+        sort_f64_with_scratch(&mut second, &mut scratch);
+        assert_eq!(second, expected);
+    }
+
+    #[test]
+    fn hdi_of_unsorted_matches_sorted_scan() {
+        // The selection-based HDI must agree bit-for-bit with sorting first
+        // and scanning, across coverages on both sides of the partial-sort
+        // guard, on duplicates, and down to one sample.
+        for n in [1usize, 2, 3, 10, 97, 1000, 5000] {
+            for coverage in [0.3, 0.5, 0.8, 0.95, 1.0] {
+                let mut values: Vec<f64> = (0..n as u64).map(mixed).collect();
+                if n > 6 {
+                    values[1] = values[5]; // duplicates across the pivot
+                    values[2] = values[5];
+                }
+                let mut sorted = values.clone();
+                sort_f64(&mut sorted);
+                let expected = highest_density_interval(&sorted, coverage);
+                let got = hdi_of_unsorted(&mut values, coverage);
+                assert!(
+                    got.0.to_bits() == expected.0.to_bits()
+                        && got.1.to_bits() == expected.1.to_bits(),
+                    "HDI diverged at n={n} coverage={coverage}: {got:?} vs {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hdi_of_unsorted_narrow_cluster_with_outliers() {
+        // Same fixture as the sorted-scan test: the 95% HDI hugs the
+        // cluster even though the slice arrives unsorted.
+        let mut samples: Vec<f64> = (0..95).map(|i| 10.0 + i as f64 * 0.01).collect();
+        samples.extend([0.1, 0.2, 0.3, 0.2, 0.1]);
+        let (lo, hi) = hdi_of_unsorted(&mut samples, 0.95);
+        assert!(lo >= 10.0 && hi <= 10.94 + 1e-9, "({lo},{hi})");
+    }
+
+    #[test]
+    fn total_order_key_is_monotone_on_boundary_values() {
+        let ordered = [
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.5,
+            f64::MAX,
+            f64::INFINITY,
+        ];
+        for pair in ordered.windows(2) {
+            assert!(
+                total_order_key(pair[0]) <= total_order_key(pair[1]),
+                "key order broke between {} and {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // -0.0 and +0.0 are *distinct* in total order — the keys must be too.
+        assert!(total_order_key(-0.0) < total_order_key(0.0));
     }
 }

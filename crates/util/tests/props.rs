@@ -47,7 +47,7 @@ proptest! {
         mut samples in proptest::collection::vec(-1e3f64..1e3, 3..200),
         c1 in 0.2f64..0.9,
     ) {
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rwc_util::stats::sort_f64(&mut samples);
         let c2 = (c1 + 0.1).min(1.0);
         let (lo1, hi1) = highest_density_interval(&samples, c1);
         let (lo2, hi2) = highest_density_interval(&samples, c2);
