@@ -21,8 +21,8 @@ fn bench_hysteresis(c: &mut Criterion) {
 
 fn bench_controller_sweep(c: &mut Criterion) {
     let mut wan = rwc_topology::builders::grid(4, 4, 300.0);
-    let readings: Vec<(LinkId, Db)> =
-        wan.links().map(|(id, _)| (id, Db(12.0))).collect();
+    let readings: Vec<(LinkId, Option<Db>)> =
+        wan.links().map(|(id, _)| (id, Some(Db(12.0)))).collect();
     let mut controller = Controller::new(ControllerConfig::default(), wan.n_links(), 1);
     c.bench_function("controller/sweep_24_links", |b| {
         b.iter(|| {

@@ -1,0 +1,93 @@
+//! Observability overhead: the acceptance gate for the `rwc-obs` layer.
+//!
+//! The headline pair runs the same one-day Fig. 7 scenario with the
+//! default [`NoopObserver`] and with a collecting [`MetricsObserver`];
+//! the noop arm must stay within 2% of an uninstrumented build's
+//! scenario throughput (compare `obs/scenario_noop` against the
+//! pre-instrumentation `round_engine` numbers — the virtual calls to
+//! empty hook bodies are the entire cost). The micro group pins down the
+//! per-hook costs that overhead is made of.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwc_core::prelude::*;
+use rwc_te::demand::{DemandMatrix, Priority};
+use rwc_te::swan::SwanTe;
+use rwc_telemetry::FleetConfig;
+use rwc_topology::builders;
+use std::sync::Arc;
+
+fn one_day_scenario(obs: Arc<dyn Observer>) -> (Scenario, SimDuration) {
+    let wan = builders::fig7_example();
+    let a = wan.node_by_name("A").unwrap();
+    let b = wan.node_by_name("B").unwrap();
+    let c = wan.node_by_name("C").unwrap();
+    let d = wan.node_by_name("D").unwrap();
+    let mut dm = DemandMatrix::new();
+    dm.add(a, b, Gbps(120.0), Priority::Elastic);
+    dm.add(c, d, Gbps(120.0), Priority::Elastic);
+    let horizon = SimDuration::from_days(1);
+    let fleet = FleetConfig {
+        n_fibers: 1,
+        wavelengths_per_fiber: 4,
+        horizon: horizon + SimDuration::from_days(1),
+        fiber_baseline_mean_db: 13.2,
+        fiber_baseline_sd_db: 0.2,
+        wavelength_jitter_sd_db: 0.4,
+        ..FleetConfig::paper()
+    };
+    let scenario = Scenario::builder(wan, fleet, dm)
+        .observer(obs)
+        .build()
+        .expect("bench scenario wiring is valid");
+    (scenario, horizon)
+}
+
+fn bench_scenario_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("scenario_noop", |b| {
+        b.iter(|| {
+            let (mut s, horizon) = one_day_scenario(rwc_obs::noop());
+            std::hint::black_box(s.run(horizon, &SwanTe::default()).unwrap())
+        })
+    });
+    group.bench_function("scenario_metrics", |b| {
+        b.iter(|| {
+            let obs = Arc::new(MetricsObserver::new());
+            let (mut s, horizon) = one_day_scenario(obs.clone());
+            let report = s.run(horizon, &SwanTe::default()).unwrap();
+            std::hint::black_box((report, obs.snapshot()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/hooks");
+    let noop = rwc_obs::noop();
+    group.bench_function("incr_noop", |b| {
+        b.iter(|| noop.incr(std::hint::black_box("te.rounds"), 1))
+    });
+    let metrics: Arc<dyn Observer> = Arc::new(MetricsObserver::new());
+    group.bench_function("incr_metrics", |b| {
+        b.iter(|| metrics.incr(std::hint::black_box("te.rounds"), 1))
+    });
+    group.bench_function("record_metrics", |b| {
+        b.iter(|| metrics.record("te.solve_micros", std::hint::black_box(137.0)))
+    });
+    group.bench_function("event_metrics", |b| {
+        b.iter(|| metrics.event(std::hint::black_box(&Event::WarmSolve { pivots: 4 })))
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let reg = MetricsRegistry::new();
+    for i in 0..10_000u64 {
+        reg.record("te.solve_micros", (i % 977) as f64);
+    }
+    reg.incr("te.rounds", 10_000);
+    c.bench_function("obs/snapshot", |b| b.iter(|| std::hint::black_box(reg.snapshot())));
+}
+
+criterion_group!(benches, bench_scenario_overhead, bench_hooks, bench_snapshot);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Full-rebuild vs incremental TE round engine.
 //!
 //! Runs the perf scenario's first day of rounds through
-//! `Scenario::try_run_timed` twice — once with the `full_rebuild`
+//! `Scenario::run` twice — once with the `full_rebuild`
 //! escape hatch (fresh augmentation, no static memo, no counterfactual
 //! cache) and once with the incremental engine — and once more with the
 //! warm-started exact LP, the configuration `repro --bench-json` gates

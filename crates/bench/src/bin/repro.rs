@@ -1,7 +1,8 @@
 //! Figure-reproduction CLI.
 //!
 //! ```text
-//! repro [--quick|--full|--scale N] [--legacy-analysis] [--out DIR] <id>... | all
+//! repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet]
+//!       [--obs-json FILE] [--out DIR] <id>... | all
 //! repro --bench-json [--perf-baseline FILE] [--quick|--full|--scale N] [--out DIR]
 //! ```
 //!
@@ -11,6 +12,18 @@
 //! the paper-scale corpus (2,000 links × 2.5 years — takes a while), and
 //! `--scale N` multiplies the paper fleet (`--scale 10` = 20,000 links)
 //! for fleet-pipeline stress runs.
+//!
+//! `--obs-json FILE` switches observability on for the whole process: a
+//! [`rwc_obs::MetricsObserver`] is installed before any experiment
+//! dispatches, every pipeline the experiments build publishes into it
+//! (controller decisions and reconfigurations, TE round/solve timing and
+//! warm-start rates, scenario tick/fault counters, fleet-kernel episode
+//! statistics), and the merged snapshot is written to `FILE` as
+//! deterministic JSON when the run finishes. Reports stay byte-identical
+//! with observability on or off — metrics are a sidecar, never an input.
+//!
+//! `--quiet` suppresses progress lines and the `[obs]` event echo;
+//! experiment findings and errors still print.
 //!
 //! `--legacy-analysis` re-runs fleet experiments on the original
 //! trace-materialising analysis path instead of the fused kernel — the
@@ -26,9 +39,11 @@
 use rwc_bench::experiments;
 use rwc_bench::perf::PerfBaseline;
 use rwc_bench::Scale;
+use rwc_obs::{ConsoleSink, MetricsObserver};
 use rwc_telemetry::AnalysisMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Quick;
@@ -36,6 +51,8 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut bench_json = false;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut obs_path: Option<PathBuf> = None;
+    let mut quiet = false;
     let mut mode = AnalysisMode::Fused;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +68,14 @@ fn main() -> ExitCode {
             },
             "--legacy-analysis" => mode = AnalysisMode::Legacy,
             "--bench-json" => bench_json = true,
+            "--quiet" => quiet = true,
+            "--obs-json" => match args.next() {
+                Some(file) => obs_path = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--obs-json needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--perf-baseline" => match args.next() {
                 Some(file) => baseline_path = Some(PathBuf::from(file)),
                 None => {
@@ -67,8 +92,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick|--full|--scale N] [--legacy-analysis] \
-                     [--out DIR] <id>... | all"
+                    "usage: repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet] \
+                     [--obs-json FILE] [--out DIR] <id>... | all"
                 );
                 println!("       repro --bench-json [--perf-baseline FILE]");
                 println!("ids: {} ablation", experiments::ALL.join(" "));
@@ -77,12 +102,19 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    rwc_bench::experiments::set_analysis_mode(mode);
+    let sink = ConsoleSink::new(quiet);
+    experiments::set_analysis_mode(mode);
+    if obs_path.is_some() {
+        // Install before any experiment dispatches: every pipeline built
+        // from here on publishes into this registry, with the salient
+        // events echoed through the console sink.
+        experiments::set_observer(Arc::new(MetricsObserver::with_forward(Arc::new(sink))));
+    }
     if bench_json {
-        return run_bench_json(scale, &out_dir, baseline_path.as_deref());
+        return run_bench_json(scale, &out_dir, baseline_path.as_deref(), &sink);
     }
     if baseline_path.is_some() {
-        eprintln!("--perf-baseline only makes sense with --bench-json");
+        sink.error("--perf-baseline only makes sense with --bench-json");
         return ExitCode::FAILURE;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -91,30 +123,66 @@ fn main() -> ExitCode {
     }
 
     for id in &ids {
+        sink.progress(&format!("running {id} ({} scale)…", scale.label()));
         let Some(report) = experiments::run(id, scale) else {
-            eprintln!("unknown experiment id: {id}");
+            sink.error(&format!("unknown experiment id: {id}"));
             return ExitCode::FAILURE;
         };
-        print!("{}", report.render());
+        sink.result(report.render().trim_end());
         match report.write_csv(&out_dir) {
             Ok(files) => {
                 for f in files {
-                    println!("  -> {f}");
+                    sink.progress(&format!("  -> {f}"));
                 }
             }
             Err(e) => {
-                eprintln!("failed to write CSV: {e}");
+                sink.error(&format!("failed to write CSV: {e}"));
                 return ExitCode::FAILURE;
             }
         }
-        println!();
+        sink.progress("");
     }
+    write_obs_snapshot(obs_path.as_deref(), &sink)
+}
+
+/// Writes the installed observer's merged snapshot to `path`; a no-op
+/// when `--obs-json` was not given.
+fn write_obs_snapshot(path: Option<&std::path::Path>, sink: &ConsoleSink) -> ExitCode {
+    let Some(path) = path else {
+        return ExitCode::SUCCESS;
+    };
+    let Some(snapshot) = experiments::metrics() else {
+        sink.error("--obs-json: no observer was installed (internal error)");
+        return ExitCode::FAILURE;
+    };
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            sink.error(&format!("cannot create {}: {e}", dir.display()));
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(path, snapshot.to_json() + "\n") {
+        sink.error(&format!("cannot write {}: {e}", path.display()));
+        return ExitCode::FAILURE;
+    }
+    sink.result(&format!(
+        "observability snapshot ({} counters, {} gauges, {} histograms) -> {}",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+        path.display()
+    ));
     ExitCode::SUCCESS
 }
 
-fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std::path::Path>) -> ExitCode {
+fn run_bench_json(
+    scale: Scale,
+    out_dir: &std::path::Path,
+    baseline: Option<&std::path::Path>,
+    sink: &ConsoleSink,
+) -> ExitCode {
     let perf = rwc_bench::perf::scenario_perf(scale);
-    println!(
+    sink.result(&format!(
         "round engine ({} scale): full {:.1} rounds/sec -> incremental {:.1} rounds/sec \
          ({:.2}x solve speedup, reports identical: {})",
         perf.scale,
@@ -122,8 +190,8 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
         perf.incremental.rounds_per_sec,
         perf.solve_speedup,
         perf.reports_identical,
-    );
-    println!(
+    ));
+    sink.result(&format!(
         "exact LP: cold p50 {} us / p99 {} us -> warm p50 {} us / p99 {} us \
          ({:.2}x solve speedup, warm hit rate {:.0}%, max throughput delta {:.2e} G)",
         perf.exact_cold.solve_p50_micros,
@@ -133,9 +201,9 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
         perf.exact_solve_speedup,
         100.0 * perf.warm_hit_rate,
         perf.max_throughput_delta,
-    );
+    ));
     let fleet = rwc_bench::perf::fleet_perf(scale);
-    println!(
+    sink.result(&format!(
         "fleet analysis ({} links, {} threads): legacy {:.1} links/sec -> fused {:.1} links/sec \
          ({:.2}x, {:.1}x fewer allocated bytes, accumulators identical: {})",
         fleet.fused.links,
@@ -145,9 +213,9 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
         fleet.speedup,
         fleet.alloc_ratio,
         fleet.accumulators_identical,
-    );
+    ));
     if let Err(e) = std::fs::create_dir_all(out_dir) {
-        eprintln!("cannot create {}: {e}", out_dir.display());
+        sink.error(&format!("cannot create {}: {e}", out_dir.display()));
         return ExitCode::FAILURE;
     }
     for (name, json) in
@@ -155,42 +223,42 @@ fn run_bench_json(scale: Scale, out_dir: &std::path::Path, baseline: Option<&std
     {
         let path = out_dir.join(name);
         if let Err(e) = std::fs::write(&path, json + "\n") {
-            eprintln!("cannot write {}: {e}", path.display());
+            sink.error(&format!("cannot write {}: {e}", path.display()));
             return ExitCode::FAILURE;
         }
-        println!("  -> {}", path.display());
+        sink.progress(&format!("  -> {}", path.display()));
     }
     if let Some(baseline_path) = baseline {
         let text = match std::fs::read_to_string(baseline_path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                sink.error(&format!("cannot read baseline {}: {e}", baseline_path.display()));
                 return ExitCode::FAILURE;
             }
         };
         let baseline = match PerfBaseline::from_json(&text) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("bad baseline {}: {e}", baseline_path.display());
+                sink.error(&format!("bad baseline {}: {e}", baseline_path.display()));
                 return ExitCode::FAILURE;
             }
         };
         if let Err(e) = perf.check_against_baseline(&baseline.scenario) {
-            eprintln!("{e}");
+            sink.error(&e);
             return ExitCode::FAILURE;
         }
         if let Err(e) = fleet.check_against_baseline(&baseline.fleet) {
-            eprintln!("{e}");
+            sink.error(&e);
             return ExitCode::FAILURE;
         }
-        println!(
+        sink.result(&format!(
             "perf gate: {:.1} rounds/sec clears baseline floor {:.1}; \
              {:.1} links/sec clears baseline floor {:.1}",
             perf.incremental.rounds_per_sec,
             baseline.scenario.incremental.rounds_per_sec / 2.0,
             fleet.fused.links_per_sec,
             baseline.fleet.fused.links_per_sec / 2.0,
-        );
+        ));
     }
     ExitCode::SUCCESS
 }

@@ -87,7 +87,7 @@ pub fn hysteresis_ablation(margins_db: &[f64], ticks: usize) -> Vec<(f64, usize)
             for i in 0..ticks {
                 let snr = Db(12.5 + rng.normal(0.0, 0.4));
                 let now = SimTime::EPOCH + SimDuration::TELEMETRY_TICK * i as u64;
-                let report = controller.sweep(&mut wan, &[(LinkId(0), snr)], now);
+                let report = controller.sweep(&mut wan, &[(LinkId(0), Some(snr))], now);
                 changes += report.changes.len();
             }
                 (margin, changes)
@@ -135,7 +135,7 @@ pub fn predictive_ablation(horizons: &[u64]) -> Vec<(u64, usize, usize)> {
                     if predictive {
                         pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
                     } else {
-                        reactive.sweep(&mut wan, &[(LinkId(0), snr)], now);
+                        reactive.sweep(&mut wan, &[(LinkId(0), Some(snr))], now);
                     }
                 }
                 risk

@@ -131,7 +131,8 @@ pub fn controller_replay(
     for link_id in 0..gen.n_links() {
         let link = gen.link(link_id);
         for (t, snr) in link.trace.iter() {
-            let report = controller.sweep(&mut wan, &[(LinkId(link_id), Db(snr.value()))], t);
+            let report =
+                controller.sweep(&mut wan, &[(LinkId(link_id), Some(Db(snr.value())))], t);
             flaps += report.failures_avoided;
             downs += report.went_down.len();
             downtime += report.downtime;

@@ -12,14 +12,12 @@
 
 use crate::report::series_csv;
 use crate::{Report, Scale};
-use rwc_core::scenario::{Scenario, ScenarioConfig};
+use rwc_core::prelude::*;
 use rwc_faults::{FaultPlan, FaultPlanConfig};
 use rwc_te::demand::{DemandMatrix, Priority};
 use rwc_te::swan::SwanTe;
 use rwc_telemetry::FleetConfig;
 use rwc_topology::builders;
-use rwc_util::time::SimDuration;
-use rwc_util::units::Gbps;
 
 fn build(scale: Scale) -> (Scenario, SimDuration, FaultPlan) {
     build_arm(scale, false)
@@ -72,7 +70,12 @@ pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration, Fa
         full_rebuild,
         ..ScenarioConfig::default()
     };
-    (Scenario::new(wan, fleet, dm, config), horizon, plan)
+    let scenario = Scenario::builder(wan, fleet, dm)
+        .config(config)
+        .observer(super::observer())
+        .build()
+        .expect("fault campaign wiring is valid");
+    (scenario, horizon, plan)
 }
 
 /// Runs the experiment.
@@ -81,7 +84,9 @@ pub fn run(scale: Scale) -> Report {
         Report::new("faults", "fault injection: degradations ridden out vs outages");
     let (mut scenario, horizon, plan) = build(scale);
     let (bvt_events, tel_events, te_events, optical_events) = plan.class_counts();
-    let result = scenario.run(horizon, &SwanTe::default());
+    let result = scenario
+        .run(horizon, &SwanTe::default())
+        .expect("fault campaign horizon fits its telemetry");
 
     report.line(format!(
         "injected over {horizon}: {bvt_events} BVT faults, {tel_events} telemetry faults, \
@@ -147,7 +152,7 @@ mod tests {
     #[test]
     fn majority_of_imperfect_time_is_degraded_not_outage() {
         let (mut scenario, horizon, _) = build(Scale::Quick);
-        let result = scenario.run(horizon, &SwanTe::default());
+        let result = scenario.run(horizon, &SwanTe::default()).unwrap();
         // The acceptance bar: at least 25% of the injected failures are
         // handled as degraded-capacity flaps rather than outages.
         assert!(

@@ -11,11 +11,12 @@ use rwc_util::units::{Db, Gbps};
 fn fleet_analysis(scale: Scale) -> (FleetAccumulator, usize) {
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis_with(
+    let acc = crate::parallel::parallel_fleet_analysis_observed(
         &gen,
         &table,
         crate::parallel::default_workers(),
         super::analysis_mode(),
+        super::registry(),
     );
     (acc, gen.n_links())
 }

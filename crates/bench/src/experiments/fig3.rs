@@ -42,7 +42,7 @@ fn high_quality_fiber(scale: Scale) -> Vec<LinkAnalysis> {
     let table = ModulationTable::paper_default();
     match super::analysis_mode() {
         AnalysisMode::Fused => {
-            let mut kernel = FleetKernel::new();
+            let mut kernel = FleetKernel::with_observer(super::observer());
             (0..gen.n_links())
                 .map(|i| kernel.analyze_generated(&gen, i, &table))
                 .collect()
@@ -90,11 +90,12 @@ pub fn run_3b(scale: Scale) -> Report {
         Report::new("fig3b", "duration of hypothetical link failures vs capacity (whole WAN)");
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis_with(
+    let acc = crate::parallel::parallel_fleet_analysis_observed(
         &gen,
         &table,
         crate::parallel::default_workers(),
         super::analysis_mode(),
+        super::registry(),
     );
     let mut csv = String::from("capacity_gbps,mean_h,p25_h,median_h,p75_h,max_h,episodes\n");
     for m in Modulation::LADDER {

@@ -18,10 +18,49 @@ pub mod thm1;
 pub mod tput;
 
 use crate::{Report, Scale};
+use rwc_obs::{MetricsObserver, MetricsSnapshot, Observer};
 use rwc_telemetry::AnalysisMode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 static LEGACY_ANALYSIS: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide observability sink for experiment runs, mirroring the
+/// [`set_analysis_mode`] pattern: `repro --obs-json` installs a
+/// [`MetricsObserver`] before dispatching and every experiment routes the
+/// pipelines it builds through [`observer`]. Unset (the default), the
+/// shared [`rwc_obs::noop`] observer is handed out and the hot paths stay
+/// branchless no-ops.
+static OBSERVER: OnceLock<Arc<MetricsObserver>> = OnceLock::new();
+
+/// Installs the process-wide metrics observer. First call wins (the
+/// registry must outlive every experiment); later calls return `false`
+/// and change nothing.
+pub fn set_observer(obs: Arc<MetricsObserver>) -> bool {
+    OBSERVER.set(obs).is_ok()
+}
+
+/// The observer experiments should hand to the pipelines they build —
+/// the installed [`MetricsObserver`], or the shared noop.
+pub fn observer() -> Arc<dyn Observer> {
+    match OBSERVER.get() {
+        Some(obs) => Arc::clone(obs) as Arc<dyn Observer>,
+        None => rwc_obs::noop(),
+    }
+}
+
+/// The installed observer's backing registry — the merge target for
+/// per-worker registries in [`crate::parallel`]; `None` when
+/// observability is off.
+pub fn registry() -> Option<&'static rwc_obs::MetricsRegistry> {
+    OBSERVER.get().map(|obs| obs.registry())
+}
+
+/// Snapshot of the installed observer's metrics; `None` when observability
+/// is off.
+pub fn metrics() -> Option<MetricsSnapshot> {
+    OBSERVER.get().map(|obs| obs.snapshot())
+}
 
 /// Selects the fleet-analysis path for every experiment in this process.
 /// Defaults to the fused kernel; the `repro --legacy-analysis` flag flips

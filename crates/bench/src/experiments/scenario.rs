@@ -5,13 +5,11 @@
 
 use crate::report::series_csv;
 use crate::{Report, Scale};
-use rwc_core::scenario::{Scenario, ScenarioConfig};
+use rwc_core::prelude::*;
 use rwc_te::demand::{DemandMatrix, Priority};
 use rwc_te::swan::SwanTe;
 use rwc_telemetry::FleetConfig;
 use rwc_topology::builders;
-use rwc_util::time::SimDuration;
-use rwc_util::units::Gbps;
 
 fn build(scale: Scale) -> (Scenario, SimDuration) {
     build_arm(scale, false)
@@ -45,7 +43,12 @@ pub fn build_arm(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
         ..FleetConfig::paper()
     };
     let config = ScenarioConfig { full_rebuild, ..ScenarioConfig::default() };
-    (Scenario::new(wan, fleet, dm, config), horizon)
+    let scenario = Scenario::builder(wan, fleet, dm)
+        .config(config)
+        .observer(super::observer())
+        .build()
+        .expect("scenario experiment wiring is valid");
+    (scenario, horizon)
 }
 
 /// Runs the experiment.
@@ -53,7 +56,9 @@ pub fn run(scale: Scale) -> Report {
     let mut report =
         Report::new("scenario", "week-in-the-life: dynamic fleet vs binary counterfactual");
     let (mut scenario, horizon) = build(scale);
-    let result = scenario.run(horizon, &SwanTe::default());
+    let result = scenario
+        .run(horizon, &SwanTe::default())
+        .expect("scenario horizon fits its telemetry");
     report.line(format!(
         "{} TE rounds over {horizon}: mean dynamic-over-binary gain {:.1}%",
         result.samples.len(),
@@ -96,7 +101,7 @@ mod tests {
     #[test]
     fn dynamic_dominates_binary_on_average() {
         let (mut scenario, horizon) = build(Scale::Quick);
-        let result = scenario.run(horizon, &SwanTe::default());
+        let result = scenario.run(horizon, &SwanTe::default()).unwrap();
         assert!(result.mean_gain() >= 0.0, "gain={}", result.mean_gain());
         // Per-sample: dynamic never does worse than the binary
         // counterfactual by more than solver noise.

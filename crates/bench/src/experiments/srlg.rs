@@ -20,15 +20,12 @@
 use crate::parallel::parallel_pair;
 use crate::report::series_csv;
 use crate::{Report, Scale};
-use rwc_core::scenario::{Scenario, ScenarioConfig, ScenarioReport};
+use rwc_core::prelude::*;
 use rwc_faults::{FaultPlan, FaultPlanConfig};
 use rwc_te::demand::{DemandMatrix, Priority};
 use rwc_te::swan::SwanTe;
 use rwc_telemetry::FleetConfig;
 use rwc_topology::builders;
-use rwc_topology::wan::LinkId;
-use rwc_util::time::SimDuration;
-use rwc_util::units::Gbps;
 
 /// Fig. 7 fleet with links 0 and 2 sharing one fiber segment — the SRLG
 /// an amplifier event takes down in a single shot.
@@ -93,12 +90,19 @@ pub fn build_arm(
         full_rebuild,
         ..ScenarioConfig::default()
     };
-    (Scenario::new(wan, fleet, dm, config), horizon, plan)
+    let scenario = Scenario::builder(wan, fleet, dm)
+        .config(config)
+        .observer(super::observer())
+        .build()
+        .expect("SRLG campaign wiring is valid");
+    (scenario, horizon, plan)
 }
 
 fn run_arm(scale: Scale, make_before_break: bool) -> (ScenarioReport, FaultPlan, SimDuration) {
     let (mut scenario, horizon, plan) = build(scale, make_before_break);
-    let result = scenario.run(horizon, &SwanTe::default());
+    let result = scenario
+        .run(horizon, &SwanTe::default())
+        .expect("SRLG campaign horizon fits its telemetry");
     (result, plan, horizon)
 }
 

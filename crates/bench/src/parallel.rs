@@ -17,11 +17,12 @@
 //! arms (srlg's two arms, the ablation grid, multi-seed campaigns): each
 //! closure runs on the scoped pool, results come back in input order.
 
+use rwc_obs::{MetricsObserver, MetricsRegistry, Observer};
 use rwc_optics::ModulationTable;
 use rwc_telemetry::analysis::LinkAnalysis;
 use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Analyses the whole fleet across `n_threads` workers pulling chunks
 /// from a shared queue, on the fused fast path. The merged result is
@@ -43,6 +44,25 @@ pub fn parallel_fleet_analysis_with(
     n_threads: usize,
     mode: AnalysisMode,
 ) -> FleetAccumulator {
+    parallel_fleet_analysis_observed(gen, table, n_threads, mode, None)
+}
+
+/// [`parallel_fleet_analysis_with`] with observability: each worker owns a
+/// private [`MetricsObserver`] wired into its [`FleetKernel`] (no shared
+/// atomics on the per-sample hot path), and the per-worker snapshots are
+/// absorbed into `registry` once the pool drains. Counter and histogram-
+/// bucket addition commute, so the merged metrics are identical to a
+/// sequential sweep's regardless of thread count or chunk scheduling —
+/// the same contract the accumulator merge already keeps. The legacy
+/// (trace-materialising) path predates the kernel instrumentation and
+/// publishes nothing.
+pub fn parallel_fleet_analysis_observed(
+    gen: &FleetGenerator,
+    table: &ModulationTable,
+    n_threads: usize,
+    mode: AnalysisMode,
+    registry: Option<&MetricsRegistry>,
+) -> FleetAccumulator {
     assert!(n_threads > 0, "need at least one worker");
     let n_links = gen.n_links();
     // Several chunks per worker so the queue can actually rebalance;
@@ -55,7 +75,15 @@ pub fn parallel_fleet_analysis_with(
     std::thread::scope(|scope| {
         for _ in 0..n_threads.min(n_chunks) {
             scope.spawn(|| {
-                let mut kernel = FleetKernel::new(); // reused across chunks
+                // Per-worker registry: the kernel publishes episode
+                // counters without cross-thread contention.
+                let worker_obs = registry.map(|_| Arc::new(MetricsObserver::new()));
+                let mut kernel = match &worker_obs {
+                    Some(obs) => {
+                        FleetKernel::with_observer(Arc::clone(obs) as Arc<dyn Observer>)
+                    }
+                    None => FleetKernel::new(),
+                }; // reused across chunks
                 loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
@@ -76,6 +104,9 @@ pub fn parallel_fleet_analysis_with(
                         }
                     }
                     *slots[c].lock().expect("slot poisoned") = Some(acc);
+                }
+                if let (Some(registry), Some(obs)) = (registry, worker_obs) {
+                    registry.absorb(&obs.snapshot());
                 }
             });
         }
@@ -176,6 +207,40 @@ mod tests {
                 parallel.fraction_feasible_at_least(Gbps(175.0)),
                 sequential.fraction_feasible_at_least(Gbps(175.0)),
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_parallel_metrics_match_sequential() {
+        let gen = small();
+        let table = ModulationTable::paper_default();
+        // Sequential reference: one kernel publishing into one registry.
+        let seq_obs = Arc::new(MetricsObserver::new());
+        let mut kernel = FleetKernel::with_observer(Arc::clone(&seq_obs) as Arc<dyn Observer>);
+        let mut seq_acc = FleetAccumulator::new();
+        for link_id in 0..gen.n_links() {
+            seq_acc.push(&kernel.analyze_generated(&gen, link_id, &table));
+        }
+        let seq_metrics = seq_obs.snapshot().to_json();
+        for threads in [1, 2, 5] {
+            let registry = MetricsRegistry::new();
+            let acc = parallel_fleet_analysis_observed(
+                &gen,
+                &table,
+                threads,
+                AnalysisMode::Fused,
+                Some(&registry),
+            );
+            assert_eq!(
+                serde_json::to_string(&acc).unwrap(),
+                serde_json::to_string(&seq_acc).unwrap(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                registry.snapshot().to_json(),
+                seq_metrics,
+                "per-worker metrics merge diverged at threads={threads}"
             );
         }
     }

@@ -122,7 +122,11 @@ fn perf_build(scale: Scale, full_rebuild: bool) -> (Scenario, SimDuration) {
         ..FleetConfig::paper()
     };
     let config = ScenarioConfig { full_rebuild, ..ScenarioConfig::default() };
-    (Scenario::new(wan, fleet, dm, config), horizon)
+    let scenario = Scenario::builder(wan, fleet, dm)
+        .config(config)
+        .build()
+        .expect("perf scenario wiring is valid");
+    (scenario, horizon)
 }
 
 fn run_arm(
@@ -131,7 +135,9 @@ fn run_arm(
     algorithm: &dyn TeAlgorithm,
 ) -> (ScenarioReport, ScenarioTiming) {
     let (mut s, horizon) = perf_build(scale, full_rebuild);
-    s.try_run_timed(horizon, algorithm).expect("perf scenario wiring is valid")
+    let report = s.run(horizon, algorithm).expect("perf scenario wiring is valid");
+    let timing = s.last_timing().cloned().expect("run always records timing");
+    (report, timing)
 }
 
 /// Runs the four arms (sequentially, so the timings aren't fighting each

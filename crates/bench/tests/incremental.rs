@@ -19,8 +19,8 @@ fn json(report: &ScenarioReport) -> String {
 fn faults_report_is_byte_identical_incremental_vs_full_rebuild() {
     let (mut inc, horizon, _) = faults::build_arm(Scale::Quick, false);
     let (mut full, _, _) = faults::build_arm(Scale::Quick, true);
-    let inc_report = inc.run(horizon, &SwanTe::default());
-    let full_report = full.run(horizon, &SwanTe::default());
+    let inc_report = inc.run(horizon, &SwanTe::default()).unwrap();
+    let full_report = full.run(horizon, &SwanTe::default()).unwrap();
     assert_eq!(json(&inc_report), json(&full_report));
 }
 
@@ -29,8 +29,8 @@ fn srlg_reports_are_byte_identical_incremental_vs_full_rebuild() {
     for mbb in [false, true] {
         let (mut inc, horizon, _) = srlg::build_arm(Scale::Quick, mbb, false);
         let (mut full, _, _) = srlg::build_arm(Scale::Quick, mbb, true);
-        let inc_report = inc.run(horizon, &SwanTe::default());
-        let full_report = full.run(horizon, &SwanTe::default());
+        let inc_report = inc.run(horizon, &SwanTe::default()).unwrap();
+        let full_report = full.run(horizon, &SwanTe::default()).unwrap();
         assert_eq!(json(&inc_report), json(&full_report), "make_before_break={mbb}");
     }
 }

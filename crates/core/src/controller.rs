@@ -19,6 +19,7 @@
 //! ≈ 68 s vs efficient ≈ 35 ms).
 
 use crate::error::RwcError;
+use rwc_obs::{Event, Observer};
 use rwc_optics::bvt::{Bvt, BvtError, BvtFault, LatencyModel, PreparedChange, ReconfigProcedure};
 use rwc_optics::{Modulation, ModulationTable};
 use rwc_topology::wan::{LinkId, WanTopology};
@@ -26,6 +27,7 @@ use rwc_util::rng::Xoshiro256;
 use rwc_util::time::{SimDuration, SimTime};
 use rwc_util::units::Db;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Controller tuning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,6 +99,142 @@ impl Default for ControllerConfig {
             quarantine_hold: SimDuration::from_hours(4),
             snr_staleness_bound: SimDuration::from_minutes(45),
         }
+    }
+}
+
+impl ControllerConfig {
+    /// Starts a validating builder seeded with the defaults. Prefer this
+    /// over struct-literal updates for new code: [`ControllerConfigBuilder::build`]
+    /// rejects nonsense (negative margins, jitter outside `[0, 1]`) as a
+    /// typed [`RwcError::Config`] instead of a panic deep in the run.
+    pub fn builder() -> ControllerConfigBuilder {
+        ControllerConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Validating builder for [`ControllerConfig`]; see [`ControllerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ControllerConfigBuilder {
+    config: ControllerConfig,
+}
+
+impl ControllerConfigBuilder {
+    /// Hardware threshold table.
+    pub fn table(mut self, table: ModulationTable) -> Self {
+        self.config.table = table;
+        self
+    }
+
+    /// Extra SNR required to step up.
+    pub fn upgrade_margin(mut self, margin: Db) -> Self {
+        self.config.upgrade_margin = margin;
+        self
+    }
+
+    /// Minimum time between upgrades on one link.
+    pub fn dwell(mut self, dwell: SimDuration) -> Self {
+        self.config.dwell = dwell;
+        self
+    }
+
+    /// BVT procedure used for changes.
+    pub fn procedure(mut self, procedure: ReconfigProcedure) -> Self {
+        self.config.procedure = procedure;
+        self
+    }
+
+    /// BVT latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Whether the controller may step links up on its own.
+    pub fn auto_upgrade(mut self, on: bool) -> Self {
+        self.config.auto_upgrade = on;
+        self
+    }
+
+    /// Retry budget per modulation change.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Control-plane backoff between retry attempts.
+    pub fn retry_backoff(mut self, backoff: SimDuration) -> Self {
+        self.config.retry_backoff = backoff;
+        self
+    }
+
+    /// Fractional jitter on the retry backoff, in `[0, 1]`.
+    pub fn retry_jitter(mut self, jitter: f64) -> Self {
+        self.config.retry_jitter = jitter;
+        self
+    }
+
+    /// Watchdog deadline for the commit phase of a staged change.
+    pub fn commit_deadline(mut self, deadline: SimDuration) -> Self {
+        self.config.commit_deadline = deadline;
+        self
+    }
+
+    /// Extra SNR margin demanded by `prepare_change`.
+    pub fn prepare_margin(mut self, margin: Db) -> Self {
+        self.config.prepare_margin = margin;
+        self
+    }
+
+    /// Consecutive failures after which a link is quarantined.
+    pub fn quarantine_after(mut self, failures: u32) -> Self {
+        self.config.quarantine_after = failures;
+        self
+    }
+
+    /// How long a quarantined link stays pinned.
+    pub fn quarantine_hold(mut self, hold: SimDuration) -> Self {
+        self.config.quarantine_hold = hold;
+        self
+    }
+
+    /// Last-known-good SNR staleness bound.
+    pub fn snr_staleness_bound(mut self, bound: SimDuration) -> Self {
+        self.config.snr_staleness_bound = bound;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ControllerConfig, RwcError> {
+        let c = &self.config;
+        if c.upgrade_margin.value() < 0.0 {
+            return Err(RwcError::Config(format!(
+                "upgrade_margin must be non-negative, got {}",
+                c.upgrade_margin
+            )));
+        }
+        if c.prepare_margin.value() < 0.0 {
+            return Err(RwcError::Config(format!(
+                "prepare_margin must be non-negative, got {}",
+                c.prepare_margin
+            )));
+        }
+        if !(0.0..=1.0).contains(&c.retry_jitter) {
+            return Err(RwcError::Config(format!(
+                "retry_jitter must be within [0, 1], got {}",
+                c.retry_jitter
+            )));
+        }
+        if c.quarantine_after == 0 {
+            return Err(RwcError::Config(
+                "quarantine_after must be at least 1 (0 would quarantine a link \
+                 before its first failure)"
+                    .into(),
+            ));
+        }
+        if c.table.entries().is_empty() {
+            return Err(RwcError::Config("modulation table has no rungs".into()));
+        }
+        Ok(self.config)
     }
 }
 
@@ -206,6 +344,7 @@ pub struct Controller {
     /// lock state machine.
     bvts: Vec<Bvt>,
     rng: Xoshiro256,
+    obs: Arc<dyn Observer>,
 }
 
 impl Controller {
@@ -224,7 +363,18 @@ impl Controller {
             states: (0..n_links).map(|_| LinkState::new()).collect(),
             bvts,
             rng: Xoshiro256::seed_from_u64(seed),
+            obs: rwc_obs::noop(),
         }
+    }
+
+    /// Routes this controller's metrics and events (and those of every
+    /// per-link transceiver model) to `obs`. Observability is measurement
+    /// only: it never changes a decision, a report or the RNG stream.
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        for bvt in &mut self.bvts {
+            bvt.set_observer(Arc::clone(&obs));
+        }
+        self.obs = obs;
     }
 
     /// The configuration in use.
@@ -336,6 +486,14 @@ impl Controller {
         }
         let current = wan.link(link).modulation;
         self.bvts[link.0].sync_modulation(current);
+        if self.obs.enabled() {
+            self.obs.event(&Event::ReconfigStarted {
+                link: link.0 as u64,
+                from_gbps: current.capacity().value(),
+                to_gbps: target.capacity().value(),
+                staged: false,
+            });
+        }
         let mut downtime = SimDuration::ZERO;
         let mut retries = 0u32;
         let attempts = 1 + self.config.max_retries;
@@ -347,6 +505,7 @@ impl Controller {
                     let st = &mut self.states[link.0];
                     st.last_change = Some(now);
                     st.consecutive_failures = 0;
+                    self.publish_applied(link, target, downtime, retries);
                     return ChangeResult {
                         applied: true,
                         downtime,
@@ -397,7 +556,65 @@ impl Controller {
                 st.down = true;
             }
         }
+        self.publish_failed(link, target, false, quarantined, retries, now);
         ChangeResult { applied: false, downtime, retries, quarantined, rolled_back: false }
+    }
+
+    /// Metrics/events for a change that landed. Counter bumps go through
+    /// unconditionally (free on the noop observer); the event allocation
+    /// is gated on [`Observer::enabled`].
+    fn publish_applied(
+        &self,
+        link: LinkId,
+        target: Modulation,
+        downtime: SimDuration,
+        retries: u32,
+    ) {
+        self.obs.incr("controller.changes.applied", 1);
+        self.obs.incr("controller.retries", retries as u64);
+        if self.obs.enabled() {
+            self.obs.record("controller.change_downtime_millis", downtime.as_millis() as f64);
+            self.obs.event(&Event::ReconfigCommitted {
+                link: link.0 as u64,
+                to_gbps: target.capacity().value(),
+                downtime_millis: downtime.as_millis(),
+                retries: retries as u64,
+            });
+        }
+    }
+
+    /// Metrics/events for a change that failed out of retries (rolled
+    /// back on the staged path, landed-as-is on the direct path).
+    fn publish_failed(
+        &self,
+        link: LinkId,
+        target: Modulation,
+        rolled_back: bool,
+        quarantined: bool,
+        retries: u32,
+        now: SimTime,
+    ) {
+        self.obs.incr("controller.changes.failed", 1);
+        self.obs.incr("controller.retries", retries as u64);
+        if rolled_back {
+            self.obs.incr("controller.changes.rolled_back", 1);
+        }
+        if quarantined {
+            self.obs.incr("controller.quarantines", 1);
+        }
+        if self.obs.enabled() {
+            self.obs.event(&Event::ReconfigAborted {
+                link: link.0 as u64,
+                to_gbps: target.capacity().value(),
+                rolled_back,
+            });
+            if quarantined {
+                self.obs.event(&Event::Quarantine {
+                    link: link.0 as u64,
+                    until_millis: (now + self.config.quarantine_hold).as_millis(),
+                });
+            }
+        }
     }
 
     /// Lazily retires an expired quarantine hold. Clearing the
@@ -488,6 +705,14 @@ impl Controller {
                 rolled_back: false,
             };
         };
+        if self.obs.enabled() {
+            self.obs.event(&Event::ReconfigStarted {
+                link: link.0 as u64,
+                from_gbps: change.from.capacity().value(),
+                to_gbps: change.target.capacity().value(),
+                staged: true,
+            });
+        }
         let mut downtime = SimDuration::ZERO;
         let mut retries = 0u32;
         let attempts = 1 + self.config.max_retries;
@@ -499,6 +724,7 @@ impl Controller {
                     let st = &mut self.states[link.0];
                     st.last_change = Some(now);
                     st.consecutive_failures = 0;
+                    self.publish_applied(link, change.target, downtime, retries);
                     return ChangeResult {
                         applied: true,
                         downtime,
@@ -564,34 +790,23 @@ impl Controller {
                 st.down = true;
             }
         }
+        self.publish_failed(link, change.target, true, quarantined, retries, now);
         ChangeResult { applied: false, downtime, retries, quarantined, rolled_back: true }
     }
 
     /// Applies one sweep of SNR readings to the topology, reconfiguring
     /// links as decided and accounting downtime through the BVT model.
-    /// Every reading is trusted and fresh; see [`Controller::sweep_observed`]
-    /// for the telemetry-fault-tolerant variant.
-    pub fn sweep(
-        &mut self,
-        wan: &mut WanTopology,
-        readings: &[(LinkId, Db)],
-        now: SimTime,
-    ) -> SweepReport {
-        let observed: Vec<(LinkId, Option<Db>)> =
-            readings.iter().map(|&(l, snr)| (l, Some(snr))).collect();
-        self.sweep_observed(wan, &observed, now)
-    }
-
-    /// Telemetry-fault-tolerant sweep: `None` marks a dropped reading.
     ///
-    /// A link with a dropped reading falls back to its last-known-good SNR
-    /// if that is within [`ControllerConfig::snr_staleness_bound`];
-    /// otherwise it holds its current modulation (counted in
+    /// Readings are `Option<Db>`: `Some` is a fresh, trusted reading and
+    /// `None` marks one dropped by the telemetry layer. A link with a
+    /// dropped reading falls back to its last-known-good SNR if that is
+    /// within [`ControllerConfig::snr_staleness_bound`]; otherwise it
+    /// holds its current modulation (counted in
     /// [`SweepReport::stale_holds`]) and is reported
     /// [`LinkHealth::Degraded`] until telemetry returns. Links in
     /// quarantine are never reconfigured; if their pinned rate becomes
     /// infeasible they go down rather than flap.
-    pub fn sweep_observed(
+    pub fn sweep(
         &mut self,
         wan: &mut WanTopology,
         readings: &[(LinkId, Option<Db>)],
@@ -621,6 +836,7 @@ impl Controller {
                     _ => {
                         self.states[link_id.0].stale = true;
                         report.stale_holds += 1;
+                        self.obs.incr("controller.stale_holds", 1);
                         continue;
                     }
                 },
@@ -628,7 +844,16 @@ impl Controller {
             let current = wan.link(link_id).modulation;
             let was_down = self.states[link_id.0].down;
             let quarantined = self.is_quarantined(link_id, now);
-            match self.decide(link_id, current, snr, now) {
+            let decision = self.decide(link_id, current, snr, now);
+            self.obs.incr(
+                match decision {
+                    Decision::Hold => "controller.decisions.hold",
+                    Decision::StepTo(_) => "controller.decisions.step",
+                    Decision::Down => "controller.decisions.down",
+                },
+                1,
+            );
+            match decision {
                 Decision::Hold => {
                     if was_down {
                         // SNR recovered enough for the current rung.
@@ -677,6 +902,18 @@ impl Controller {
             }
         }
         report
+    }
+
+    /// Former name of the telemetry-fault-tolerant sweep. [`Controller::sweep`]
+    /// now accepts `Option<Db>` readings directly.
+    #[deprecated(since = "0.5.0", note = "use `sweep`, which now takes `Option<Db>` readings")]
+    pub fn sweep_observed(
+        &mut self,
+        wan: &mut WanTopology,
+        readings: &[(LinkId, Option<Db>)],
+        now: SimTime,
+    ) -> SweepReport {
+        self.sweep(wan, readings, now)
     }
 }
 
@@ -746,7 +983,7 @@ mod tests {
     fn dwell_suppresses_rapid_upgrades_but_not_downgrades() {
         let (mut wan, mut c) = setup();
         // Sweep 1 at t=0: upgrade link 0 to 200 G.
-        let r = c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0));
+        let r = c.sweep(&mut wan, &[(LinkId(0), Some(Db(14.0)))], t(0));
         assert_eq!(r.changes.len(), 1);
         assert_eq!(wan.link(LinkId(0)).modulation, Modulation::Dp16Qam200);
         // 15 minutes later SNR recovers after a wobble; dwell (1 h) blocks
@@ -766,7 +1003,7 @@ mod tests {
         // Link 1 dies outright (1 dB).
         let report = c.sweep(
             &mut wan,
-            &[(LinkId(0), Db(5.0)), (LinkId(1), Db(1.0))],
+            &[(LinkId(0), Some(Db(5.0))), (LinkId(1), Some(Db(1.0)))],
             t(0),
         );
         assert_eq!(report.failures_avoided, 1);
@@ -781,12 +1018,12 @@ mod tests {
     #[test]
     fn recovery_from_down() {
         let (mut wan, mut c) = setup();
-        c.sweep(&mut wan, &[(LinkId(0), Db(1.0))], t(0));
+        c.sweep(&mut wan, &[(LinkId(0), Some(Db(1.0)))], t(0));
         assert!(c.is_down(LinkId(0)));
         // Light comes back at 8 dB: the link resumes (current rung 50 G is
         // feasible again after the crawl… it was never reconfigured, it
         // was down at 100 G; 8 dB supports 100 G so it simply recovers).
-        let report = c.sweep(&mut wan, &[(LinkId(0), Db(8.0))], t(2));
+        let report = c.sweep(&mut wan, &[(LinkId(0), Some(Db(8.0)))], t(2));
         assert!(!c.is_down(LinkId(0)));
         assert_eq!(report.recovered, vec![LinkId(0)]);
     }
@@ -820,7 +1057,7 @@ mod tests {
         let config = ControllerConfig { max_retries: 0, ..config };
         let quarantine_after = config.quarantine_after;
         let mut c = Controller::new(config, wan.n_links(), 9);
-        c.sweep(&mut wan, &[(LinkId(0), Db(13.0))], t(0));
+        c.sweep(&mut wan, &[(LinkId(0), Some(Db(13.0)))], t(0));
         for _ in 0..quarantine_after {
             c.inject_bvt_fault(LinkId(0), BvtFault::StuckLaser);
             let _ = c.execute_change(&mut wan, LinkId(0), Modulation::Dp16Qam200, t(0));
@@ -875,7 +1112,7 @@ mod tests {
             let mut wan = builders::fig7_example();
             let mut c = Controller::new(config.clone(), wan.n_links(), seed);
             c.inject_bvt_fault(LinkId(0), BvtFault::RelockFailure);
-            c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0))
+            c.sweep(&mut wan, &[(LinkId(0), Some(Db(14.0)))], t(0))
         };
         // Same seed → byte-identical SweepReport, including the jittered
         // backoff downtime.
@@ -977,7 +1214,7 @@ mod tests {
             wan.n_links(),
             5,
         );
-        c.sweep(&mut wan, &[(LinkId(0), Db(13.0))], t(0));
+        c.sweep(&mut wan, &[(LinkId(0), Some(Db(13.0)))], t(0));
         for step in steps {
             for _ in 0..step.faulted_changes {
                 c.inject_bvt_fault(LinkId(0), BvtFault::StuckLaser);
@@ -1006,7 +1243,7 @@ mod tests {
     fn staged_change_commits_like_the_direct_path() {
         let (mut wan, mut c) = setup();
         wan.set_snr(LinkId(0), Db(14.0));
-        c.sweep(&mut wan, &[(LinkId(1), Db(13.0))], t(0)); // unrelated
+        c.sweep(&mut wan, &[(LinkId(1), Some(Db(13.0)))], t(0)); // unrelated
         c.prepare_change(&wan, LinkId(0), Modulation::Dp16Qam200, t(0)).unwrap();
         // Prepared ≠ committed: the topology still carries the old rate.
         assert_eq!(wan.link(LinkId(0)).modulation, Modulation::DpQpsk100);
@@ -1041,7 +1278,7 @@ mod tests {
             13,
         );
         wan.set_snr(LinkId(0), Db(14.0));
-        c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0));
+        c.sweep(&mut wan, &[(LinkId(0), Some(Db(14.0)))], t(0));
         // sweep may have auto-upgraded; pin a known starting point.
         wan.set_modulation(LinkId(0), Modulation::DpQpsk100);
         c.prepare_change(&wan, LinkId(0), Modulation::Dp16Qam200, t(1)).unwrap();
@@ -1120,7 +1357,7 @@ mod tests {
             7,
         );
         let mut wan = wan;
-        let report = c.sweep(&mut wan, &[(LinkId(0), Db(14.0))], t(0));
+        let report = c.sweep(&mut wan, &[(LinkId(0), Some(Db(14.0)))], t(0));
         assert!(report.downtime > SimDuration::from_secs(20), "{}", report.downtime);
     }
 }

@@ -43,9 +43,41 @@ pub mod theorem;
 pub mod translate;
 
 pub use augment::{augment, AugmentConfig, AugmentStats, AugmentedProblem, FakeEdge, IncrementalAugmenter};
-pub use controller::{Controller, ControllerConfig, Decision, LinkHealth};
+pub use controller::{Controller, ControllerConfig, ControllerConfigBuilder, Decision, LinkHealth};
 pub use error::RwcError;
 pub use network::DynamicCapacityNetwork;
-pub use scenario::{Scenario, ScenarioConfig, ScenarioReport, ScenarioTiming};
+pub use scenario::{
+    Scenario, ScenarioBuilder, ScenarioConfig, ScenarioConfigBuilder, ScenarioReport,
+    ScenarioTiming,
+};
 pub use penalty::PenaltyPolicy;
 pub use translate::{translate, Translation};
+
+/// One-stop imports for driving the pipeline.
+///
+/// ```
+/// use rwc_core::prelude::*;
+/// ```
+///
+/// pulls in the scenario/controller/network types, their builders, the
+/// error hierarchy, and the units/time primitives every experiment needs.
+/// Experiment code should prefer this over a dozen `use` lines; anything
+/// more specialised (gadgets, theorem checks, penalty internals) is still
+/// imported explicitly from its module.
+pub mod prelude {
+    pub use crate::augment::AugmentConfig;
+    pub use crate::controller::{
+        Controller, ControllerConfig, ControllerConfigBuilder, Decision, LinkHealth, SweepReport,
+    };
+    pub use crate::error::RwcError;
+    pub use crate::network::{DynamicCapacityNetwork, MbbOutcome, MbbPhase, TeRound};
+    pub use crate::penalty::PenaltyPolicy;
+    pub use crate::scenario::{
+        Scenario, ScenarioBuilder, ScenarioConfig, ScenarioConfigBuilder, ScenarioReport,
+        ScenarioSample, ScenarioTiming,
+    };
+    pub use rwc_obs::{Event, MetricsObserver, MetricsRegistry, NoopObserver, Observer};
+    pub use rwc_topology::wan::{LinkId, WanTopology};
+    pub use rwc_util::time::{SimDuration, SimTime};
+    pub use rwc_util::units::{Db, Gbps};
+}

@@ -15,7 +15,9 @@
 
 use crate::augment::{augment, AugmentConfig, AugmentStats, IncrementalAugmenter};
 use crate::controller::{Controller, ControllerConfig, SweepReport};
+use rwc_obs::{Observer, Span};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 use crate::error::RwcError;
 use crate::translate::{translate, Translation};
@@ -145,6 +147,10 @@ pub struct DynamicCapacityNetwork {
     /// capacities move over a small rung set and diurnal demand scales
     /// repeat daily.
     static_memo: HashMap<StaticKey, f64>,
+    /// Metrics/event sink for the round engine. Measurement only — never
+    /// consulted by round logic, so reports are byte-identical with any
+    /// observer installed.
+    obs: Arc<dyn Observer>,
 }
 
 /// Exact memo key for the static-baseline solve: algorithm name, each
@@ -189,7 +195,16 @@ impl DynamicCapacityNetwork {
             augmenter: IncrementalAugmenter::new(),
             full_rebuild: false,
             static_memo: HashMap::new(),
+            obs: rwc_obs::noop(),
         }
+    }
+
+    /// Routes the round engine's metrics and events (and the controller's
+    /// and every transceiver's) to `obs`. Installing an observer never
+    /// changes a round: snapshots measure the run, they don't steer it.
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.controller.set_observer(Arc::clone(&obs));
+        self.obs = obs;
     }
 
     /// Switches the round engine between dirty-link incremental
@@ -241,20 +256,30 @@ impl DynamicCapacityNetwork {
 
     /// Ingests SNR telemetry: updates readings and lets the controller
     /// walk/crawl degraded links (safety actions only happen here; TE-
-    /// driven upgrades happen in [`Self::te_round`]).
-    pub fn ingest_snr(&mut self, readings: &[(LinkId, Db)], now: SimTime) -> SweepReport {
+    /// driven upgrades happen in [`Self::te_round`]). `None` marks a
+    /// reading dropped by the telemetry layer; see [`Controller::sweep`]
+    /// for the hold/last-known-good semantics.
+    pub fn ingest(&mut self, readings: &[(LinkId, Option<Db>)], now: SimTime) -> SweepReport {
         self.controller.sweep(&mut self.wan, readings, now)
     }
 
-    /// Telemetry-fault-tolerant ingest: `None` marks a dropped reading.
-    /// See [`Controller::sweep_observed`] for the hold/last-known-good
-    /// semantics.
+    /// Former fresh-readings-only ingest. [`Self::ingest`] accepts
+    /// `Option<Db>` readings directly; wrap fresh readings in `Some`.
+    #[deprecated(since = "0.5.0", note = "use `ingest`, which takes `Option<Db>` readings")]
+    pub fn ingest_snr(&mut self, readings: &[(LinkId, Db)], now: SimTime) -> SweepReport {
+        let observed: Vec<(LinkId, Option<Db>)> =
+            readings.iter().map(|&(l, snr)| (l, Some(snr))).collect();
+        self.ingest(&observed, now)
+    }
+
+    /// Former name of [`Self::ingest`].
+    #[deprecated(since = "0.5.0", note = "renamed to `ingest`")]
     pub fn ingest_observed(
         &mut self,
         readings: &[(LinkId, Option<Db>)],
         now: SimTime,
     ) -> SweepReport {
-        self.controller.sweep_observed(&mut self.wan, readings, now)
+        self.ingest(readings, now)
     }
 
     /// Arms a hardware fault on a link's transceiver; the next applicable
@@ -279,7 +304,10 @@ impl DynamicCapacityNetwork {
     ) -> TeRound {
         match self.try_te_round(demands, algorithm, now) {
             Ok(round) => round,
-            Err(_) => self.fallback_round(),
+            Err(_) => {
+                self.obs.incr("te.fallback_rounds", 1);
+                self.fallback_round()
+            }
         }
     }
 
@@ -291,6 +319,9 @@ impl DynamicCapacityNetwork {
         algorithm: &dyn TeAlgorithm,
         now: SimTime,
     ) -> Result<TeRound, RwcError> {
+        let obs = Arc::clone(&self.obs);
+        let _round_span = Span::start(&*obs, "te.round_micros");
+        obs.incr("te.rounds", 1);
         let solve_start = std::time::Instant::now();
         // Static baseline: same algorithm, no fake links. Memoised — the
         // solver is deterministic, so a cached total bit-equals the
@@ -300,8 +331,12 @@ impl DynamicCapacityNetwork {
         } else {
             let key = static_key(algorithm, &self.wan, demands);
             match self.static_memo.get(&key) {
-                Some(&total) => total,
+                Some(&total) => {
+                    obs.incr("te.static_memo.hits", 1);
+                    total
+                }
                 None => {
+                    obs.incr("te.static_memo.misses", 1);
                     let total =
                         algorithm.try_solve(&TeProblem::from_wan(&self.wan, demands))?.total;
                     self.static_memo.insert(key, total);
@@ -312,6 +347,7 @@ impl DynamicCapacityNetwork {
 
         // Augment (patching dirty links unless the escape hatch is on) +
         // solve + translate.
+        let augment_before = obs.enabled().then(|| self.augmenter.stats());
         let fresh;
         let aug = if self.full_rebuild {
             fresh = augment(&self.wan, demands, &self.augment_config, &self.link_traffic);
@@ -322,6 +358,16 @@ impl DynamicCapacityNetwork {
         let solution = algorithm.try_solve(&aug.problem)?;
         let solve_time = solve_start.elapsed();
         let mut translation = translate(aug, &self.wan, &solution);
+        if let Some(before) = augment_before {
+            let after = self.augmenter.stats();
+            obs.record("te.solve_micros", solve_time.as_micros() as f64);
+            obs.incr("te.augment.full_rebuilds", after.full_rebuilds - before.full_rebuilds);
+            obs.incr(
+                "te.augment.in_place_patches",
+                after.in_place_patches - before.in_place_patches,
+            );
+            obs.incr("te.augment.suffix_rebuilds", after.suffix_rebuilds - before.suffix_rebuilds);
+        }
 
         // Consistent-update plan + application through the hardware.
         let mut reconfig_downtime = SimDuration::ZERO;
@@ -659,7 +705,7 @@ mod tests {
     #[test]
     fn snr_ingest_triggers_walk_down() {
         let mut net = fig7_network();
-        let report = net.ingest_snr(&[(LinkId(0), Db(5.0))], SimTime::EPOCH);
+        let report = net.ingest(&[(LinkId(0), Some(Db(5.0)))], SimTime::EPOCH);
         assert_eq!(report.failures_avoided, 1);
         assert_eq!(
             net.wan().link(LinkId(0)).modulation,

@@ -77,7 +77,7 @@ impl PredictiveController {
         let table = self.inner.config().table.clone();
         // Pre-emptive pass: synthesise a degraded reading for links whose
         // forecast says the current rung will not hold.
-        let mut effective: Vec<(LinkId, Db)> = Vec::with_capacity(readings.len());
+        let mut effective: Vec<(LinkId, Option<Db>)> = Vec::with_capacity(readings.len());
         for &(link, snr) in readings {
             let f = &mut self.forecasters[link.0];
             f.observe(snr);
@@ -99,12 +99,12 @@ impl PredictiveController {
                 {
                     if target.capacity() < current.capacity() {
                         self.preemptive_downshifts += 1;
-                        effective.push((link, degraded));
+                        effective.push((link, Some(degraded)));
                         continue;
                     }
                 }
             }
-            effective.push((link, snr));
+            effective.push((link, Some(snr)));
         }
         let report = self.inner.sweep(wan, &effective, now);
         // Restore truthful SNR readings on the topology (the synthetic
@@ -185,7 +185,7 @@ mod tests {
                 if predictive {
                     pc.sweep(&mut wan, &[(LinkId(0), snr)], now);
                 } else {
-                    reactive.sweep(&mut wan, &[(LinkId(0), snr)], now);
+                    reactive.sweep(&mut wan, &[(LinkId(0), Some(snr))], now);
                 }
             }
             risk

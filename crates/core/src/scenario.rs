@@ -37,6 +37,8 @@ use crate::controller::ControllerConfig;
 use crate::error::RwcError;
 use crate::network::DynamicCapacityNetwork;
 use rwc_faults::{FaultInjector, FaultPlan, TeFault, TelemetryFault};
+use rwc_obs::{Event, FaultDomain, Observer};
+use std::sync::Arc;
 use rwc_te::demand::DemandMatrix;
 use rwc_te::problem::TeProblem;
 use rwc_te::{TeAlgorithm, TeError, TeSolution};
@@ -91,6 +93,87 @@ impl Default for ScenarioConfig {
             make_before_break: true,
             full_rebuild: false,
         }
+    }
+}
+
+impl ScenarioConfig {
+    /// Starts a validating builder seeded with the defaults. Prefer this
+    /// over struct-literal updates: [`ScenarioConfigBuilder::build`] turns
+    /// nonsense (a zero TE interval, a negative diurnal amplitude) into a
+    /// typed [`RwcError::Config`] instead of a panic mid-run.
+    pub fn builder() -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Validating builder for [`ScenarioConfig`]; see [`ScenarioConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfigBuilder {
+    config: ScenarioConfig,
+}
+
+impl ScenarioConfigBuilder {
+    /// How often a TE round runs.
+    pub fn te_interval(mut self, interval: SimDuration) -> Self {
+        self.config.te_interval = interval;
+        self
+    }
+
+    /// Peak-to-mean swing of the diurnal demand cycle.
+    pub fn demand_diurnal_amp(mut self, amp: f64) -> Self {
+        self.config.demand_diurnal_amp = amp;
+        self
+    }
+
+    /// Augmentation settings for the TE rounds.
+    pub fn augment(mut self, augment: AugmentConfig) -> Self {
+        self.config.augment = augment;
+        self
+    }
+
+    /// Controller settings.
+    pub fn controller(mut self, controller: ControllerConfig) -> Self {
+        self.config.controller = controller;
+        self
+    }
+
+    /// Seed for the network's stochastic parts.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Fault schedule interpreted by the run loop.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Whether TE-driven changes go through make-before-break.
+    pub fn make_before_break(mut self, on: bool) -> Self {
+        self.config.make_before_break = on;
+        self
+    }
+
+    /// From-scratch-per-round escape hatch.
+    pub fn full_rebuild(mut self, on: bool) -> Self {
+        self.config.full_rebuild = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ScenarioConfig, RwcError> {
+        let c = &self.config;
+        if c.te_interval == SimDuration::ZERO {
+            return Err(RwcError::Config("te_interval must be non-zero".into()));
+        }
+        if c.demand_diurnal_amp < 0.0 || !c.demand_diurnal_amp.is_finite() {
+            return Err(RwcError::Config(format!(
+                "demand_diurnal_amp must be finite and non-negative, got {}",
+                c.demand_diurnal_amp
+            )));
+        }
+        Ok(self.config)
     }
 }
 
@@ -299,30 +382,60 @@ pub struct Scenario {
     telemetry: Vec<LinkTelemetry>,
     demands: DemandMatrix,
     config: ScenarioConfig,
+    /// Metrics/event sink. Measurement only: with any observer installed
+    /// the [`ScenarioReport`] stays byte-identical to an unobserved run.
+    obs: Arc<dyn Observer>,
+    /// Timing sidecar of the most recent [`Scenario::run`].
+    last_timing: Option<ScenarioTiming>,
 }
 
-impl Scenario {
-    /// Binds a topology to synthetic telemetry.
+/// Validating builder for [`Scenario`]; see [`Scenario::builder`].
+pub struct ScenarioBuilder {
+    wan: WanTopology,
+    fleet: FleetConfig,
+    demands: DemandMatrix,
+    config: ScenarioConfig,
+    obs: Arc<dyn Observer>,
+}
+
+impl ScenarioBuilder {
+    /// Scenario wiring (TE cadence, fault plan, controller tuning).
+    pub fn config(mut self, config: ScenarioConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Routes the whole pipeline's metrics and events — scenario loop,
+    /// round engine, controller, transceivers — to `obs`. Observability
+    /// never alters the run: reports stay byte-identical.
+    pub fn observer(mut self, obs: Arc<dyn Observer>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Validates the wiring and binds the scenario.
     ///
-    /// `fleet` must provide at least as many links as the topology has;
-    /// WAN link `i` replays telemetry stream `i`. The fleet's horizon
-    /// bounds how long the scenario can run.
-    pub fn new(
-        wan: WanTopology,
-        fleet: FleetConfig,
-        demands: DemandMatrix,
-        config: ScenarioConfig,
-    ) -> Self {
-        assert!(
-            fleet.n_links() >= wan.n_links(),
-            "fleet has {} streams for {} links",
-            fleet.n_links(),
-            wan.n_links()
-        );
-        assert!(
-            config.te_interval.as_millis().is_multiple_of(fleet.tick.as_millis()),
-            "TE interval must be a multiple of the telemetry tick"
-        );
+    /// The fleet must provide at least as many telemetry streams as the
+    /// topology has links (WAN link `i` replays stream `i`), and the TE
+    /// interval must be a whole number of telemetry ticks.
+    pub fn build(self) -> Result<Scenario, RwcError> {
+        let Self { wan, fleet, demands, config, obs } = self;
+        if fleet.n_links() < wan.n_links() {
+            return Err(RwcError::Config(format!(
+                "fleet has {} telemetry streams for {} links",
+                fleet.n_links(),
+                wan.n_links()
+            )));
+        }
+        if fleet.tick == SimDuration::ZERO
+            || !config.te_interval.as_millis().is_multiple_of(fleet.tick.as_millis())
+        {
+            return Err(RwcError::Config(format!(
+                "TE interval ({} ms) must be a whole number of telemetry ticks ({} ms)",
+                config.te_interval.as_millis(),
+                fleet.tick.as_millis()
+            )));
+        }
         let gen = FleetGenerator::new(fleet);
         let telemetry: Vec<LinkTelemetry> =
             (0..wan.n_links()).map(|i| gen.link(i)).collect();
@@ -334,7 +447,38 @@ impl Scenario {
             config.seed,
         );
         network.set_make_before_break(config.make_before_break);
-        Self { network, static_wan, telemetry, demands, config }
+        network.set_observer(Arc::clone(&obs));
+        Ok(Scenario {
+            network,
+            static_wan,
+            telemetry,
+            demands,
+            config,
+            obs,
+            last_timing: None,
+        })
+    }
+}
+
+impl Scenario {
+    /// Starts a builder binding a topology to synthetic telemetry; see
+    /// [`ScenarioBuilder::build`] for the validation it applies.
+    pub fn builder(wan: WanTopology, fleet: FleetConfig, demands: DemandMatrix) -> ScenarioBuilder {
+        ScenarioBuilder { wan, fleet, demands, config: ScenarioConfig::default(), obs: rwc_obs::noop() }
+    }
+
+    /// Positional constructor, panicking on invalid wiring.
+    #[deprecated(since = "0.5.0", note = "use `Scenario::builder`, which validates instead of panicking")]
+    pub fn new(
+        wan: WanTopology,
+        fleet: FleetConfig,
+        demands: DemandMatrix,
+        config: ScenarioConfig,
+    ) -> Self {
+        match Self::builder(wan, fleet, demands).config(config).build() {
+            Ok(s) => s,
+            Err(e) => panic!("invalid scenario wiring: {e}"),
+        }
     }
 
     /// Read access to the live network state.
@@ -342,36 +486,54 @@ impl Scenario {
         &self.network
     }
 
-    /// Runs for `horizon`, returning the report. Panics on invalid
-    /// wiring (horizon outrunning telemetry); injected faults never
-    /// panic — see [`Scenario::try_run`].
-    pub fn run(&mut self, horizon: SimDuration, algorithm: &dyn TeAlgorithm) -> ScenarioReport {
-        match self.try_run(horizon, algorithm) {
-            Ok(report) => report,
-            Err(e) => panic!("scenario cannot run: {e}"),
-        }
+    /// Routes the whole pipeline's metrics and events to `obs` (same as
+    /// [`ScenarioBuilder::observer`], for an already-built scenario).
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.network.set_observer(Arc::clone(&obs));
+        self.obs = obs;
     }
 
-    /// Fallible twin of [`Scenario::run`]: wiring problems come back as
-    /// [`RwcError`] instead of panicking. Faults injected through
-    /// [`ScenarioConfig::fault_plan`] are *handled*, not returned — they
-    /// surface in the report's degradation counters.
+    /// Wall-clock timing of the most recent [`Scenario::run`]. Kept out
+    /// of [`ScenarioReport`] because timing is nondeterministic; the
+    /// report stays byte-comparable across runs.
+    pub fn last_timing(&self) -> Option<&ScenarioTiming> {
+        self.last_timing.as_ref()
+    }
+
+    /// Fallible twin of [`Scenario::run`], kept for source compatibility.
+    #[deprecated(since = "0.5.0", note = "`run` now returns `Result` and records timing; call it directly")]
     pub fn try_run(
         &mut self,
         horizon: SimDuration,
         algorithm: &dyn TeAlgorithm,
     ) -> Result<ScenarioReport, RwcError> {
-        self.try_run_timed(horizon, algorithm).map(|(report, _)| report)
+        self.run(horizon, algorithm)
     }
 
-    /// [`Scenario::try_run`] plus wall-clock round timing. The report is
-    /// identical to an untimed run; the [`ScenarioTiming`] sidecar is
-    /// what `repro --bench-json` serialises.
+    /// [`Scenario::run`] returning the timing sidecar by value.
+    #[deprecated(since = "0.5.0", note = "`run` records timing; read it back with `last_timing`")]
     pub fn try_run_timed(
         &mut self,
         horizon: SimDuration,
         algorithm: &dyn TeAlgorithm,
     ) -> Result<(ScenarioReport, ScenarioTiming), RwcError> {
+        let report = self.run(horizon, algorithm)?;
+        let timing = self.last_timing.clone().unwrap_or_default();
+        Ok((report, timing))
+    }
+
+    /// Runs for `horizon`, returning the report. Wiring problems (e.g.
+    /// the horizon outrunning telemetry) come back as [`RwcError`];
+    /// faults injected through [`ScenarioConfig::fault_plan`] are
+    /// *handled*, not returned — they surface in the report's degradation
+    /// counters. Wall-clock timing of the run is always captured and
+    /// readable via [`Scenario::last_timing`]; it lives outside the
+    /// report so determinism comparisons stay byte-exact.
+    pub fn run(
+        &mut self,
+        horizon: SimDuration,
+        algorithm: &dyn TeAlgorithm,
+    ) -> Result<ScenarioReport, RwcError> {
         let tick = self.telemetry[0].trace.tick();
         let n_ticks = horizon.ticks(tick) as usize;
         let max_ticks = self
@@ -414,6 +576,7 @@ impl Scenario {
             std::collections::HashMap::new();
         let mut timing = ScenarioTiming::default();
         let run_start = std::time::Instant::now();
+        self.obs.incr("scenario.runs", 1);
 
         let mut report = ScenarioReport {
             samples: Vec::new(),
@@ -434,6 +597,7 @@ impl Scenario {
         };
         for i in 0..n_ticks {
             let now = SimTime::EPOCH + tick * i as u64;
+            self.obs.incr("scenario.ticks", 1);
 
             // Telemetry path: raw samples filtered through any active
             // telemetry fault. Freeze faults capture the first reading
@@ -445,7 +609,17 @@ impl Scenario {
                 // the physical SNR drops by the (correlated) penalty before
                 // any telemetry-path fault distorts the *reporting* of it.
                 let raw = Db(t.trace.snr_at(i).value() - injector.optical_penalty_db(link, now));
-                match injector.telemetry_fault(link, now) {
+                let telemetry_fault = injector.telemetry_fault(link, now);
+                if telemetry_fault.is_some() {
+                    self.obs.incr("scenario.faults.telemetry", 1);
+                    if self.obs.enabled() {
+                        self.obs.event(&Event::FaultInjected {
+                            link: Some(l as u64),
+                            domain: FaultDomain::Telemetry,
+                        });
+                    }
+                }
+                match telemetry_fault {
                     Some(TelemetryFault::FreezeReadings) => {
                         if frozen[l].is_none() {
                             frozen[l] = Some(raw);
@@ -461,10 +635,17 @@ impl Scenario {
             for l in 0..n_links {
                 if let Some(fault) = injector.bvt_fault(LinkId(l), now) {
                     self.network.inject_bvt_fault(LinkId(l), fault);
+                    self.obs.incr("scenario.faults.bvt", 1);
+                    if self.obs.enabled() {
+                        self.obs.event(&Event::FaultInjected {
+                            link: Some(l as u64),
+                            domain: FaultDomain::Bvt,
+                        });
+                    }
                 }
             }
 
-            let sweep = self.network.ingest_observed(&readings, now);
+            let sweep = self.network.ingest(&readings, now);
             report.flaps += sweep.failures_avoided;
             report.hard_downs += sweep.went_down.len();
             report.reconfig_downtime += sweep.downtime;
@@ -510,6 +691,13 @@ impl Scenario {
                 let round_start = std::time::Instant::now();
                 let round = match injector.te_fault(now) {
                     Some(fault) => {
+                        self.obs.incr("scenario.faults.te", 1);
+                        if self.obs.enabled() {
+                            self.obs.event(&Event::FaultInjected {
+                                link: None,
+                                domain: FaultDomain::Te,
+                            });
+                        }
                         let faulty = FaultInjectedTe::new(algorithm, fault);
                         self.network.te_round(&demands, &faulty, now)
                     }
@@ -539,10 +727,12 @@ impl Scenario {
                     .flatten();
                 let static_total = match cached {
                     Some(total) => {
+                        self.obs.incr("scenario.counterfactual.hits", 1);
                         last_static_total = total;
                         total
                     }
                     None => {
+                        self.obs.incr("scenario.counterfactual.misses", 1);
                         let mut static_problem =
                             TeProblem::from_wan(&self.static_wan, &demands);
                         for (id, is_down) in down.iter().enumerate() {
@@ -577,7 +767,12 @@ impl Scenario {
             }
         }
         timing.wall_micros = run_start.elapsed().as_micros() as u64;
-        Ok((report, timing))
+        if self.obs.enabled() {
+            self.obs.gauge("scenario.availability", report.availability());
+            self.obs.gauge("scenario.degraded_share", report.degraded_share());
+        }
+        self.last_timing = Some(timing);
+        Ok(report)
     }
 }
 
@@ -612,13 +807,13 @@ mod tests {
             wavelength_jitter_sd_db: 0.3,
             ..FleetConfig::paper()
         };
-        Scenario::new(wan, fleet, dm, config)
+        Scenario::builder(wan, fleet, dm).config(config).build().unwrap()
     }
 
     #[test]
     fn runs_and_samples() {
         let mut s = scenario(10);
-        let report = s.run(SimDuration::from_days(7), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(7), &SwanTe::default()).unwrap();
         // Hourly TE over 7 days = 168 samples.
         assert_eq!(report.samples.len(), 168);
         // Demand swings with the diurnal cycle.
@@ -635,7 +830,7 @@ mod tests {
     #[test]
     fn dynamic_gains_under_overload() {
         let mut s = scenario(10);
-        let report = s.run(SimDuration::from_days(3), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(3), &SwanTe::default()).unwrap();
         // Demands (2×120 G, swinging to 156 G) exceed the 100 G links at
         // peaks; with ~13.5 dB baselines the links upgrade and dynamic
         // throughput must beat static on average.
@@ -647,26 +842,31 @@ mod tests {
     #[test]
     fn horizon_validation() {
         let mut s = scenario(5);
-        // 10 days of simulation needs 10 days of telemetry — must panic.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.run(SimDuration::from_days(10), &SwanTe::default())
-        }));
-        assert!(result.is_err());
+        // 10 days of simulation needs 10 days of telemetry — typed error.
+        let err = s.run(SimDuration::from_days(10), &SwanTe::default()).unwrap_err();
+        assert!(matches!(err, RwcError::Telemetry(_)), "{err}");
     }
 
     #[test]
-    fn try_run_reports_horizon_as_error() {
+    #[allow(deprecated)]
+    fn deprecated_run_shims_still_work() {
+        // The pre-redesign surface: `try_run` / `try_run_timed` and the
+        // positional constructor keep compiling (with warnings in *their
+        // callers*, silenced here) and agree with the unified `run`.
         let mut s = scenario(5);
         let err = s.try_run(SimDuration::from_days(10), &SwanTe::default()).unwrap_err();
         assert!(matches!(err, RwcError::Telemetry(_)), "{err}");
+        let (report, timing) =
+            s.try_run_timed(SimDuration::from_days(1), &SwanTe::default()).unwrap();
+        assert_eq!(timing.solve_micros.len(), report.samples.len());
     }
 
     #[test]
     fn report_accumulates_monotonically() {
         let mut s1 = scenario(10);
-        let short = s1.run(SimDuration::from_days(1), &SwanTe::default());
+        let short = s1.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         let mut s2 = scenario(10);
-        let long = s2.run(SimDuration::from_days(5), &SwanTe::default());
+        let long = s2.run(SimDuration::from_days(5), &SwanTe::default()).unwrap();
         assert!(long.samples.len() > short.samples.len());
         assert!(long.total_churn() >= 0.0);
     }
@@ -684,7 +884,7 @@ mod tests {
         ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
-        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         assert_eq!(report.te_fallbacks, 6, "hourly rounds in a 6 h window");
         let fallback_samples: Vec<&ScenarioSample> =
             report.samples.iter().filter(|s| s.te_fallback).collect();
@@ -707,7 +907,7 @@ mod tests {
         ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
-        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         assert_eq!(report.hard_downs, 0);
         assert_eq!(report.outage_link_ticks, 0);
     }
@@ -728,7 +928,7 @@ mod tests {
         }
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
-        let report = s.run(SimDuration::from_days(2), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
         assert!(report.retries > 0, "armed faults must cost retries");
         // Day two is fault-free, so upgrades eventually land anyway.
         let total_upgrades: usize = report.samples.iter().map(|s| s.upgrades).sum();
@@ -752,7 +952,7 @@ mod tests {
         assert!(!plan.is_empty());
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
-        let report = s.run(SimDuration::from_days(3), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(3), &SwanTe::default()).unwrap();
         assert_eq!(report.samples.len(), 72);
         assert!(report.outage_link_ticks + report.degraded_link_ticks <= report.total_link_ticks);
         assert!(report.availability() <= 1.0 && report.availability() >= 0.0);
@@ -780,7 +980,7 @@ mod tests {
             wavelength_jitter_sd_db: 0.3,
             ..FleetConfig::paper()
         };
-        Scenario::new(wan, fleet, dm, config)
+        Scenario::builder(wan, fleet, dm).config(config).build().unwrap()
     }
 
     #[test]
@@ -797,7 +997,7 @@ mod tests {
         ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = srlg_scenario_with(10, config.clone());
-        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         // Both links of the segment went hard-down; the off-segment links
         // (1 and 3) never did.
         assert_eq!(report.hard_downs, 2, "the whole SRLG fails together");
@@ -810,7 +1010,7 @@ mod tests {
         assert!((report.correlated_outage_share() - 1.0).abs() < 1e-12);
         // Determinism: the same plan + seed reproduces byte-identically.
         let mut s2 = srlg_scenario_with(10, config);
-        let report2 = s2.run(SimDuration::from_days(1), &SwanTe::default());
+        let report2 = s2.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         assert_eq!(
             serde_json::to_string(&report).unwrap(),
             serde_json::to_string(&report2).unwrap()
@@ -829,7 +1029,7 @@ mod tests {
         ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = srlg_scenario_with(10, config);
-        let report = s.run(SimDuration::from_days(1), &SwanTe::default());
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
         assert_eq!(report.hard_downs, 1);
         assert_eq!(report.outage_link_ticks, 24);
         assert_eq!(report.correlated_outage_link_ticks, 0);
@@ -846,7 +1046,7 @@ mod tests {
         ));
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut s = scenario_with(10, config);
-        let err = s.try_run(SimDuration::from_days(1), &SwanTe::default()).unwrap_err();
+        let err = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -882,8 +1082,8 @@ mod tests {
         };
         let mut a = scenario_with(10, incremental);
         let mut b = scenario_with(10, full);
-        let ra = a.run(SimDuration::from_days(2), &SwanTe::default());
-        let rb = b.run(SimDuration::from_days(2), &SwanTe::default());
+        let ra = a.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
+        let rb = b.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
         assert_eq!(
             serde_json::to_string(&ra).unwrap(),
             serde_json::to_string(&rb).unwrap(),
@@ -899,8 +1099,9 @@ mod tests {
     #[test]
     fn timed_run_reports_round_timing() {
         let mut s = scenario(10);
-        let (report, timing) =
-            s.try_run_timed(SimDuration::from_days(1), &SwanTe::default()).unwrap();
+        assert!(s.last_timing().is_none(), "no run yet, no timing");
+        let report = s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
+        let timing = s.last_timing().expect("every run records timing");
         assert_eq!(timing.solve_micros.len(), report.samples.len());
         assert!(timing.wall_micros > 0);
         assert!(timing.rounds_per_sec() > 0.0);
@@ -922,8 +1123,8 @@ mod tests {
         let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
         let mut a = scenario_with(10, config.clone());
         let mut b = scenario_with(10, config);
-        let ra = a.run(SimDuration::from_days(2), &SwanTe::default());
-        let rb = b.run(SimDuration::from_days(2), &SwanTe::default());
+        let ra = a.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
+        let rb = b.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
         let ja = serde_json::to_string(&ra).unwrap();
         let jb = serde_json::to_string(&rb).unwrap();
         assert_eq!(ja, jb);

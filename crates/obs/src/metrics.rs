@@ -1,0 +1,636 @@
+//! Lock-free metrics registry and its serializable snapshots.
+//!
+//! The registry is immutable after construction: every metric in
+//! [`crate::names`] gets its atomic cell up front, lookups binary-search
+//! a sorted name table, and updates are single relaxed atomic ops (plus a
+//! short CAS loop for float min/max). No locks anywhere on the write
+//! path, so scenario ticks and fleet workers can hammer the same
+//! registry — or, cheaper, each worker owns a registry and the partials
+//! are merged: counter and bucket addition commutes, so the merged
+//! snapshot is identical to a single-threaded run no matter the
+//! scheduling.
+//!
+//! Histograms are log-linear: one bucket per ⅛-octave (8 linear
+//! sub-buckets per power of two), which holds relative error under 12.5%
+//! across the full `f64` range while keeping a histogram at a fixed 513
+//! cells. Percentiles come from the bucket lower bound clamped into the
+//! observed `[min, max]`, so single-valued histograms report exact
+//! percentiles.
+
+use crate::names;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave (power of two).
+const SUB: usize = 8;
+/// Bucket 0 catches `v < 1` (and NaN/negative, clamped); then 64 octaves
+/// of `SUB` sub-buckets each.
+const N_BUCKETS: usize = 1 + 64 * SUB;
+
+/// Maps a recorded value to its bucket.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        return 0; // < 1, zero, negative and NaN all land in the catch-all.
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023; // unbiased exponent, >= 0 here
+    if exp >= 64 {
+        return N_BUCKETS - 1; // 2^64 and beyond: saturate.
+    }
+    let sub = (bits >> (52 - 3)) & 0x7; // top 3 mantissa bits = linear position
+    1 + exp as usize * SUB + sub as usize
+}
+
+/// Lower bound of a bucket — the representative percentile value.
+fn bucket_lower(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let exp = (index - 1) / SUB;
+    let sub = (index - 1) % SUB;
+    (2f64).powi(exp as i32) * (1.0 + sub as f64 / SUB as f64)
+}
+
+fn atomic_f64_min(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while f64::from_bits(cur) > v {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+fn atomic_f64_max(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while f64::from_bits(cur) < v {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// One log-linear histogram: bucket counts plus count/sum/min/max.
+#[derive(Debug)]
+struct Histogram {
+    count: AtomicU64,
+    /// Sum of recorded values rounded to integer units — integer addition
+    /// keeps merged sums exactly equal to single-threaded sums (float
+    /// accumulation order would not). All catalogue histograms record
+    /// integer-valued units (micros, ticks) anyway.
+    sum: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        let v = if v.is_nan() || v < 0.0 { 0.0 } else { v };
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v.round().min(u64::MAX as f64) as u64, Ordering::Relaxed);
+        atomic_f64_min(&self.min_bits, v);
+        atomic_f64_max(&self.max_bits, v);
+    }
+
+    fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for bc in &snap.buckets {
+            self.buckets[bc.bucket as usize].fetch_add(bc.count, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        atomic_f64_min(&self.min_bits, snap.min);
+        atomic_f64_max(&self.max_bits, snap.max);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            )
+        };
+        let buckets: Vec<BucketCount> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some(BucketCount { bucket: i as u32, count: c })
+            })
+            .collect();
+        let mut snap = HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets,
+        };
+        snap.refresh_percentiles();
+        snap
+    }
+}
+
+/// A `(bucket index, count)` pair; only non-empty buckets are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Index into the fixed log-linear bucket layout.
+    pub bucket: u32,
+    /// Samples that landed in it.
+    pub count: u64,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of samples, rounded to integer units.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+    /// Median estimate (bucket lower bound, clamped to `[min, max]`).
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile over the buckets; `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for bc in &self.buckets {
+            seen += bc.count;
+            if seen >= rank {
+                return bucket_lower(bc.bucket as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` in: counts and sums add, min/max widen, percentiles
+    /// are recomputed from the combined buckets. Addition commutes, so
+    /// any merge order yields the same snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut by_index: BTreeMap<u32, u64> =
+            self.buckets.iter().map(|b| (b.bucket, b.count)).collect();
+        for bc in &other.buckets {
+            *by_index.entry(bc.bucket).or_insert(0) += bc.count;
+        }
+        self.buckets =
+            by_index.into_iter().map(|(bucket, count)| BucketCount { bucket, count }).collect();
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.refresh_percentiles();
+    }
+
+    fn refresh_percentiles(&mut self) {
+        self.p50 = self.percentile(50.0);
+        self.p90 = self.percentile(90.0);
+        self.p99 = self.percentile(99.0);
+    }
+}
+
+/// Deterministic, serializable view of a whole registry. `BTreeMap`
+/// ordering makes the JSON stable across runs and platforms; every
+/// catalogue name is present even when zero, so consumers (the CI obs
+/// smoke step) can assert on keys unconditionally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram digests by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` in: counters and histograms add, gauges keep the
+    /// maximum (high-water semantics).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let cell = self.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+            *cell = cell.max(*v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes the snapshot as JSON (the `--obs-json` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+}
+
+/// The lock-free registry: one atomic cell per catalogue metric.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counter_names: Vec<&'static str>,
+    counters: Vec<AtomicU64>,
+    gauge_names: Vec<&'static str>,
+    gauges: Vec<AtomicU64>,
+    histogram_names: Vec<&'static str>,
+    histograms: Vec<Histogram>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Builds a registry pre-registered with the full [`names`]
+    /// catalogue, all cells zeroed.
+    pub fn new() -> Self {
+        let mut counter_names: Vec<&'static str> = names::COUNTERS.to_vec();
+        counter_names.sort_unstable();
+        let mut gauge_names: Vec<&'static str> = names::GAUGES.to_vec();
+        gauge_names.sort_unstable();
+        let mut histogram_names: Vec<&'static str> = names::HISTOGRAMS.to_vec();
+        histogram_names.sort_unstable();
+        Self {
+            counters: counter_names.iter().map(|_| AtomicU64::new(0)).collect(),
+            counter_names,
+            gauges: gauge_names.iter().map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            gauge_names,
+            histograms: histogram_names.iter().map(|_| Histogram::new()).collect(),
+            histogram_names,
+        }
+    }
+
+    fn slot(table: &[&'static str], name: &str) -> Option<usize> {
+        let found = table.binary_search(&name).ok();
+        debug_assert!(found.is_some(), "metric `{name}` is not in the names catalogue");
+        found
+    }
+
+    /// Adds `by` to a counter. Unknown names are ignored (debug builds
+    /// assert — add new metrics to [`names`]).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(i) = Self::slot(&self.counter_names, name) {
+            self.counters[i].fetch_add(by, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter (0 for unknown names).
+    pub fn counter(&self, name: &str) -> u64 {
+        Self::slot(&self.counter_names, name)
+            .map_or(0, |i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(i) = Self::slot(&self.gauge_names, name) {
+            self.gauges[i].store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Records one sample into a histogram.
+    pub fn record(&self, name: &str, value: f64) {
+        if let Some(i) = Self::slot(&self.histogram_names, name) {
+            self.histograms[i].record(value);
+        }
+    }
+
+    /// Digest of one histogram (empty snapshot for unknown names).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        Self::slot(&self.histogram_names, name)
+            .map(|i| self.histograms[i].snapshot())
+            .unwrap_or(HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                buckets: Vec::new(),
+            })
+    }
+
+    /// Folds a snapshot back into live cells — how per-worker registries
+    /// merge after a parallel sweep. Counters and buckets add; gauges
+    /// keep the maximum.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            if *v > 0 {
+                self.incr(name, *v);
+            }
+        }
+        for (name, v) in &snap.gauges {
+            if let Some(i) = Self::slot(&self.gauge_names, name) {
+                let cur = f64::from_bits(self.gauges[i].load(Ordering::Relaxed));
+                if *v > cur {
+                    self.gauges[i].store(v.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(i) = Self::slot(&self.histogram_names, name) {
+                self.histograms[i].absorb(h);
+            }
+        }
+    }
+
+    /// Renders the whole registry as a deterministic snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counter_names
+                .iter()
+                .zip(&self.counters)
+                .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauge_names
+                .iter()
+                .zip(&self.gauges)
+                .map(|(n, g)| (n.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histogram_names
+                .iter()
+                .zip(&self.histograms)
+                .map(|(n, h)| (n.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_zero_catches_subunit_negative_and_nan() {
+        for v in [0.0, 0.5, 0.999, -3.0, f64::NAN, f64::NEG_INFINITY] {
+            let v = if v.is_nan() || v < 0.0 { 0.0 } else { v };
+            assert_eq!(bucket_index(v), 0, "{v}");
+        }
+        assert_eq!(bucket_lower(0), 0.0);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [1.0, 1.1, 2.0, 3.7, 17.0, 1000.0, 1e6, 1e12, 1e300] {
+            let i = bucket_index(v);
+            let lo = bucket_lower(i);
+            assert!(lo <= v, "lower {lo} > {v}");
+            if i + 1 < N_BUCKETS {
+                let hi = bucket_lower(i + 1);
+                assert!(v < hi, "{v} >= next bound {hi}");
+                // Log-linear guarantee: bucket width <= 12.5% of its base.
+                assert!(hi / lo <= 1.0 + 1.0 / SUB as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate_the_last_bucket() {
+        assert_eq!(bucket_index(f64::INFINITY), N_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_index(2f64.powi(70)), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum), (0, 0));
+        assert_eq!((s.min, s.max, s.p50, s.p99), (0.0, 0.0, 0.0, 0.0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_reports_exact_percentiles() {
+        let h = Histogram::new();
+        h.record(37.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (37.0, 37.0));
+        // One value: every percentile clamps into [min, max] = exactly it.
+        assert_eq!(s.p50, 37.0);
+        assert_eq!(s.p99, 37.0);
+        assert_eq!(s.percentile(0.0), 37.0);
+        assert_eq!(s.percentile(100.0), 37.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_within_error() {
+        let h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{} {} {}", s.p50, s.p90, s.p99);
+        // Bucket lower bounds under-estimate by at most one sub-bucket.
+        assert!((440.0..=500.0).contains(&s.p50), "p50 {}", s.p50);
+        assert!((790.0..=900.0).contains(&s.p90), "p90 {}", s.p90);
+        assert!((870.0..=990.0).contains(&s.p99), "p99 {}", s.p99);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3.0, 9.5, 100.0, 0.2, 7e9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [4.0, 9.5, 250_000.0] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let a = Histogram::new();
+        a.record(5.0);
+        let empty = Histogram::new().snapshot();
+        let mut left = a.snapshot();
+        left.merge(&empty);
+        assert_eq!(left, a.snapshot());
+        let mut right = empty.clone();
+        right.merge(&a.snapshot());
+        assert_eq!(right, a.snapshot());
+    }
+
+    #[test]
+    fn registry_catalogue_is_complete_and_snapshot_carries_every_name() {
+        let r = MetricsRegistry::new();
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), names::COUNTERS.len());
+        assert_eq!(s.gauges.len(), names::GAUGES.len());
+        assert_eq!(s.histograms.len(), names::HISTOGRAMS.len());
+        for n in names::COUNTERS {
+            assert!(s.counters.contains_key(*n), "{n}");
+        }
+    }
+
+    #[test]
+    fn registry_updates_land_in_the_snapshot() {
+        let r = MetricsRegistry::new();
+        r.incr("te.rounds", 3);
+        r.gauge_set("te.warm_hit_rate", 0.75);
+        r.record("te.solve_micros", 120.0);
+        r.record("te.solve_micros", 480.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["te.rounds"], 3);
+        assert_eq!(s.gauges["te.warm_hit_rate"], 0.75);
+        assert_eq!(s.histograms["te.solve_micros"].count, 2);
+        assert_eq!(s.histograms["te.solve_micros"].sum, 600);
+        assert_eq!(r.counter("te.rounds"), 3);
+        assert_eq!(r.histogram("te.solve_micros").count, 2);
+    }
+
+    #[test]
+    fn absorb_reproduces_a_single_registry() {
+        let w1 = MetricsRegistry::new();
+        let w2 = MetricsRegistry::new();
+        let single = MetricsRegistry::new();
+        w1.incr("fleet.links", 10);
+        single.incr("fleet.links", 10);
+        w1.record("fleet.episode_ticks", 12.0);
+        single.record("fleet.episode_ticks", 12.0);
+        w2.incr("fleet.links", 4);
+        single.incr("fleet.links", 4);
+        w2.record("fleet.episode_ticks", 90.0);
+        single.record("fleet.episode_ticks", 90.0);
+        w2.gauge_set("scenario.availability", 0.999);
+        single.gauge_set("scenario.availability", 0.999);
+        let merged = MetricsRegistry::new();
+        merged.absorb(&w1.snapshot());
+        merged.absorb(&w2.snapshot());
+        assert_eq!(merged.snapshot(), single.snapshot());
+    }
+
+    proptest::proptest! {
+        /// The determinism contract behind per-worker registries: however
+        /// the samples are partitioned across workers, absorbing the
+        /// partial snapshots reproduces the single-registry result
+        /// exactly — counters, bucket counts, integer sums, min/max and
+        /// the percentiles derived from them.
+        #[test]
+        fn absorbed_partitions_match_single_threaded(
+            ops in proptest::collection::vec((0usize..4, 0.0f64..1e9), 0..200),
+        ) {
+            let workers: Vec<MetricsRegistry> =
+                (0..4).map(|_| MetricsRegistry::new()).collect();
+            let single = MetricsRegistry::new();
+            for &(w, v) in &ops {
+                workers[w].incr("te.rounds", 1);
+                workers[w].record("te.solve_micros", v);
+                single.incr("te.rounds", 1);
+                single.record("te.solve_micros", v);
+            }
+            let merged = MetricsRegistry::new();
+            for w in &workers {
+                merged.absorb(&w.snapshot());
+            }
+            proptest::prop_assert_eq!(merged.snapshot(), single.snapshot());
+        }
+
+        /// Histogram merge is order-independent: folding B into A equals
+        /// folding A into B, for arbitrary sample sets.
+        #[test]
+        fn histogram_merge_commutes(
+            xs in proptest::collection::vec(0.0f64..1e12, 0..100),
+            ys in proptest::collection::vec(0.0f64..1e12, 0..100),
+        ) {
+            let a = Histogram::new();
+            let b = Histogram::new();
+            for &v in &xs {
+                a.record(v);
+            }
+            for &v in &ys {
+                b.record(v);
+            }
+            let mut ab = a.snapshot();
+            ab.merge(&b.snapshot());
+            let mut ba = b.snapshot();
+            ba.merge(&a.snapshot());
+            proptest::prop_assert_eq!(ab, ba);
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let r = MetricsRegistry::new();
+        r.incr("lp.warm_hits", 5);
+        r.record("te.round_micros", 333.0);
+        let s = r.snapshot();
+        let back: MetricsSnapshot =
+            serde_json::from_str(&s.to_json()).expect("snapshot deserializes");
+        assert_eq!(back, s);
+    }
+}

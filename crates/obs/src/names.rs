@@ -1,0 +1,95 @@
+//! The metric name catalogue.
+//!
+//! Every metric the pipeline emits is registered here up front: the
+//! [`crate::MetricsRegistry`] pre-allocates one atomic cell per name at
+//! construction, which is what keeps the hot path lock-free (readers
+//! binary-search an immutable sorted table; writers touch only atomics).
+//! The catalogue is also the documentation of record — DESIGN.md §10
+//! mirrors it — and the schema contract for `repro --obs-json`: a
+//! snapshot always carries every name below, zero-valued or not, so CI
+//! can assert on keys without caring which experiment ran.
+//!
+//! Naming convention: `<subsystem>.<noun>[.<qualifier>]`, lower-case,
+//! dot-separated. Histogram names say their unit in the last segment
+//! (`_millis`, `_micros`, `_ticks`). `events.*` counters are maintained by
+//! [`crate::MetricsObserver`] itself, one per [`crate::Event`] variant.
+
+/// Monotonic counters, incremented via [`crate::Observer::incr`].
+pub const COUNTERS: &[&str] = &[
+    // optics: transceiver reconfiguration attempts.
+    "bvt.reconfigs",
+    "bvt.reconfig_failures",
+    "bvt.prepares",
+    "bvt.commits",
+    "bvt.aborts",
+    // controller: decide/execute/prepare/commit/abort outcomes.
+    "controller.decisions.hold",
+    "controller.decisions.step",
+    "controller.decisions.down",
+    "controller.changes.applied",
+    "controller.changes.failed",
+    "controller.changes.rolled_back",
+    "controller.retries",
+    "controller.quarantines",
+    "controller.stale_holds",
+    // te round engine: solve outcomes and incremental-path hit rates.
+    "te.rounds",
+    "te.fallback_rounds",
+    "te.static_memo.hits",
+    "te.static_memo.misses",
+    "te.augment.full_rebuilds",
+    "te.augment.in_place_patches",
+    "te.augment.suffix_rebuilds",
+    // warm-started exact LP (IncrementalExactTe).
+    "lp.cold_solves",
+    "lp.warm_attempts",
+    "lp.warm_hits",
+    "lp.pivots",
+    // scenario driver.
+    "scenario.ticks",
+    "scenario.runs",
+    "scenario.counterfactual.hits",
+    "scenario.counterfactual.misses",
+    "scenario.faults.bvt",
+    "scenario.faults.telemetry",
+    "scenario.faults.te",
+    // fleet-telemetry kernel.
+    "fleet.links",
+    "fleet.samples",
+    "fleet.episodes",
+    // one per Event variant, maintained by MetricsObserver::event.
+    "events.reconfig_started",
+    "events.reconfig_committed",
+    "events.reconfig_aborted",
+    "events.quarantine",
+    "events.warm_solve",
+    "events.cold_fallback",
+    "events.fault_injected",
+    "events.episode_opened",
+    "events.episode_closed",
+];
+
+/// Point-in-time gauges, set via [`crate::Observer::gauge`]. Merging
+/// snapshots keeps the maximum — gauges are "high-water" readings, not
+/// sums.
+pub const GAUGES: &[&str] = &[
+    "te.warm_hit_rate",
+    "scenario.availability",
+    "scenario.degraded_share",
+];
+
+/// Log-linear histograms, fed via [`crate::Observer::record`] (and
+/// [`crate::Span`] for the wall-clock ones). Simulated-time series record
+/// `SimDuration` millis; `te.solve_micros` and `te.round_micros` record
+/// wall-clock micros.
+pub const HISTOGRAMS: &[&str] = &[
+    "bvt.phase_millis.laser_power_down",
+    "bvt.phase_millis.dsp_reprogram",
+    "bvt.phase_millis.laser_power_up_relock",
+    "bvt.phase_millis.inline_reprogram",
+    "bvt.phase_millis.resync",
+    "controller.change_downtime_millis",
+    "te.solve_micros",
+    "te.round_micros",
+    "fleet.episode_ticks",
+];

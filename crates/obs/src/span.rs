@@ -1,0 +1,79 @@
+//! Lightweight wall-clock span timing.
+
+use crate::observer::Observer;
+use std::time::Instant;
+
+/// Times a region and records the elapsed micros into a histogram on
+/// drop. The clock is only read when the observer is enabled — with the
+/// no-op default a span is two branches and no syscalls:
+///
+/// ```
+/// use rwc_obs::{MetricsObserver, Observer, Span};
+/// let obs = MetricsObserver::new();
+/// {
+///     let _span = Span::start(&obs, "te.solve_micros");
+///     // ... solve ...
+/// } // records here
+/// assert_eq!(obs.snapshot().histograms["te.solve_micros"].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a dyn Observer,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span feeding the histogram `name` (a [`crate::names`]
+    /// entry).
+    pub fn start(obs: &'a dyn Observer, name: &'static str) -> Self {
+        let start = obs.enabled().then(Instant::now);
+        Self { obs, name, start }
+    }
+
+    /// Closes the span early, recording its duration now.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.obs.record(self.name, start.elapsed().as_micros() as f64);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{MetricsObserver, NoopObserver};
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let obs = MetricsObserver::new();
+        {
+            let _s = Span::start(&obs, "te.round_micros");
+        }
+        assert_eq!(obs.snapshot().histograms["te.round_micros"].count, 1);
+    }
+
+    #[test]
+    fn finish_does_not_double_record() {
+        let obs = MetricsObserver::new();
+        let s = Span::start(&obs, "te.round_micros");
+        s.finish();
+        assert_eq!(obs.snapshot().histograms["te.round_micros"].count, 1);
+    }
+
+    #[test]
+    fn disabled_span_never_reads_the_clock() {
+        let s = Span::start(&NoopObserver, "te.round_micros");
+        assert!(s.start.is_none());
+    }
+}

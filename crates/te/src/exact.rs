@@ -10,7 +10,9 @@ use crate::problem::{TeProblem, TeSolution};
 use crate::{TeAlgorithm, TeError};
 use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
 use rwc_lp::simplex::{solve, LpOutcome, SimplexSolver, Solution, SolverStats};
+use rwc_obs::{Event, Observer};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Exact LP-based solver.
 ///
@@ -171,17 +173,48 @@ impl TeAlgorithm for ExactTe {
 /// the optimal objective to tolerance; among degenerate optima the argmax
 /// may differ, so determinism-sensitive comparisons should pin objectives,
 /// not flow vectors.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IncrementalExactTe {
     /// The LP formulation knobs, shared with the cold solver.
     pub base: ExactTe,
     solver: RefCell<SimplexSolver>,
+    obs: Arc<dyn Observer>,
+}
+
+impl Default for IncrementalExactTe {
+    fn default() -> Self {
+        Self { base: ExactTe::default(), solver: RefCell::default(), obs: rwc_obs::noop() }
+    }
 }
 
 impl IncrementalExactTe {
     /// A fresh solver with the default throughput weight and no basis.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observer: per-solve `lp.*` counters plus
+    /// [`Event::WarmSolve`]/[`Event::ColdFallback`] events.
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.obs = obs;
+    }
+
+    /// Publishes the delta between two [`SolverStats`] readings.
+    fn publish_solve(&self, before: SolverStats, after: SolverStats) {
+        let pivots = after.pivots - before.pivots;
+        self.obs.incr("lp.pivots", pivots);
+        self.obs.incr("lp.warm_attempts", after.warm_attempts - before.warm_attempts);
+        self.obs.incr("lp.warm_hits", after.warm_hits - before.warm_hits);
+        self.obs.incr("lp.cold_solves", after.cold_solves - before.cold_solves);
+        if after.warm_hits > before.warm_hits {
+            self.obs.event(&Event::WarmSolve { pivots });
+        } else if after.cold_solves > before.cold_solves {
+            self.obs.event(&Event::ColdFallback { pivots });
+        }
+        let total = after.warm_attempts;
+        if total > 0 {
+            self.obs.gauge("te.warm_hit_rate", after.warm_hits as f64 / total as f64);
+        }
     }
 }
 
@@ -199,7 +232,12 @@ impl TeAlgorithm for IncrementalExactTe {
             });
         }
         let lp = build_lp(problem, self.base.throughput_weight);
+        let enabled = self.obs.enabled();
+        let before = enabled.then(|| self.solver.borrow().stats());
         let outcome = self.solver.borrow_mut().solve(&lp);
+        if let Some(before) = before {
+            self.publish_solve(before, self.solver.borrow().stats());
+        }
         outcome_to_solution(outcome, problem, self.name())
     }
 

@@ -37,10 +37,12 @@ use crate::generator::FleetGenerator;
 use crate::hdr::{Hdr, PAPER_COVERAGE};
 use crate::process::SnrProcess;
 use crate::trace::SnrTrace;
+use rwc_obs::{Event as ObsEvent, Observer};
 use rwc_optics::{Modulation, ModulationTable};
 use rwc_util::stats::hdi_of_unsorted;
 use rwc_util::time::{SimDuration, SimTime};
 use rwc_util::units::{Db, Gbps};
+use std::sync::Arc;
 
 /// Which per-link analysis path a fleet sweep uses.
 ///
@@ -62,7 +64,7 @@ pub enum AnalysisMode {
 /// One kernel per worker thread: all buffers are allocated on the first
 /// link and reused for every subsequent one, so a fleet sweep's
 /// steady-state allocation is just the per-link episode vectors.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FleetKernel {
     /// Streamed sample buffer (the would-be trace).
     samples: Vec<f64>,
@@ -72,12 +74,42 @@ pub struct FleetKernel {
     thresholds: Vec<f64>,
     /// Per-rung open episode: `(start index, running floor)`.
     open: Vec<Option<(usize, f64)>>,
+    /// Observability hooks (episode events, fleet counters).
+    obs: Arc<dyn Observer>,
+    /// The link id stamped on emitted episode events (set by
+    /// [`FleetKernel::analyze_generated`]).
+    link: u64,
+}
+
+impl Default for FleetKernel {
+    fn default() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: Vec::new(),
+            thresholds: Vec::new(),
+            open: Vec::new(),
+            obs: rwc_obs::noop(),
+            link: 0,
+        }
+    }
 }
 
 impl FleetKernel {
     /// A kernel with empty buffers (they grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A kernel publishing fleet counters and episode events to `obs` —
+    /// typically one collecting registry per worker, merged after the
+    /// sweep.
+    pub fn with_observer(obs: Arc<dyn Observer>) -> Self {
+        Self { obs, ..Self::default() }
+    }
+
+    /// Swaps the attached observer.
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.obs = obs;
     }
 
     /// Fused analysis of link `link_id`: streams the link's samples from
@@ -93,6 +125,7 @@ impl FleetKernel {
         let cfg = gen.config();
         let profile = gen.link_profile(link_id);
         let mut rng = gen.trace_rng(link_id);
+        self.link = link_id as u64;
         let mut samples = std::mem::take(&mut self.samples);
         profile.process.generate_into(
             SimTime::EPOCH,
@@ -153,6 +186,11 @@ impl FleetKernel {
         self.open.resize(rungs, None);
         let mut failures: Vec<(Modulation, Vec<FailureEpisode>)> =
             entries.iter().map(|&(m, _)| (m, Vec::new())).collect();
+        let observed = self.obs.enabled();
+        if observed {
+            self.obs.incr("fleet.links", 1);
+            self.obs.incr("fleet.samples", values.len() as u64);
+        }
 
         // One generation-order pass: moments + every rung's episodes.
         let mut sum = 0.0;
@@ -179,8 +217,15 @@ impl FleetKernel {
             };
             if f < prev_f {
                 // Ladder dropped: rungs f..prev_f newly fail, open at (i, v).
-                for slot in &mut self.open[f..prev_f] {
+                for (k, slot) in self.open[f..prev_f].iter_mut().enumerate() {
                     *slot = Some((i, v));
+                    if observed {
+                        self.obs.event(&ObsEvent::EpisodeOpened {
+                            link: self.link,
+                            rung_gbps: entries[f + k].0.capacity().0,
+                            at_tick: i as u64,
+                        });
+                    }
                 }
             } else if f > prev_f {
                 // Ladder recovered: rungs prev_f..f close their episodes.
@@ -191,6 +236,15 @@ impl FleetKernel {
                         duration: tick * (i - s) as u64,
                         floor: Db(floor),
                     });
+                    if observed {
+                        self.obs.incr("fleet.episodes", 1);
+                        self.obs.record("fleet.episode_ticks", (i - s) as f64);
+                        self.obs.event(&ObsEvent::EpisodeClosed {
+                            link: self.link,
+                            rung_gbps: entries[prev_f + k].0.capacity().0,
+                            ticks: (i - s) as u64,
+                        });
+                    }
                 }
             }
             // Rungs that were already failing track the running floor.
@@ -209,6 +263,15 @@ impl FleetKernel {
                 duration: tick * (n - s) as u64,
                 floor: Db(floor),
             });
+            if observed {
+                self.obs.incr("fleet.episodes", 1);
+                self.obs.record("fleet.episode_ticks", (n - s) as f64);
+                self.obs.event(&ObsEvent::EpisodeClosed {
+                    link: self.link,
+                    rung_gbps: entries[prev_f + k].0.capacity().0,
+                    ticks: (n - s) as u64,
+                });
+            }
         }
 
         // One O(n) selection feeds the HDR: only the two tails the window

@@ -69,7 +69,8 @@ fn main() {
     for link_id in 0..fleet.n_links() {
         let link = fleet.link(link_id);
         for (t, snr) in link.trace.iter() {
-            let r = controller.sweep(&mut wan, &[(LinkId(link_id), Db(snr.value()))], t);
+            let r =
+                controller.sweep(&mut wan, &[(LinkId(link_id), Some(Db(snr.value())))], t);
             flaps += r.failures_avoided;
             downs += r.went_down.len();
         }

@@ -37,9 +37,14 @@ fn main() {
         ..FleetConfig::paper()
     };
 
-    let mut scenario = Scenario::new(wan, fleet, demands, ScenarioConfig::default());
+    let mut scenario = Scenario::builder(wan, fleet, demands)
+        .config(ScenarioConfig::default())
+        .build()
+        .expect("example scenario wiring is valid");
     println!("simulating 7 days × 96 telemetry ticks/day, hourly TE rounds…\n");
-    let report = scenario.run(SimDuration::from_days(7), &SwanTe::default());
+    let report = scenario
+        .run(SimDuration::from_days(7), &SwanTe::default())
+        .expect("a 7-day run fits the 10-day telemetry horizon");
 
     println!("{:>6} {:>7} {:>10} {:>10} {:>9}", "hour", "demand", "static", "dynamic", "upgrades");
     for s in report.samples.iter().step_by(12) {

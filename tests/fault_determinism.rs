@@ -40,8 +40,11 @@ fn run_campaign() -> ScenarioReport {
     }
     .generate();
     let config = ScenarioConfig { fault_plan: Some(plan), ..ScenarioConfig::default() };
-    let mut scenario = Scenario::new(wan, fleet, dm, config);
-    scenario.run(SimDuration::from_days(3), &SwanTe::default())
+    let mut scenario = Scenario::builder(wan, fleet, dm)
+        .config(config)
+        .build()
+        .expect("fault campaign wiring is valid");
+    scenario.run(SimDuration::from_days(3), &SwanTe::default()).unwrap()
 }
 
 #[test]

@@ -167,7 +167,7 @@ proptest! {
         // Establish last-known-good telemetry on every link.
         let readings: Vec<(LinkId, Option<Db>)> =
             (0..n_links).map(|l| (LinkId(l), Some(wan.link(LinkId(l)).snr))).collect();
-        controller.sweep_observed(&mut wan, &readings, now);
+        controller.sweep(&mut wan, &readings, now);
 
         // Hammer the link with faulted changes until it quarantines.
         let target = Modulation::LADDER[to_idx];

@@ -107,7 +107,8 @@ fn snr_collapse_walks_down_then_te_adapts() {
     let mut net = network(wan);
     let healthy = net.te_round(&demands, &ExactTe::default(), SimTime::EPOCH);
     // Link 0 collapses to 4 dB: crawl at 50 G instead of failing.
-    let sweep = net.ingest_snr(&[(LinkId(0), Db(4.0))], SimTime::EPOCH + SimDuration::from_hours(1));
+    let sweep =
+        net.ingest(&[(LinkId(0), Some(Db(4.0)))], SimTime::EPOCH + SimDuration::from_hours(1));
     assert_eq!(sweep.failures_avoided, 1);
     assert_eq!(net.wan().link(LinkId(0)).modulation, rwc::optics::Modulation::DpBpsk50);
     let degraded = net.te_round(

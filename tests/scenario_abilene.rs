@@ -35,13 +35,16 @@ fn abilene_scenario(days: u64, lol_rate: f64) -> Scenario {
         link_lol_rate: lol_rate,
         ..FleetConfig::paper()
     };
-    Scenario::new(wan, fleet, demands, ScenarioConfig::default())
+    Scenario::builder(wan, fleet, demands)
+        .config(ScenarioConfig::default())
+        .build()
+        .expect("abilene scenario wiring is valid")
 }
 
 #[test]
 fn abilene_week_dynamic_dominates() {
     let mut scenario = abilene_scenario(2, 0.25);
-    let report = scenario.run(SimDuration::from_days(2), &SwanTe::default());
+    let report = scenario.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
     assert_eq!(report.samples.len(), 48, "hourly rounds over 2 days");
     // Dynamic throughput never falls meaningfully below the binary
     // counterfactual, and wins on average under this overload.
@@ -61,7 +64,7 @@ fn abilene_week_dynamic_dominates() {
 fn degradations_become_flaps_not_failures() {
     // Crank loss-of-light + dips so the window contains real impairments.
     let mut scenario = abilene_scenario(6, 12.0);
-    let report = scenario.run(SimDuration::from_days(6), &SwanTe::default());
+    let report = scenario.run(SimDuration::from_days(6), &SwanTe::default()).unwrap();
     assert!(
         report.flaps > 0 || report.hard_downs > 0,
         "impairment-heavy window must show controller activity"
@@ -78,7 +81,7 @@ fn degradations_become_flaps_not_failures() {
 #[test]
 fn churn_stays_bounded_round_to_round() {
     let mut scenario = abilene_scenario(2, 0.25);
-    let report = scenario.run(SimDuration::from_days(2), &SwanTe::default());
+    let report = scenario.run(SimDuration::from_days(2), &SwanTe::default()).unwrap();
     // Total capacity of Abilene bounds how much traffic can move per
     // round; churn beyond ~2× capacity per round would indicate thrash.
     let cap = builders::abilene().total_capacity().value();
