@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet]
-//!       [--obs-json FILE] [--out DIR] <id>... | all
+//!       [--obs-json FILE] [--checkpoint FILE] [--resume FILE]
+//!       [--out DIR] <id>... | all
 //! repro --bench-json [--perf-baseline FILE] [--quick|--full|--scale N] [--out DIR]
 //! ```
 //!
 //! Ids: fig1 fig2a fig2b fig3a fig3b fig4 fig5 fig6b fig7 fig8 thm1 tput
-//! avail scenario faults srlg ablation. Default scale is a reduced fleet
+//! avail scenario faults srlg ablation chaos. Default scale is a reduced fleet
 //! (fast); `--quick` spells that default out (handy in CI), `--full` runs
 //! the paper-scale corpus (2,000 links × 2.5 years — takes a while), and
 //! `--scale N` multiplies the paper fleet (`--scale 10` = 20,000 links)
@@ -29,21 +30,38 @@
 //! trace-materialising analysis path instead of the fused kernel — the
 //! escape hatch for bisecting or re-checking equivalence.
 //!
+//! `--checkpoint FILE` makes every fleet sweep crash-safe: progress is
+//! checkpointed to `FILE` every few chunks (atomically, temp + rename),
+//! so a killed run can be continued with `--resume FILE`. The resume file
+//! is verified up front — envelope checksum, format version, and sweep
+//! fingerprint against this invocation's fleet/seed/analysis mode — and a
+//! bad file exits with a distinct code (see [`rwc_bench::cli`]) instead
+//! of silently starting over. A resumed run reproduces the uninterrupted
+//! run's reports byte for byte. `--resume FILE` alone keeps writing
+//! updated checkpoints back to the same file.
+//!
 //! `--bench-json` times the scenario round engine (full-rebuild vs
 //! incremental, cold vs warm exact LP) and the fleet-analysis pipeline
 //! (fused vs legacy), writing `BENCH_scenario.json` and `BENCH_fleet.json`
 //! to the output directory. With `--perf-baseline FILE` it additionally
 //! exits non-zero when incremental rounds/sec or fused links/sec falls
-//! below half the committed baseline — the CI perf-smoke gate.
+//! below half the committed baseline — the CI perf-smoke gate. Failure
+//! classes map to stable exit codes, documented in [`rwc_bench::cli`].
 
-use rwc_bench::experiments;
+use rwc_bench::experiments::{self, CheckpointState};
 use rwc_bench::perf::PerfBaseline;
-use rwc_bench::Scale;
+use rwc_bench::{cli, Scale};
+use rwc_harness::{checkpoint, HarnessError, SweepFingerprint};
 use rwc_obs::{ConsoleSink, MetricsObserver};
-use rwc_telemetry::AnalysisMode;
+use rwc_telemetry::{AnalysisMode, FleetGenerator};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(cli::EXIT_USAGE)
+}
 
 fn main() -> ExitCode {
     let mut scale = Scale::Quick;
@@ -52,6 +70,8 @@ fn main() -> ExitCode {
     let mut bench_json = false;
     let mut baseline_path: Option<PathBuf> = None;
     let mut obs_path: Option<PathBuf> = None;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut mode = AnalysisMode::Fused;
     let mut args = std::env::args().skip(1);
@@ -61,42 +81,39 @@ fn main() -> ExitCode {
             "--quick" => scale = Scale::Quick,
             "--scale" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
                 Some(n) if n > 0 => scale = Scale::Scaled(n),
-                _ => {
-                    eprintln!("--scale needs a positive integer fleet multiplier");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--scale needs a positive integer fleet multiplier"),
             },
             "--legacy-analysis" => mode = AnalysisMode::Legacy,
             "--bench-json" => bench_json = true,
             "--quiet" => quiet = true,
             "--obs-json" => match args.next() {
                 Some(file) => obs_path = Some(PathBuf::from(file)),
-                None => {
-                    eprintln!("--obs-json needs a file");
-                    return ExitCode::FAILURE;
-                }
+                None => return usage_error("--obs-json needs a file"),
+            },
+            "--checkpoint" => match args.next() {
+                Some(file) => checkpoint_path = Some(PathBuf::from(file)),
+                None => return usage_error("--checkpoint needs a file"),
+            },
+            "--resume" => match args.next() {
+                Some(file) => resume_path = Some(PathBuf::from(file)),
+                None => return usage_error("--resume needs a file"),
             },
             "--perf-baseline" => match args.next() {
                 Some(file) => baseline_path = Some(PathBuf::from(file)),
-                None => {
-                    eprintln!("--perf-baseline needs a file");
-                    return ExitCode::FAILURE;
-                }
+                None => return usage_error("--perf-baseline needs a file"),
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
-                None => {
-                    eprintln!("--out needs a directory");
-                    return ExitCode::FAILURE;
-                }
+                None => return usage_error("--out needs a directory"),
             },
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet] \
-                     [--obs-json FILE] [--out DIR] <id>... | all"
+                     [--obs-json FILE] [--checkpoint FILE] [--resume FILE] [--out DIR] \
+                     <id>... | all"
                 );
                 println!("       repro --bench-json [--perf-baseline FILE]");
-                println!("ids: {} ablation", experiments::ALL.join(" "));
+                println!("ids: {} ablation chaos", experiments::ALL.join(" "));
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
@@ -114,8 +131,14 @@ fn main() -> ExitCode {
         return run_bench_json(scale, &out_dir, baseline_path.as_deref(), &sink);
     }
     if baseline_path.is_some() {
-        sink.error("--perf-baseline only makes sense with --bench-json");
-        return ExitCode::FAILURE;
+        return usage_error("--perf-baseline only makes sense with --bench-json");
+    }
+    if checkpoint_path.is_some() || resume_path.is_some() {
+        if let Err(code) =
+            install_checkpoint_plan(checkpoint_path, resume_path, scale, mode, &sink)
+        {
+            return code;
+        }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
@@ -143,6 +166,60 @@ fn main() -> ExitCode {
         sink.progress("");
     }
     write_obs_snapshot(obs_path.as_deref(), &sink)
+}
+
+/// Loads and verifies the `--resume` file (envelope checksum, format
+/// version, fingerprint against this invocation's fleet/seed/analysis
+/// mode) and installs the process-wide checkpoint plan. Failures map to
+/// the exit codes documented in [`cli`] — notably [`cli::EXIT_CHECKPOINT`]
+/// for corrupt, version-mismatched, or foreign checkpoints.
+fn install_checkpoint_plan(
+    checkpoint_path: Option<PathBuf>,
+    resume_path: Option<PathBuf>,
+    scale: Scale,
+    mode: AnalysisMode,
+    sink: &ConsoleSink,
+) -> Result<(), ExitCode> {
+    let resume = match &resume_path {
+        Some(path) => {
+            let cp = checkpoint::load(path).map_err(|e| {
+                sink.error(&format!("--resume {}: {e}", path.display()));
+                ExitCode::from(cli::harness_exit_code(&HarnessError::Checkpoint(e)))
+            })?;
+            // Fail fast on a checkpoint from a different sweep, before any
+            // experiment dispatches. Chunk size comes from the checkpoint
+            // itself (resume replays the original chunk boundaries no
+            // matter the thread count), so only fleet size, seed and
+            // analysis mode are pinned by this invocation.
+            let fleet = scale.fleet();
+            let expected = SweepFingerprint {
+                n_links: FleetGenerator::new(scale.fleet()).n_links() as u64,
+                chunk_size: cp.fingerprint.chunk_size,
+                seed: fleet.seed,
+                mode: match mode {
+                    AnalysisMode::Fused => "fused",
+                    AnalysisMode::Legacy => "legacy",
+                }
+                .into(),
+            };
+            expected.verify(&cp.fingerprint).map_err(|e| {
+                sink.error(&format!("--resume {}: {e}", path.display()));
+                ExitCode::from(cli::harness_exit_code(&HarnessError::Checkpoint(e)))
+            })?;
+            sink.progress(&format!(
+                "resuming from {} ({} completed chunks verified)",
+                path.display(),
+                cp.chunks.len()
+            ));
+            Some(cp)
+        }
+        None => None,
+    };
+    // `--resume` without `--checkpoint` keeps writing updated checkpoints
+    // back to the file it restored from.
+    let path = checkpoint_path.or(resume_path).expect("caller ensured one path is set");
+    experiments::set_checkpoint(CheckpointState { path, resume });
+    Ok(())
 }
 
 /// Writes the installed observer's merged snapshot to `path`; a no-op
@@ -229,27 +306,23 @@ fn run_bench_json(
         sink.progress(&format!("  -> {}", path.display()));
     }
     if let Some(baseline_path) = baseline {
-        let text = match std::fs::read_to_string(baseline_path) {
-            Ok(t) => t,
-            Err(e) => {
-                sink.error(&format!("cannot read baseline {}: {e}", baseline_path.display()));
-                return ExitCode::FAILURE;
-            }
-        };
-        let baseline = match PerfBaseline::from_json(&text) {
+        // Typed baseline loading: a missing artifact (exit 3) and a stale
+        // or truncated schema (exit 4) are different CI escalations than a
+        // genuine perf regression (exit 5).
+        let baseline = match PerfBaseline::load(baseline_path) {
             Ok(b) => b,
             Err(e) => {
-                sink.error(&format!("bad baseline {}: {e}", baseline_path.display()));
-                return ExitCode::FAILURE;
+                sink.error(&e.to_string());
+                return ExitCode::from(cli::perf_exit_code(&e));
             }
         };
         if let Err(e) = perf.check_against_baseline(&baseline.scenario) {
             sink.error(&e);
-            return ExitCode::FAILURE;
+            return ExitCode::from(cli::EXIT_PERF_REGRESSION);
         }
         if let Err(e) = fleet.check_against_baseline(&baseline.fleet) {
             sink.error(&e);
-            return ExitCode::FAILURE;
+            return ExitCode::from(cli::EXIT_PERF_REGRESSION);
         }
         sink.result(&format!(
             "perf gate: {:.1} rounds/sec clears baseline floor {:.1}; \

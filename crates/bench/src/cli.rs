@@ -1,0 +1,135 @@
+//! Exit-code contract of the `repro` binary.
+//!
+//! CI jobs and wrapper scripts branch on *why* a run failed — a perf
+//! regression needs a different escalation than a corrupted checkpoint or
+//! a lost baseline artifact. Every failure class therefore gets a stable,
+//! documented exit code, and the mapping from the typed errors
+//! ([`RwcError`], [`HarnessError`], [`PerfError`]) lives here so the
+//! binary and the tests agree on it.
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | generic failure (unknown experiment id, CSV write, exhausted chunk retries) |
+//! | 2 | usage / configuration error (bad flags, invalid pipeline config) |
+//! | 3 | perf baseline unreadable (missing file, I/O error) |
+//! | 4 | perf baseline schema mismatch (truncated or stale format) |
+//! | 5 | perf regression gate tripped |
+//! | 6 | checkpoint corrupt, version-mismatched, or from a different sweep |
+//! | 7 | TE solver failure (timeout, abort, infeasible) |
+//! | 8 | hardware-path failure (BVT fault, quarantined link) |
+//! | 9 | telemetry failure (horizon outruns traces, fault-plan trouble) |
+
+use crate::perf::PerfError;
+use rwc_core::RwcError;
+use rwc_harness::{CheckpointError, HarnessError};
+
+/// Success.
+pub const EXIT_OK: u8 = 0;
+/// Generic failure without a more specific class.
+pub const EXIT_GENERIC: u8 = 1;
+/// Bad command line or invalid pipeline configuration.
+pub const EXIT_USAGE: u8 = 2;
+/// Perf baseline missing or unreadable.
+pub const EXIT_BASELINE_IO: u8 = 3;
+/// Perf baseline present but not parseable as the current schema.
+pub const EXIT_BASELINE_SCHEMA: u8 = 4;
+/// The perf regression gate tripped.
+pub const EXIT_PERF_REGRESSION: u8 = 5;
+/// Checkpoint corrupt, wrong version, or fingerprint mismatch.
+pub const EXIT_CHECKPOINT: u8 = 6;
+/// A TE solver failed (including watchdog-surfaced timeouts).
+pub const EXIT_SOLVER: u8 = 7;
+/// Hardware-path failure: BVT fault or quarantine refusal.
+pub const EXIT_HARDWARE: u8 = 8;
+/// Telemetry or fault-plan failure.
+pub const EXIT_TELEMETRY: u8 = 9;
+
+/// Exit code for a pipeline error.
+pub fn rwc_exit_code(err: &RwcError) -> u8 {
+    match err {
+        RwcError::Te(_) => EXIT_SOLVER,
+        RwcError::Bvt(_) | RwcError::Quarantined { .. } => EXIT_HARDWARE,
+        RwcError::Config(_) => EXIT_USAGE,
+        RwcError::Telemetry(_) | RwcError::FaultPlan(_) => EXIT_TELEMETRY,
+    }
+}
+
+/// Exit code for a sweep-runtime error.
+pub fn harness_exit_code(err: &HarnessError) -> u8 {
+    match err {
+        HarnessError::Checkpoint(CheckpointError::Io(_)) => EXIT_GENERIC,
+        HarnessError::Checkpoint(_) => EXIT_CHECKPOINT,
+        HarnessError::ChunkFailed { .. } => EXIT_GENERIC,
+    }
+}
+
+/// Exit code for a perf-baseline error.
+pub fn perf_exit_code(err: &PerfError) -> u8 {
+    match err {
+        PerfError::Io { .. } => EXIT_BASELINE_IO,
+        PerfError::Schema { .. } => EXIT_BASELINE_SCHEMA,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwc_te::TeError;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let codes = [
+            EXIT_OK,
+            EXIT_GENERIC,
+            EXIT_USAGE,
+            EXIT_BASELINE_IO,
+            EXIT_BASELINE_SCHEMA,
+            EXIT_PERF_REGRESSION,
+            EXIT_CHECKPOINT,
+            EXIT_SOLVER,
+            EXIT_HARDWARE,
+            EXIT_TELEMETRY,
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            assert_eq!(*a, i as u8, "codes are consecutive and stable");
+        }
+    }
+
+    #[test]
+    fn rwc_variants_map_to_their_classes() {
+        let te = RwcError::Te(TeError::SolverTimeout {
+            algorithm: "exact-lp-warm",
+            detail: "watchdog".into(),
+        });
+        assert_eq!(rwc_exit_code(&te), EXIT_SOLVER);
+        assert_eq!(rwc_exit_code(&RwcError::Config("x".into())), EXIT_USAGE);
+        assert_eq!(rwc_exit_code(&RwcError::Telemetry("x".into())), EXIT_TELEMETRY);
+    }
+
+    #[test]
+    fn harness_variants_map_to_their_classes() {
+        let corrupt = HarnessError::Checkpoint(CheckpointError::Corrupt("bits".into()));
+        assert_eq!(harness_exit_code(&corrupt), EXIT_CHECKPOINT);
+        let version = HarnessError::Checkpoint(CheckpointError::VersionMismatch {
+            found: 2,
+            expected: 1,
+        });
+        assert_eq!(harness_exit_code(&version), EXIT_CHECKPOINT);
+        let config = HarnessError::Checkpoint(CheckpointError::ConfigMismatch("seed".into()));
+        assert_eq!(harness_exit_code(&config), EXIT_CHECKPOINT);
+        let io = HarnessError::Checkpoint(CheckpointError::Io("enoent".into()));
+        assert_eq!(harness_exit_code(&io), EXIT_GENERIC);
+        let failed =
+            HarnessError::ChunkFailed { chunk: 3, attempts: 3, message: "boom".into() };
+        assert_eq!(harness_exit_code(&failed), EXIT_GENERIC);
+    }
+
+    #[test]
+    fn perf_variants_map_to_their_classes() {
+        let io = PerfError::Io { path: "x".into(), message: "enoent".into() };
+        assert_eq!(perf_exit_code(&io), EXIT_BASELINE_IO);
+        let schema = PerfError::Schema { path: "x".into(), message: "truncated".into() };
+        assert_eq!(perf_exit_code(&schema), EXIT_BASELINE_SCHEMA);
+    }
+}

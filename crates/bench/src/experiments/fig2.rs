@@ -11,13 +11,9 @@ use rwc_util::units::{Db, Gbps};
 fn fleet_analysis(scale: Scale) -> (FleetAccumulator, usize) {
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis_observed(
-        &gen,
-        &table,
-        crate::parallel::default_workers(),
-        super::analysis_mode(),
-        super::registry(),
-    );
+    // The shared crash-safe sweep: panic-retrying workers, plus interval
+    // checkpoint/resume when `repro --checkpoint/--resume` installed one.
+    let acc = super::fleet_sweep(&gen, &table);
     (acc, gen.n_links())
 }
 

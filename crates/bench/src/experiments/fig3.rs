@@ -90,13 +90,7 @@ pub fn run_3b(scale: Scale) -> Report {
         Report::new("fig3b", "duration of hypothetical link failures vs capacity (whole WAN)");
     let gen = FleetGenerator::new(scale.fleet());
     let table = ModulationTable::paper_default();
-    let acc = crate::parallel::parallel_fleet_analysis_observed(
-        &gen,
-        &table,
-        crate::parallel::default_workers(),
-        super::analysis_mode(),
-        super::registry(),
-    );
+    let acc = super::fleet_sweep(&gen, &table);
     let mut csv = String::from("capacity_gbps,mean_h,p25_h,median_h,p75_h,max_h,episodes\n");
     for m in Modulation::LADDER {
         let durations = acc.failure_durations_hours(m);

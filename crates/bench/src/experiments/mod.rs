@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod avail;
+pub mod chaos;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;
@@ -18,8 +19,11 @@ pub mod thm1;
 pub mod tput;
 
 use crate::{Report, Scale};
+use rwc_harness::{CheckpointConfig, ExecutorConfig, SweepCheckpoint};
 use rwc_obs::{MetricsObserver, MetricsSnapshot, Observer};
-use rwc_telemetry::AnalysisMode;
+use rwc_optics::ModulationTable;
+use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -79,6 +83,67 @@ pub fn analysis_mode() -> AnalysisMode {
     }
 }
 
+/// Checkpoints are written after this many fresh chunk completions. The
+/// write happens on the collector thread while workers keep pulling
+/// chunks, so the interval trades recovery granularity against checkpoint
+/// file churn, not sweep throughput.
+pub const CHECKPOINT_EVERY_CHUNKS: u64 = 4;
+
+/// Crash-safety wiring for fleet sweeps, installed once per process by
+/// `repro --checkpoint/--resume` (same first-call-wins pattern as the
+/// observer above).
+#[derive(Debug)]
+pub struct CheckpointState {
+    /// Where interval checkpoints are written (atomically, temp + rename).
+    pub path: PathBuf,
+    /// A loaded, envelope-verified checkpoint to restore; `None` starts
+    /// the sweep fresh while still writing checkpoints to `path`.
+    pub resume: Option<SweepCheckpoint>,
+}
+
+static CHECKPOINT: OnceLock<CheckpointState> = OnceLock::new();
+
+/// Installs the process-wide checkpoint plan. First call wins; later
+/// calls return `false` and change nothing.
+pub fn set_checkpoint(state: CheckpointState) -> bool {
+    CHECKPOINT.set(state).is_ok()
+}
+
+/// The installed checkpoint plan, if any.
+pub fn checkpoint() -> Option<&'static CheckpointState> {
+    CHECKPOINT.get()
+}
+
+/// The crash-safe fleet sweep every fleet experiment routes through: the
+/// process observer and registry, the installed checkpoint plan, and the
+/// harness panic-retry policy, all wired into one call. A chunk that
+/// panics is retried with jittered backoff; only a chunk that exhausts
+/// its budget aborts the experiment.
+pub(crate) fn fleet_sweep(gen: &FleetGenerator, table: &ModulationTable) -> FleetAccumulator {
+    let state = checkpoint();
+    let cfg = ExecutorConfig {
+        checkpoint: state.map(|s| CheckpointConfig {
+            path: s.path.clone(),
+            every_chunks: CHECKPOINT_EVERY_CHUNKS,
+        }),
+        observer: observer(),
+        ..ExecutorConfig::default()
+    };
+    let resume = state.and_then(|s| s.resume.as_ref());
+    match crate::parallel::parallel_fleet_analysis_hardened(
+        gen,
+        table,
+        crate::parallel::default_workers(),
+        analysis_mode(),
+        registry(),
+        &cfg,
+        resume,
+    ) {
+        Ok(acc) => acc,
+        Err(err) => panic!("fleet sweep failed: {err}"),
+    }
+}
+
 /// All experiment ids, in paper order.
 pub const ALL: [&str; 16] = [
     "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6b", "fig7", "fig8", "thm1",
@@ -105,6 +170,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "faults" => faults::run(scale),
         "srlg" => srlg::run(scale),
         "ablation" => ablation::run(scale),
+        "chaos" => chaos::run(scale),
         _ => return None,
     })
 }

@@ -18,6 +18,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod perf;

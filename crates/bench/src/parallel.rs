@@ -13,16 +13,25 @@
 //! slot `c`, and slots merge in chunk order — the exact link order of a
 //! sequential sweep, regardless of thread count or scheduling jitter.
 //!
+//! The chunk loop itself now lives in `rwc-harness`: the sweep runs under
+//! [`rwc_harness::run_fleet_sweep`], which adds panic isolation (a chunk
+//! that panics is retried with jittered backoff instead of tearing down
+//! the pool), a poison-free mpsc merge handoff, and optional
+//! checkpoint/resume. The functions here are the bench-flavoured
+//! front-ends that preserve the original infallible signatures.
+//!
 //! [`parallel_arms`] generalises the same pattern to whole experiment
 //! arms (srlg's two arms, the ablation grid, multi-seed campaigns): each
 //! closure runs on the scoped pool, results come back in input order.
 
-use rwc_obs::{MetricsObserver, MetricsRegistry, Observer};
+use rwc_harness::{
+    ExecutorConfig, HarnessError, SweepCheckpoint, SweepOutcome, SweepSpec,
+};
+use rwc_obs::MetricsRegistry;
 use rwc_optics::ModulationTable;
-use rwc_telemetry::analysis::LinkAnalysis;
-use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel};
+use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Mutex};
 
 /// Analyses the whole fleet across `n_threads` workers pulling chunks
 /// from a shared queue, on the fused fast path. The merged result is
@@ -63,61 +72,63 @@ pub fn parallel_fleet_analysis_observed(
     mode: AnalysisMode,
     registry: Option<&MetricsRegistry>,
 ) -> FleetAccumulator {
-    assert!(n_threads > 0, "need at least one worker");
-    let n_links = gen.n_links();
-    // Several chunks per worker so the queue can actually rebalance;
-    // chunky enough that the counter isn't contended per link.
-    let chunk = n_links.div_ceil(n_threads * 4).max(1);
-    let n_chunks = n_links.div_ceil(chunk);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<FleetAccumulator>>> =
-        (0..n_chunks).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads.min(n_chunks) {
-            scope.spawn(|| {
-                // Per-worker registry: the kernel publishes episode
-                // counters without cross-thread contention.
-                let worker_obs = registry.map(|_| Arc::new(MetricsObserver::new()));
-                let mut kernel = match &worker_obs {
-                    Some(obs) => {
-                        FleetKernel::with_observer(Arc::clone(obs) as Arc<dyn Observer>)
-                    }
-                    None => FleetKernel::new(),
-                }; // reused across chunks
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let mut acc = FleetAccumulator::new();
-                    let start = c * chunk;
-                    let end = (start + chunk).min(n_links);
-                    for link_id in start..end {
-                        match mode {
-                            AnalysisMode::Fused => {
-                                acc.push(&kernel.analyze_generated(gen, link_id, table));
-                            }
-                            AnalysisMode::Legacy => {
-                                let link = gen.link(link_id);
-                                acc.push(&LinkAnalysis::new(&link.trace, table));
-                            }
-                        }
-                    }
-                    *slots[c].lock().expect("slot poisoned") = Some(acc);
-                }
-                if let (Some(registry), Some(obs)) = (registry, worker_obs) {
-                    registry.absorb(&obs.snapshot());
-                }
-            });
-        }
-    });
-    // Merge in chunk order = link-id order = the sequential order.
-    let mut merged = FleetAccumulator::new();
-    for slot in slots {
-        let partial = slot.into_inner().expect("slot poisoned").expect("chunk not processed");
-        merged.merge(partial);
+    match parallel_fleet_analysis_hardened(
+        gen,
+        table,
+        n_threads,
+        mode,
+        registry,
+        &ExecutorConfig::default(),
+        None,
+    ) {
+        Ok(acc) => acc,
+        // The default config has no chaos plan, so a failure here is a
+        // real chunk panic that survived its retry budget.
+        Err(err) => panic!("fleet sweep failed: {err}"),
     }
-    merged
+}
+
+/// The fully hardened sweep: the bench front-end over
+/// [`rwc_harness::run_fleet_sweep`]. Panicking chunks are retried with
+/// jittered backoff; `cfg.checkpoint` enables interval checkpointing and
+/// `resume` restores a previous run's completed chunks (the merged result
+/// is byte-identical to an uninterrupted sweep). The per-chunk metrics
+/// snapshots are absorbed into `registry` in chunk order, which matches
+/// the per-worker absorb of earlier revisions because counter and
+/// histogram-bucket addition commute.
+///
+/// `cfg.chaos` must not carry a kill budget here — mid-run kills are a
+/// chaos-experiment concern and are driven through the harness directly.
+pub fn parallel_fleet_analysis_hardened(
+    gen: &FleetGenerator,
+    table: &ModulationTable,
+    n_threads: usize,
+    mode: AnalysisMode,
+    registry: Option<&MetricsRegistry>,
+    cfg: &ExecutorConfig,
+    resume: Option<&SweepCheckpoint>,
+) -> Result<FleetAccumulator, HarnessError> {
+    assert!(n_threads > 0, "need at least one worker");
+    assert!(
+        cfg.chaos.as_ref().is_none_or(|p| p.kill_after_chunks.is_none()),
+        "kill plans belong to the chaos experiment, not the bench sweep"
+    );
+    let spec = SweepSpec {
+        gen,
+        table,
+        mode,
+        n_threads,
+        collect_metrics: registry.is_some(),
+    };
+    match rwc_harness::run_fleet_sweep(&spec, cfg, resume)? {
+        SweepOutcome::Completed(result) => {
+            if let (Some(registry), Some(metrics)) = (registry, &result.metrics) {
+                registry.absorb(metrics);
+            }
+            Ok(result.accumulator)
+        }
+        SweepOutcome::Killed { .. } => unreachable!("no kill plan configured"),
+    }
 }
 
 /// Runs independent experiment arms concurrently on a scoped pool and
@@ -127,6 +138,9 @@ pub fn parallel_fleet_analysis_observed(
 /// Arms are pulled from the same atomic-counter queue as the fleet sweep,
 /// so a long arm (srlg's MBB leg, a slow ablation cell) doesn't serialise
 /// behind a fixed assignment. Panics in an arm propagate to the caller.
+/// Results come back over an mpsc channel instead of shared `Mutex`
+/// slots, so a panicking arm can never poison a lock another worker (or
+/// the collector) would have to unwrap.
 pub fn parallel_arms<T: Send>(arms: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
     /// A queued arm: taken exactly once by whichever worker claims its index.
     type QueuedArm<'a, T> = Mutex<Option<Box<dyn FnOnce() -> T + Send + 'a>>>;
@@ -135,24 +149,32 @@ pub fn parallel_arms<T: Send>(arms: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> 
         return Vec::new();
     }
     let queue: Vec<QueuedArm<'_, T>> = arms.into_iter().map(|a| Mutex::new(Some(a))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
         for _ in 0..default_workers().min(n) {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let queue = &queue;
+            let next = &next;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let arm = queue[i].lock().expect("arm poisoned").take().expect("arm taken twice");
-                *slots[i].lock().expect("slot poisoned") = Some(arm());
+                // The lock is held only for the take — arm() runs outside
+                // it, so even an arm that panics leaves no poisoned lock.
+                let arm = queue[i].lock().expect("arm queue poisoned").take();
+                let arm = arm.expect("arm taken twice");
+                tx.send((i, arm())).ok();
             });
         }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
     });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("slot poisoned").expect("arm not run"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("arm not run")).collect()
 }
 
 /// Two-arm convenience for A/B experiments (MBB vs legacy, reactive vs
@@ -176,9 +198,11 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rwc_telemetry::FleetConfig;
+    use rwc_obs::{MetricsObserver, Observer};
+    use rwc_telemetry::{FleetConfig, FleetKernel};
     use rwc_util::time::SimDuration;
     use rwc_util::units::{Db, Gbps};
+    use std::sync::Arc;
 
     fn small() -> FleetGenerator {
         FleetGenerator::new(FleetConfig {
@@ -256,6 +280,67 @@ mod tests {
             serde_json::to_string(&legacy).expect("accumulator serializes"),
             "fused parallel sweep diverged from the legacy path"
         );
+    }
+
+    #[test]
+    fn panicking_chunk_no_longer_sinks_the_sweep() {
+        // Regression: under the old Mutex-slot merge, a worker panic
+        // poisoned the slot and the whole sweep died with it. Now the
+        // harness catches the panic, retries the chunk, and the sweep
+        // completes with byte-identical results and metrics.
+        let gen = small();
+        let table = ModulationTable::paper_default();
+        let clean_registry = MetricsRegistry::new();
+        let clean = parallel_fleet_analysis_observed(
+            &gen,
+            &table,
+            3,
+            AnalysisMode::Fused,
+            Some(&clean_registry),
+        );
+        let chaotic_registry = MetricsRegistry::new();
+        let cfg = ExecutorConfig {
+            chaos: Some(rwc_harness::ChaosPlan::new(42).with_panic_chunk(0).with_panic_chunk(3)),
+            ..ExecutorConfig::default()
+        };
+        let chaotic = parallel_fleet_analysis_hardened(
+            &gen,
+            &table,
+            3,
+            AnalysisMode::Fused,
+            Some(&chaotic_registry),
+            &cfg,
+            None,
+        )
+        .expect("panicking chunks retry instead of failing the sweep");
+        assert_eq!(
+            serde_json::to_string(&chaotic).unwrap(),
+            serde_json::to_string(&clean).unwrap(),
+        );
+        assert_eq!(chaotic_registry.snapshot().to_json(), clean_registry.snapshot().to_json());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_as_typed_error() {
+        let gen = small();
+        let table = ModulationTable::paper_default();
+        let cfg = ExecutorConfig {
+            retry: rwc_harness::RetryPolicy { budget: 0, ..rwc_harness::RetryPolicy::default() },
+            chaos: Some(rwc_harness::ChaosPlan::new(1).with_panic_chunk(2).with_poison_attempts(9)),
+            ..ExecutorConfig::default()
+        };
+        match parallel_fleet_analysis_hardened(
+            &gen,
+            &table,
+            2,
+            AnalysisMode::Fused,
+            None,
+            &cfg,
+            None,
+        ) {
+            Err(HarnessError::ChunkFailed { chunk, .. }) => assert_eq!(chunk, 2),
+            other => panic!("expected ChunkFailed, got {other:?}"),
+        }
     }
 
     #[test]

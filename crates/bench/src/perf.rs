@@ -341,6 +341,43 @@ pub struct PerfBaseline {
     pub fleet: FleetPerf,
 }
 
+/// Why a committed perf baseline could not be used. Distinguishing I/O
+/// from schema trouble lets `repro` exit with distinct codes: a CI runner
+/// that lost the artifact reads differently from a stale baseline format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// The baseline file could not be read at all.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O message.
+        message: String,
+    },
+    /// The file read but is not a valid `PerfBaseline` (truncated mid-
+    /// write, hand-edited, or produced by an incompatible revision).
+    Schema {
+        /// The offending path.
+        path: String,
+        /// What failed to parse.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::Io { path, message } => {
+                write!(f, "cannot read perf baseline {path}: {message}")
+            }
+            PerfError::Schema { path, message } => {
+                write!(f, "perf baseline {path} does not parse: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
 impl PerfBaseline {
     /// Pretty JSON for the committed baseline file.
     pub fn to_json(&self) -> String {
@@ -351,11 +388,57 @@ impl PerfBaseline {
     pub fn from_json(s: &str) -> Result<Self, String> {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
+
+    /// Loads the committed baseline, mapping every failure mode to a
+    /// typed [`PerfError`] — a missing, truncated or schema-mismatched
+    /// file becomes a clean nonzero exit in `repro`, never a panic.
+    pub fn load(path: &std::path::Path) -> Result<Self, PerfError> {
+        let shown = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PerfError::Io { path: shown.clone(), message: e.to_string() })?;
+        Self::from_json(&text).map_err(|message| PerfError::Schema { path: shown, message })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_load_maps_failure_modes_to_typed_errors() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        // Missing file → Io.
+        let missing = dir.join(format!("rwc_perf_missing_{pid}.json"));
+        match PerfBaseline::load(&missing) {
+            Err(PerfError::Io { path, .. }) => assert!(path.contains("rwc_perf_missing")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+
+        // Truncated JSON → Schema.
+        let committed = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ci/perf_baseline.json"),
+        )
+        .expect("committed baseline exists");
+        PerfBaseline::from_json(&committed).expect("committed baseline parses");
+        let truncated_path = dir.join(format!("rwc_perf_trunc_{pid}.json"));
+        std::fs::write(&truncated_path, &committed[..committed.len() / 2]).unwrap();
+        match PerfBaseline::load(&truncated_path) {
+            Err(PerfError::Schema { .. }) => {}
+            other => panic!("expected Schema for truncation, got {other:?}"),
+        }
+        std::fs::remove_file(&truncated_path).ok();
+
+        // Valid JSON, wrong shape → Schema.
+        let mismatched_path = dir.join(format!("rwc_perf_shape_{pid}.json"));
+        std::fs::write(&mismatched_path, r#"{"scenario": 3, "fleet": []}"#).unwrap();
+        match PerfBaseline::load(&mismatched_path) {
+            Err(PerfError::Schema { .. }) => {}
+            other => panic!("expected Schema for shape mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&mismatched_path).ok();
+    }
 
     #[test]
     fn fleet_digest_gates_and_round_trips() {

@@ -387,6 +387,10 @@ pub struct Scenario {
     obs: Arc<dyn Observer>,
     /// Timing sidecar of the most recent [`Scenario::run`].
     last_timing: Option<ScenarioTiming>,
+    /// TE rounds executed across every [`Scenario::run`] on this scenario —
+    /// the round index a sweep checkpoint records so a resumed run can
+    /// line its progress up against the interrupted one.
+    rounds_completed: u64,
 }
 
 /// Validating builder for [`Scenario`]; see [`Scenario::builder`].
@@ -456,6 +460,7 @@ impl ScenarioBuilder {
             config,
             obs,
             last_timing: None,
+            rounds_completed: 0,
         })
     }
 }
@@ -498,6 +503,14 @@ impl Scenario {
     /// report stays byte-comparable across runs.
     pub fn last_timing(&self) -> Option<&ScenarioTiming> {
         self.last_timing.as_ref()
+    }
+
+    /// TE rounds executed so far, cumulative across runs. This is the
+    /// round index checkpoints record (`SweepCheckpoint::round_index`
+    /// in `rwc-harness`): a resumed run compares it against the
+    /// interrupted run's value to confirm both walked the same schedule.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
     }
 
     /// Fallible twin of [`Scenario::run`], kept for source compatibility.
@@ -703,6 +716,7 @@ impl Scenario {
                     }
                     None => self.network.te_round(&demands, algorithm, now),
                 };
+                self.rounds_completed += 1;
                 report.reconfig_downtime += round.reconfig_downtime;
                 report.failed_changes += round.failed_changes;
                 report.rolled_back_changes += round.rolled_back;
@@ -825,6 +839,10 @@ mod tests {
         assert_eq!(report.te_fallbacks, 0);
         assert_eq!(report.failed_changes, 0);
         assert!(report.availability() > 0.99, "availability {}", report.availability());
+        // One TE round per hourly sample, cumulative across runs.
+        assert_eq!(s.rounds_completed(), 168);
+        s.run(SimDuration::from_days(1), &SwanTe::default()).unwrap();
+        assert_eq!(s.rounds_completed(), 168 + 24);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Versioned, checksummed sweep checkpoints.
+//!
+//! A checkpoint is a JSON envelope
+//!
+//! ```json
+//! {"version": 1, "checksum": "fnv1a64:…", "payload": { … }}
+//! ```
+//!
+//! whose payload captures sweep progress at **chunk granularity**: the
+//! fingerprint of the run (fleet size, seed, chunk size, analysis mode),
+//! every completed chunk's [`FleetAccumulator`] partial and per-chunk
+//! metrics snapshot, plus the scenario round index and RNG/link cursors
+//! for stream-resumable callers. Because links are generated independently
+//! from `(seed, link_id)` and merges are slot-ordered, replaying the
+//! missing chunks and merging them with the restored partials in chunk
+//! order reproduces an uninterrupted run **byte for byte**.
+//!
+//! Integrity: the checksum is FNV-1a 64 over the canonical payload JSON.
+//! The vendored `serde_json` writer/parser pair round-trips its own output
+//! exactly (`to_string(&parse(s)?) == s`), so the loader re-serializes the
+//! parsed payload and recomputes the hash — any bit flip or truncation
+//! either breaks the JSON or breaks the hash, and both are rejected with a
+//! typed [`CheckpointError`] instead of a panic or silent corruption.
+//!
+//! Durability: writes go to a sibling temp file first and are moved into
+//! place with `rename`, which is atomic on POSIX filesystems — a kill
+//! mid-write leaves either the previous complete checkpoint or a stray
+//! temp file, never a torn one.
+
+use rwc_obs::MetricsSnapshot;
+use rwc_telemetry::FleetAccumulator;
+use serde::{map_field, Content, DeError, Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint format version. Bumped on any payload schema change;
+/// loaders reject other versions rather than guessing.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit hash — small, dependency-free, and more than strong
+/// enough to catch accidental corruption (it is not a cryptographic MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file is not a valid checkpoint: unparseable JSON, missing
+    /// envelope fields, checksum mismatch, or a payload that does not
+    /// deserialize. Covers bit flips and truncation.
+    Corrupt(String),
+    /// The file is a checkpoint from another format version.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u64,
+        /// Version this build reads and writes.
+        expected: u64,
+    },
+    /// The checkpoint is valid but belongs to a different run (fingerprint
+    /// disagrees — different fleet, seed, chunk size or analysis mode).
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint rejected: {msg}"),
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint version {found} is not supported (this build reads version {expected})"
+            ),
+            CheckpointError::ConfigMismatch(msg) => {
+                write!(f, "checkpoint belongs to a different run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Identity of a sweep: a checkpoint may only resume a run whose
+/// fingerprint matches exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepFingerprint {
+    /// Total links in the fleet.
+    pub n_links: u64,
+    /// Links per chunk (fixed for the lifetime of the checkpoint so a
+    /// resume with a different thread count still replays the same
+    /// chunk boundaries).
+    pub chunk_size: u64,
+    /// Master fleet seed.
+    pub seed: u64,
+    /// Analysis path label (`"fused"` / `"legacy"`).
+    pub mode: String,
+}
+
+impl SweepFingerprint {
+    /// Checks that `other` (from a loaded checkpoint) matches this run.
+    pub fn verify(&self, other: &SweepFingerprint) -> Result<(), CheckpointError> {
+        if self == other {
+            return Ok(());
+        }
+        Err(CheckpointError::ConfigMismatch(format!(
+            "expected {self:?}, checkpoint carries {other:?}"
+        )))
+    }
+}
+
+/// One completed chunk: its id, its accumulator partial and (when metrics
+/// collection is on) the metrics its links recorded.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkCheckpoint {
+    /// Chunk index (`links [id·chunk_size, …)`).
+    pub id: u64,
+    /// Slot-ordered accumulator partial for the chunk's links.
+    pub accumulator: FleetAccumulator,
+    /// Per-chunk metrics partial, absent when the sweep runs unobserved.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// The checkpoint payload: everything needed to continue a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Identity of the run this checkpoint belongs to.
+    pub fingerprint: SweepFingerprint,
+    /// Completed chunks, sorted by id.
+    pub chunks: Vec<ChunkCheckpoint>,
+    /// Scenario TE-round cursor (0 for pure fleet sweeps); carried so the
+    /// same envelope serves scenario-driver resume.
+    pub round_index: u64,
+    /// RNG stream state for stream-resumable generation (see
+    /// [`rwc_telemetry::SnrCursor`]); fleet sweeps regenerate links from
+    /// `(seed, link_id)` and leave this `None`.
+    pub rng_state: Option<[u64; 4]>,
+    /// First link id not covered by a completed chunk — the link cursor.
+    pub next_link: u64,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a fresh run.
+    pub fn new(fingerprint: SweepFingerprint) -> Self {
+        Self { fingerprint, chunks: Vec::new(), round_index: 0, rng_state: None, next_link: 0 }
+    }
+
+    /// Ids of the chunks this checkpoint has already completed.
+    pub fn completed_ids(&self) -> Vec<u64> {
+        self.chunks.iter().map(|c| c.id).collect()
+    }
+}
+
+/// Serializes `checkpoint` and writes it atomically: the envelope goes to
+/// a sibling `.tmp` file which is then `rename`d over `path`.
+pub fn write_atomic(path: &Path, checkpoint: &SweepCheckpoint) -> Result<(), CheckpointError> {
+    let payload = serde_json::to_string(checkpoint)
+        .map_err(|e| CheckpointError::Io(format!("serialize: {e:?}")))?;
+    let checksum = fnv1a64(payload.as_bytes());
+    let envelope = format!(
+        "{{\"version\":{CHECKPOINT_VERSION},\"checksum\":\"fnv1a64:{checksum:016x}\",\"payload\":{payload}}}"
+    );
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, envelope)
+        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CheckpointError::Io(format!("rename into {}: {e}", path.display())))
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Loads and verifies a checkpoint: envelope shape, format version,
+/// checksum over the canonical payload bytes, then payload deserialization.
+/// Every corruption mode (bit flip, truncation, version bump) maps to a
+/// typed [`CheckpointError`].
+pub fn load(path: &Path) -> Result<SweepCheckpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+    load_str(&text)
+}
+
+/// [`load`] over already-read bytes — the seam the corruption tests use.
+pub fn load_str(text: &str) -> Result<SweepCheckpoint, CheckpointError> {
+    let envelope = serde_json::parse(text)
+        .map_err(|e| CheckpointError::Corrupt(format!("unparseable envelope: {e:?}")))?;
+    let map = envelope
+        .as_map()
+        .ok_or_else(|| CheckpointError::Corrupt("envelope is not a JSON object".into()))?;
+    let version = map_field(map, "version")
+        .as_u64()
+        .ok_or_else(|| CheckpointError::Corrupt("envelope has no numeric `version`".into()))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let recorded = map_field(map, "checksum")
+        .as_str()
+        .ok_or_else(|| CheckpointError::Corrupt("envelope has no `checksum` string".into()))?;
+    let payload = match map_field(map, "payload") {
+        Content::Null => return Err(CheckpointError::Corrupt("envelope has no `payload`".into())),
+        p => p,
+    };
+    // The writer/parser pair round-trips exactly, so re-serializing the
+    // parsed payload reproduces the very bytes the writer hashed.
+    let canonical = serde_json::to_string(payload)
+        .map_err(|e| CheckpointError::Corrupt(format!("re-serialize payload: {e:?}")))?;
+    let actual = format!("fnv1a64:{:016x}", fnv1a64(canonical.as_bytes()));
+    if actual != recorded {
+        return Err(CheckpointError::Corrupt(format!(
+            "checksum mismatch: recorded {recorded}, computed {actual}"
+        )));
+    }
+    SweepCheckpoint::from_content(payload)
+        .map_err(|e: DeError| CheckpointError::Corrupt(format!("payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fingerprint() -> SweepFingerprint {
+        SweepFingerprint { n_links: 40, chunk_size: 5, seed: 7, mode: "fused".into() }
+    }
+
+    fn sample_checkpoint() -> SweepCheckpoint {
+        let mut cp = SweepCheckpoint::new(fingerprint());
+        cp.chunks.push(ChunkCheckpoint {
+            id: 0,
+            accumulator: FleetAccumulator::new(),
+            metrics: None,
+        });
+        cp.round_index = 3;
+        cp.rng_state = Some([1, 2, 3, 4]);
+        cp.next_link = 5;
+        cp
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Reference values of the standard FNV-1a 64 parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rwc_cp_roundtrip_{}.json", std::process::id()));
+        let cp = sample_checkpoint();
+        write_atomic(&path, &cp).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.fingerprint, cp.fingerprint);
+        assert_eq!(back.completed_ids(), cp.completed_ids());
+        assert_eq!(back.round_index, 3);
+        assert_eq!(back.rng_state, Some([1, 2, 3, 4]));
+        assert_eq!(back.next_link, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_temp_file_left_behind() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rwc_cp_tmpcheck_{}.json", std::process::id()));
+        write_atomic(&path, &sample_checkpoint()).unwrap();
+        assert!(!tmp_path(&path).exists(), "temp file must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn envelope_text() -> String {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rwc_cp_envelope_{}.json", std::process::id()));
+        write_atomic(&path, &sample_checkpoint()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        text
+    }
+
+    #[test]
+    fn bit_flip_is_rejected() {
+        let text = envelope_text();
+        let mut bytes = text.clone().into_bytes();
+        // Flip a bit inside the payload (past the envelope prelude).
+        let idx = text.find("payload").unwrap() + 20;
+        bytes[idx] ^= 0x01;
+        if let Ok(flipped) = String::from_utf8(bytes) {
+            assert!(load_str(&flipped).is_err(), "bit flip must not load");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = envelope_text();
+        for cut in [1, text.len() / 2, text.len() - 1] {
+            assert!(load_str(&text[..cut]).is_err(), "truncation at {cut} must not load");
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let text = envelope_text();
+        let bumped = text.replacen(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            &format!("\"version\":{}", CHECKPOINT_VERSION + 1),
+            1,
+        );
+        match load_str(&bumped) {
+            Err(CheckpointError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, CHECKPOINT_VERSION + 1);
+                assert_eq!(expected, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_tamper_is_rejected() {
+        let text = envelope_text();
+        // Retarget the recorded checksum without touching the payload.
+        let tampered = text.replacen("fnv1a64:", "fnv1a64:0", 1);
+        assert!(matches!(load_str(&tampered), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let mine = fingerprint();
+        let mut other = fingerprint();
+        other.seed = 8;
+        assert!(mine.verify(&fingerprint()).is_ok());
+        assert!(matches!(mine.verify(&other), Err(CheckpointError::ConfigMismatch(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let err = load(Path::new("/definitely/not/here.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

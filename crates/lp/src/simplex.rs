@@ -36,8 +36,12 @@
 //! solving it from scratch.
 
 use crate::model::{LinearProgram, Relation};
+use std::time::{Duration, Instant};
 
 const TOL: f64 = 1e-9;
+/// Pivots between wall-clock watchdog checks; a power of two so the test
+/// compiles to a mask, keeping `Instant::now()` off the per-pivot path.
+const WATCHDOG_STRIDE: u64 = 64;
 /// Minimum magnitude for a ratio-test pivot element.
 const PIVOT_TOL: f64 = 1e-7;
 /// Minimum magnitude for a warm-start refactorisation pivot; below this
@@ -94,6 +98,9 @@ pub struct SolverStats {
     pub warm_hits: u64,
     /// Total pivots performed (both phases, all solves).
     pub pivots: u64,
+    /// Solve attempts aborted by the wall-clock watchdog (each warm or
+    /// cold attempt that hit its deadline counts once).
+    pub watchdog_aborts: u64,
 }
 
 impl SolverStats {
@@ -168,6 +175,18 @@ pub struct SimplexSolver {
     saved_ops: Vec<Relation>,
     saved_neg: Vec<bool>,
     stats: SolverStats,
+    // --- watchdog -----------------------------------------------------
+    /// Wall-clock budget per solve *attempt* (fast-resolve, warm, cold
+    /// each get a fresh deadline). `None` disables the watchdog.
+    solve_timeout: Option<Duration>,
+    /// Deadline of the attempt in flight; transient, armed per attempt.
+    deadline: Option<Instant>,
+    /// The attempt in flight hit its deadline (distinguishes a watchdog
+    /// abort from an ordinary pivot-budget stall).
+    deadline_hit: bool,
+    /// Chaos hook: artificial per-pivot delay, forcing a solve to run
+    /// slow enough that the watchdog fires deterministically in tests.
+    pivot_delay: Option<Duration>,
 }
 
 impl SimplexSolver {
@@ -185,6 +204,45 @@ impl SimplexSolver {
     pub fn reset(&mut self) {
         self.has_saved = false;
         self.tableau_valid = false;
+    }
+
+    /// Arms (or disarms, with `None`) the solve-deadline watchdog: each
+    /// solve attempt that runs past `timeout` of wall-clock time is
+    /// aborted at the next stride boundary. An aborted *warm* attempt
+    /// falls back to a cold solve with a fresh deadline; an aborted cold
+    /// solve returns [`LpOutcome::Stalled`], which the TE layer maps to a
+    /// typed timeout error instead of hanging the round.
+    pub fn set_solve_timeout(&mut self, timeout: Option<Duration>) {
+        self.solve_timeout = timeout;
+    }
+
+    /// Chaos hook: sleep this long before every pivot, making a solve
+    /// arbitrarily slow so watchdog behaviour can be tested
+    /// deterministically. `None` (the default) is a no-op.
+    pub fn set_pivot_delay(&mut self, delay: Option<Duration>) {
+        self.pivot_delay = delay;
+    }
+
+    /// Starts a fresh wall-clock budget for the next solve attempt.
+    fn arm_deadline(&mut self) {
+        self.deadline = self.solve_timeout.map(|t| Instant::now() + t);
+        self.deadline_hit = false;
+    }
+
+    /// Checks the deadline (called every [`WATCHDOG_STRIDE`] pivots).
+    /// Counts each attempt's abort once.
+    fn deadline_expired(&mut self) -> bool {
+        if self.deadline_hit {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.deadline_hit = true;
+                self.stats.watchdog_aborts += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Solves `lp` with the default pivot budget, warm-starting from the
@@ -207,8 +265,13 @@ impl SimplexSolver {
         // transform the new rhs through B⁻¹ (read off the unit columns)
         // and repair feasibility, skipping load + refactorisation.
         if self.fast_resolve_applicable(lp) {
+            self.arm_deadline();
             self.stats.warm_attempts += 1;
             match self.try_fast_resolve(lp, max_pivots) {
+                // A watchdog-aborted fast resolve is a runaway warm
+                // attempt: fall through to the warm/cold paths below,
+                // each of which re-arms its own deadline.
+                Some(LpOutcome::Stalled) if self.deadline_hit => {}
                 Some(outcome) => {
                     self.stats.warm_hits += 1;
                     return outcome;
@@ -219,8 +282,13 @@ impl SimplexSolver {
 
         self.load(lp);
         if self.warm_applicable() {
+            self.arm_deadline();
             self.stats.warm_attempts += 1;
             match self.try_warm(lp, max_pivots) {
+                // Runaway warm solve aborted by the watchdog: reload and
+                // let the cold path below try with a fresh deadline
+                // instead of surfacing the stall.
+                Some(LpOutcome::Stalled) if self.deadline_hit => self.load(lp),
                 Some(outcome) => {
                     self.stats.warm_hits += 1;
                     self.save_fingerprint(lp);
@@ -234,6 +302,7 @@ impl SimplexSolver {
                 }
             }
         }
+        self.arm_deadline();
         let outcome = self.cold(lp, max_pivots);
         self.save_fingerprint(lp);
         outcome
@@ -513,6 +582,16 @@ impl SimplexSolver {
             if pivots > max_pivots {
                 return false;
             }
+            if let Some(delay) = self.pivot_delay {
+                std::thread::sleep(delay);
+            }
+            // Watchdog: an expired deadline reports the repair as failed,
+            // which sends the caller down the cold-fallback path.
+            if (self.pivot_delay.is_some() || pivots & (WATCHDOG_STRIDE - 1) == 0)
+                && self.deadline_expired()
+            {
+                return false;
+            }
             // Entering column: dual ratio test over strictly negative
             // pivot elements keeps every reduced cost ≤ 0; ties go to
             // the larger pivot magnitude for stability.
@@ -704,6 +783,17 @@ impl SimplexSolver {
         loop {
             pivots += 1;
             if pivots > max_pivots {
+                return OptimiseOutcome::Stalled;
+            }
+            if let Some(delay) = self.pivot_delay {
+                std::thread::sleep(delay);
+            }
+            // Watchdog: checked every stride (every pivot under a chaos
+            // delay, where strides would outlast the test) so a runaway
+            // solve becomes a Stalled outcome instead of a hang.
+            if (self.pivot_delay.is_some() || pivots & (WATCHDOG_STRIDE - 1) == 0)
+                && self.deadline_expired()
+            {
                 return OptimiseOutcome::Stalled;
             }
             // Entering column: Dantzig (largest reduced cost) normally;
@@ -1049,5 +1139,44 @@ mod tests {
         solver.solve(&textbook(4.0, 12.0, 18.0)).expect_optimal();
         assert_eq!(solver.stats().warm_attempts, 0);
         assert_eq!(solver.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn generous_watchdog_never_fires() {
+        let mut solver = SimplexSolver::new();
+        solver.set_solve_timeout(Some(Duration::from_secs(60)));
+        solver.solve(&textbook(4.0, 12.0, 18.0)).expect_optimal();
+        assert_eq!(solver.stats().watchdog_aborts, 0);
+    }
+
+    #[test]
+    fn watchdog_turns_runaway_cold_solve_into_stalled() {
+        let mut solver = SimplexSolver::new();
+        solver.set_solve_timeout(Some(Duration::from_millis(1)));
+        solver.set_pivot_delay(Some(Duration::from_millis(10)));
+        let outcome = solver.solve(&textbook(4.0, 12.0, 18.0));
+        assert_eq!(outcome, LpOutcome::Stalled);
+        assert_eq!(solver.stats().watchdog_aborts, 1);
+    }
+
+    #[test]
+    fn watchdog_aborted_warm_attempt_falls_back_to_cold() {
+        let mut solver = SimplexSolver::new();
+        solver.solve(&textbook(4.0, 12.0, 18.0)).expect_optimal();
+        let cold_before = solver.stats().cold_solves;
+        // Force slowness: the warm attempt hits its deadline, falls back,
+        // and the cold attempt (fresh deadline) then times out too — each
+        // abort counted once, and the solve returns Stalled, not a hang.
+        solver.set_solve_timeout(Some(Duration::from_millis(1)));
+        solver.set_pivot_delay(Some(Duration::from_millis(10)));
+        let outcome = solver.solve(&textbook(4.0, 12.0, 17.0));
+        assert_eq!(outcome, LpOutcome::Stalled);
+        let stats = solver.stats();
+        assert!(stats.watchdog_aborts >= 2, "stats: {stats:?}");
+        assert_eq!(stats.cold_solves, cold_before + 1);
+        // Disarm: the same drifted LP now solves fine.
+        solver.set_solve_timeout(None);
+        solver.set_pivot_delay(None);
+        solver.solve(&textbook(4.0, 12.0, 17.0)).expect_optimal();
     }
 }

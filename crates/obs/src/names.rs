@@ -45,6 +45,15 @@ pub const COUNTERS: &[&str] = &[
     "lp.warm_attempts",
     "lp.warm_hits",
     "lp.pivots",
+    "lp.watchdog_aborts",
+    // harness: crash-safe sweep runtime (rwc-harness).
+    "harness.chunk_retries",
+    "harness.chunk_failures",
+    "harness.checkpoints_written",
+    "harness.checkpoints_rejected",
+    "harness.resume_verified",
+    "harness.chaos_panics",
+    "harness.chaos_kills",
     // scenario driver.
     "scenario.ticks",
     "scenario.runs",
@@ -67,6 +76,10 @@ pub const COUNTERS: &[&str] = &[
     "events.fault_injected",
     "events.episode_opened",
     "events.episode_closed",
+    "events.chunk_retried",
+    "events.checkpoint_written",
+    "events.resume_verified",
+    "events.watchdog_abort",
 ];
 
 /// Point-in-time gauges, set via [`crate::Observer::gauge`]. Merging

@@ -13,6 +13,7 @@ use rwc_lp::simplex::{solve, LpOutcome, SimplexSolver, Solution, SolverStats};
 use rwc_obs::{Event, Observer};
 use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Exact LP-based solver.
 ///
@@ -199,6 +200,20 @@ impl IncrementalExactTe {
         self.obs = obs;
     }
 
+    /// Arms the solve-deadline watchdog on the underlying simplex engine:
+    /// a warm attempt running past `timeout` is aborted into the existing
+    /// cold-fallback path; a cold attempt running past it surfaces as
+    /// [`TeError::SolverTimeout`] instead of hanging the round.
+    pub fn set_solve_timeout(&self, timeout: Option<Duration>) {
+        self.solver.borrow_mut().set_solve_timeout(timeout);
+    }
+
+    /// Chaos hook: sleeps this long before every simplex pivot, forcing a
+    /// slow solve so watchdog behaviour can be driven deterministically.
+    pub fn set_pivot_delay(&self, delay: Option<Duration>) {
+        self.solver.borrow_mut().set_pivot_delay(delay);
+    }
+
     /// Publishes the delta between two [`SolverStats`] readings.
     fn publish_solve(&self, before: SolverStats, after: SolverStats) {
         let pivots = after.pivots - before.pivots;
@@ -210,6 +225,11 @@ impl IncrementalExactTe {
             self.obs.event(&Event::WarmSolve { pivots });
         } else if after.cold_solves > before.cold_solves {
             self.obs.event(&Event::ColdFallback { pivots });
+        }
+        let aborts = after.watchdog_aborts - before.watchdog_aborts;
+        if aborts > 0 {
+            self.obs.incr("lp.watchdog_aborts", aborts);
+            self.obs.event(&Event::WatchdogAbort { pivots });
         }
         let total = after.warm_attempts;
         if total > 0 {
@@ -345,5 +365,33 @@ mod tests {
     fn stateless_algorithms_report_no_warm_stats() {
         assert!(ExactTe::default().warm_stats().is_none());
         assert!(SwanTe::default().warm_stats().is_none());
+    }
+
+    #[test]
+    fn watchdog_surfaces_stalled_solve_as_typed_timeout() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(300.0), Priority::Elastic);
+        let p = TeProblem::from_wan(&wan, &dm);
+        let mut warm = IncrementalExactTe::new();
+        let metrics = Arc::new(rwc_obs::MetricsObserver::new());
+        warm.set_observer(metrics.clone());
+        warm.set_solve_timeout(Some(Duration::from_millis(1)));
+        warm.set_pivot_delay(Some(Duration::from_millis(10)));
+        match warm.try_solve(&p) {
+            Err(crate::TeError::SolverTimeout { algorithm, .. }) => {
+                assert_eq!(algorithm, "exact-lp-warm");
+            }
+            other => panic!("expected SolverTimeout, got {other:?}"),
+        }
+        let snap = metrics.snapshot();
+        assert!(snap.counters["lp.watchdog_aborts"] >= 1, "{snap:?}");
+        // Disarmed, the same problem solves to the cold optimum.
+        warm.set_solve_timeout(None);
+        warm.set_pivot_delay(None);
+        let sol = warm.try_solve(&p).expect("solves after disarm");
+        assert!((sol.total - 200.0).abs() < 1e-6, "total={}", sol.total);
     }
 }

@@ -307,6 +307,28 @@ impl Serialize for FleetAccumulator {
     }
 }
 
+/// The inverse of the hand-written [`Serialize`]: restores the accumulated
+/// data fields and leaves the ECDF caches cold, so serializing a restored
+/// accumulator reproduces the original bytes exactly. This is what lets
+/// checkpointed chunk partials resume byte-identically (rwc-harness).
+impl Deserialize for FleetAccumulator {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "FleetAccumulator"))?;
+        Ok(Self {
+            hdr_widths: Deserialize::from_content(serde::map_field(map, "hdr_widths"))?,
+            ranges: Deserialize::from_content(serde::map_field(map, "ranges"))?,
+            feasible_caps: Deserialize::from_content(serde::map_field(map, "feasible_caps"))?,
+            gains: Deserialize::from_content(serde::map_field(map, "gains"))?,
+            per_rung: Deserialize::from_content(serde::map_field(map, "per_rung"))?,
+            hdr_width_ecdf: OnceLock::new(),
+            range_ecdf: OnceLock::new(),
+            feasible_capacity_ecdf: OnceLock::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +479,32 @@ mod tests {
         b.push(&LinkAnalysis::new(&trace(vec![12.0; 50]), &table));
         a.merge(b);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn accumulator_json_round_trip_is_byte_identical() {
+        let table = ModulationTable::paper_default();
+        let mut acc = FleetAccumulator::new();
+        let mut s1 = vec![13.5; 97];
+        s1.extend([0.2, 0.2, 0.2]);
+        acc.push(&LinkAnalysis::new(&trace(s1), &table));
+        acc.push(&LinkAnalysis::new(&trace(vec![8.4; 100]), &table));
+        // Touch an ECDF cache: derived state must not leak into the bytes.
+        let _ = acc.hdr_width_ecdf();
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: FleetAccumulator = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.len(), acc.len());
+        assert_eq!(back.total_gain(), acc.total_gain());
+        assert_eq!(
+            back.failure_counts(Modulation::DpQpsk100),
+            acc.failure_counts(Modulation::DpQpsk100)
+        );
+    }
+
+    #[test]
+    fn accumulator_deserialize_rejects_non_map() {
+        assert!(serde_json::from_str::<FleetAccumulator>("[1,2]").is_err());
     }
 
     #[test]

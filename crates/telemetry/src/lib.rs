@@ -38,4 +38,5 @@ pub mod trace;
 pub use analysis::{FleetAccumulator, LinkAnalysis};
 pub use generator::{FleetConfig, FleetGenerator, LinkProfile, LinkTelemetry};
 pub use kernel::{AnalysisMode, FleetKernel};
+pub use process::{SnrCursor, SnrProcess};
 pub use trace::SnrTrace;

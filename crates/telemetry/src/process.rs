@@ -51,6 +51,30 @@ impl Default for SnrProcess {
     }
 }
 
+/// A resumable position in one link's SNR stream: the OU state plus the
+/// active-set event sweep. Together with the RNG state
+/// ([`rwc_util::rng::Xoshiro256::state`]) this is everything a checkpoint
+/// needs to continue generation mid-trace — windows generated through a
+/// cursor are bit-identical to one-shot generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrCursor {
+    /// Current OU micro-noise value, dB.
+    ou: f64,
+    /// Time of the next sample to generate.
+    t: SimTime,
+    /// First event in the schedule whose start is still in the future.
+    upcoming: usize,
+    /// Indices of currently active events, in log order.
+    active: Vec<usize>,
+}
+
+impl SnrCursor {
+    /// Time of the next sample this cursor will generate.
+    pub fn next_sample_at(&self) -> SimTime {
+        self.t
+    }
+}
+
 impl SnrProcess {
     /// Generates a trace of `[start, start + horizon)` at the given tick,
     /// applying the event schedule.
@@ -88,23 +112,54 @@ impl SnrProcess {
         rng: &mut Xoshiro256,
         out: &mut Vec<f64>,
     ) {
-        assert!(self.ou_sigma_db >= 0.0, "sigma must be non-negative");
-        assert!(self.ou_relaxation > SimDuration::ZERO, "relaxation must be positive");
         let n = horizon.ticks(tick);
         assert!(n > 0, "horizon shorter than one tick");
+        out.clear();
+        out.reserve(n as usize);
+        let mut cursor = self.start_cursor(start, rng);
+        self.generate_window(&mut cursor, n, tick, events, rng, out);
+    }
+
+    /// Opens a resumable cursor at `start`, drawing the stationary OU init
+    /// from `rng`. Feed it to [`generate_window`](Self::generate_window).
+    pub fn start_cursor(&self, start: SimTime, rng: &mut Xoshiro256) -> SnrCursor {
+        SnrCursor {
+            ou: self.ou_sigma_db * rng.standard_normal(), // stationary init
+            t: start,
+            upcoming: 0,
+            active: Vec::new(),
+        }
+    }
+
+    /// Generates the next `n` ticks of the stream, **appending** to `out`
+    /// and advancing the cursor. Splitting a horizon into windows — with
+    /// the RNG state checkpointed between them via
+    /// [`Xoshiro256::state`](rwc_util::rng::Xoshiro256::state) — produces
+    /// the same bytes as one [`generate_into`](Self::generate_into) call:
+    /// the loop body is shared, only the iteration bounds differ.
+    pub fn generate_window(
+        &self,
+        cursor: &mut SnrCursor,
+        n: u64,
+        tick: SimDuration,
+        events: &EventLog,
+        rng: &mut Xoshiro256,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(self.ou_sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(self.ou_relaxation > SimDuration::ZERO, "relaxation must be positive");
 
         // Exact OU update: x' = x·ρ + σ·sqrt(1−ρ²)·ξ with ρ = exp(−Δt/τ).
         let rho = (-(tick.as_secs_f64() / self.ou_relaxation.as_secs_f64())).exp();
         let innovation = self.ou_sigma_db * (1.0 - rho * rho).sqrt();
-        let mut ou = self.ou_sigma_db * rng.standard_normal(); // stationary init
+        let mut ou = cursor.ou;
 
         let day = SimDuration::from_days(1).as_secs_f64();
         let schedule = events.events();
-        let mut upcoming = 0; // first event whose start is still in the future
-        let mut active: Vec<usize> = Vec::new(); // indices into `schedule`, log order
-        out.clear();
-        out.reserve(n as usize);
-        for t in Ticks::new(start, start + horizon, tick) {
+        let mut upcoming = cursor.upcoming; // first event still in the future
+        let mut active = std::mem::take(&mut cursor.active); // log order
+        let end = cursor.t + tick * n;
+        for t in Ticks::new(cursor.t, end, tick) {
             while upcoming < schedule.len() && schedule[upcoming].start <= t {
                 active.push(upcoming); // increasing index ⇒ log order preserved
                 upcoming += 1;
@@ -135,6 +190,10 @@ impl SnrProcess {
             out.push(sample);
             ou = ou * rho + innovation * rng.standard_normal();
         }
+        cursor.ou = ou;
+        cursor.t = end;
+        cursor.upcoming = upcoming;
+        cursor.active = active;
     }
 }
 
@@ -220,6 +279,58 @@ mod tests {
             .zip(trace.values())
             .all(|(a, b)| a.to_bits() == b.to_bits());
         assert!(same, "streamed generation diverged from trace generation");
+    }
+
+    #[test]
+    fn windowed_generation_matches_one_shot_bitwise() {
+        // Chop the horizon into uneven windows, round-tripping both the
+        // cursor and the RNG state through serialization between windows —
+        // exactly what a checkpoint/resume cycle does — and demand the
+        // concatenation equals the one-shot stream bit for bit.
+        let mut events = EventLog::new();
+        events.push(Event {
+            kind: EventKind::Dip { depth_db: 4.0 },
+            start: SimTime::EPOCH + SimDuration::from_hours(5),
+            duration: SimDuration::from_hours(9),
+        });
+        events.push(Event {
+            kind: EventKind::LossOfLight,
+            start: SimTime::EPOCH + SimDuration::from_days(2),
+            duration: SimDuration::from_hours(3),
+        });
+        let p = SnrProcess::default();
+        let trace = telemetry_trace(&p, &events, 7, 13);
+        let n = trace.len() as u64;
+
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let mut cursor = p.start_cursor(SimTime::EPOCH, &mut rng);
+        let mut streamed = Vec::new();
+        let mut left = n;
+        for window in [1u64, 96, 7, 200, u64::MAX] {
+            let take = window.min(left);
+            // Simulate a kill/resume between windows.
+            let json = serde_json::to_string(&cursor).unwrap();
+            cursor = serde_json::from_str(&json).expect("cursor round trip");
+            rng = Xoshiro256::from_state(rng.state());
+            p.generate_window(
+                &mut cursor,
+                take,
+                SimDuration::TELEMETRY_TICK,
+                &events,
+                &mut rng,
+                &mut streamed,
+            );
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        assert_eq!(streamed.len(), trace.len());
+        let same = streamed
+            .iter()
+            .zip(trace.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "windowed generation diverged from one-shot generation");
     }
 
     #[test]

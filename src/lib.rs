@@ -12,8 +12,10 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`util`] | deterministic RNG, simulated time, `Db`/`Gbps` units, stats |
+//! | [`obs`] | observability: counters/gauges/histograms, typed events, sinks |
 //! | [`optics`] | modulation ladder, link budgets, constellations, BVT model |
 //! | [`telemetry`] | synthetic 2.5-year SNR fleet (the paper's measurement corpus) |
+//! | [`harness`] | crash-safe sweep runtime: checkpoint/resume, panic-isolated workers, chaos injection |
 //! | [`failures`] | failure-ticket corpus + root-cause/availability analyses |
 //! | [`faults`] | deterministic fault injection: BVT/telemetry/TE fault plans |
 //! | [`topology`] | WAN graphs: Abilene, B4-like, Waxman, the paper's Fig. 7 |
@@ -63,7 +65,9 @@ pub use rwc_core as core;
 pub use rwc_failures as failures;
 pub use rwc_faults as faults;
 pub use rwc_flow as flow;
+pub use rwc_harness as harness;
 pub use rwc_lp as lp;
+pub use rwc_obs as obs;
 pub use rwc_optics as optics;
 pub use rwc_te as te;
 pub use rwc_telemetry as telemetry;
