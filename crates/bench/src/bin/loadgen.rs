@@ -1,0 +1,211 @@
+//! `loadgen`: seeded open-loop load generator for `rwc-serve`.
+//!
+//! ```text
+//! loadgen --target ADDR [--seed N] [--batch N] [--interval-ms T]
+//!         [--burst N] [--overload N] [--wait] [--shutdown] [--quiet]
+//! ```
+//!
+//! Three phases, all built from one seeded shuffle of the fleet's link
+//! ids (the daemon reports the fleet size on `/readyz`):
+//!
+//! 1. **rate** — paced batches of `--batch` ids every `--interval-ms`,
+//!    until every link has been offered once (open loop: the pace never
+//!    adapts to the daemon);
+//! 2. **burst** — `--burst` already-offered ids replayed in a single
+//!    request, exercising duplicate suppression;
+//! 3. **overload** — `--overload` ids fired with no pacing, exercising
+//!    the shed policy (rejections and sheds are expected and counted).
+//!
+//! `--wait` then polls `/readyz` until every link is completed, and
+//! `--shutdown` posts `/shutdown` for a graceful drain. Exit: `0` when
+//! every request got an HTTP response (shedding is success — that is the
+//! policy working), `10` when the daemon could not be reached.
+
+use rwc_bench::cli;
+use rwc_obs::ConsoleSink;
+use rwc_util::rng::Xoshiro256;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Totals {
+    accepted: u64,
+    rejected: u64,
+    duplicates: u64,
+    shed: u64,
+    requests: u64,
+}
+
+fn main() -> ExitCode {
+    let mut target = "127.0.0.1:7117".to_string();
+    let mut seed = 0x4c_4f_41_44u64; // "LOAD"
+    let mut batch = 8usize;
+    let mut interval = Duration::from_millis(5);
+    let mut burst = 0usize;
+    let mut overload = 0usize;
+    let mut wait = false;
+    let mut shutdown = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--target" => match args.next() {
+                Some(a) => target = a,
+                None => return usage_error("--target needs an address"),
+            },
+            "--seed" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => seed = n,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--batch" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => return usage_error("--batch needs a positive integer"),
+            },
+            "--interval-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms),
+                None => return usage_error("--interval-ms needs an integer"),
+            },
+            "--burst" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => burst = n,
+                None => return usage_error("--burst needs an integer"),
+            },
+            "--overload" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => overload = n,
+                None => return usage_error("--overload needs an integer"),
+            },
+            "--wait" => wait = true,
+            "--shutdown" => shutdown = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen --target ADDR [--seed N] [--batch N] [--interval-ms T] \
+                     [--burst N] [--overload N] [--wait] [--shutdown] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag: {other}")),
+        }
+    }
+    let sink = ConsoleSink::new(quiet);
+
+    let Some(ready) = request(&target, "GET", "/readyz", "") else {
+        sink.error(&format!("cannot reach rwc-serve at {target}"));
+        return ExitCode::from(cli::EXIT_SERVE);
+    };
+    let Some(total) = json_u64(&ready.1, "links_total") else {
+        sink.error("/readyz did not report links_total");
+        return ExitCode::from(cli::EXIT_SERVE);
+    };
+    let total = total as usize;
+    let mut order: Vec<usize> = (0..total).collect();
+    Xoshiro256::seed_from_u64(seed).shuffle(&mut order);
+    sink.progress(&format!(
+        "driving {total} links at {target} (seed {seed}, batch {batch}, every {:?})",
+        interval
+    ));
+
+    let mut totals = Totals { accepted: 0, rejected: 0, duplicates: 0, shed: 0, requests: 0 };
+    // Phase 1: paced open-loop sweep over the shuffled order.
+    for chunk in order.chunks(batch) {
+        if !ingest(&target, chunk, &mut totals) {
+            sink.error("ingest request failed mid-sweep");
+            return ExitCode::from(cli::EXIT_SERVE);
+        }
+        std::thread::sleep(interval);
+    }
+    // Phase 2: duplicate burst in one request.
+    if burst > 0 {
+        let replay: Vec<usize> = order.iter().copied().take(burst).collect();
+        if !ingest(&target, &replay, &mut totals) {
+            sink.error("burst request failed");
+            return ExitCode::from(cli::EXIT_SERVE);
+        }
+    }
+    // Phase 3: unpaced overload (wraps the order as needed).
+    if overload > 0 {
+        let flood: Vec<usize> = order.iter().copied().cycle().take(overload).collect();
+        for chunk in flood.chunks(batch.max(64)) {
+            if !ingest(&target, chunk, &mut totals) {
+                sink.error("overload request failed");
+                return ExitCode::from(cli::EXIT_SERVE);
+            }
+        }
+    }
+    sink.result(&format!(
+        "loadgen: {} requests, {} accepted, {} duplicates, {} rejected, {} shed",
+        totals.requests, totals.accepted, totals.duplicates, totals.rejected, totals.shed
+    ));
+
+    if wait {
+        loop {
+            let Some((_, body)) = request(&target, "GET", "/readyz", "") else {
+                sink.error("daemon went away while waiting for completion");
+                return ExitCode::from(cli::EXIT_SERVE);
+            };
+            let done = json_u64(&body, "links_completed").unwrap_or(0);
+            if done >= total as u64 {
+                sink.result(&format!("fleet complete: {done}/{total} links"));
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    if shutdown {
+        if request(&target, "POST", "/shutdown", "").is_none() {
+            sink.error("shutdown request failed");
+            return ExitCode::from(cli::EXIT_SERVE);
+        }
+        sink.progress("daemon draining");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(cli::EXIT_USAGE)
+}
+
+fn ingest(target: &str, links: &[usize], totals: &mut Totals) -> bool {
+    let body: String =
+        links.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(" ");
+    let Some((status, reply)) = request(target, "POST", "/ingest", &body) else {
+        return false;
+    };
+    totals.requests += 1;
+    if status != 200 {
+        // 503 while draining is still a response; count nothing.
+        return true;
+    }
+    totals.accepted += json_u64(&reply, "accepted").unwrap_or(0);
+    totals.rejected += json_u64(&reply, "rejected").unwrap_or(0);
+    totals.duplicates += json_u64(&reply, "duplicates").unwrap_or(0);
+    totals.shed += json_u64(&reply, "shed").unwrap_or(0);
+    true
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns (status, body).
+fn request(target: &str, method: &str, path: &str, body: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(target).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).ok()?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).ok()?;
+    let status = reply.split(' ').nth(1)?.parse::<u16>().ok()?;
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Some((status, body))
+}
+
+/// Extracts `"key":<number>` from a flat JSON object without a parser —
+/// the replies are machine-generated, not adversarial.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String =
+        body[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}

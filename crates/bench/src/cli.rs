@@ -19,10 +19,12 @@
 //! | 7 | TE solver failure (timeout, abort, infeasible) |
 //! | 8 | hardware-path failure (BVT fault, quarantined link) |
 //! | 9 | telemetry failure (horizon outruns traces, fault-plan trouble) |
+//! | 10 | serve daemon failure (shard budget exhausted, socket trouble, drain failed) |
 
 use crate::perf::PerfError;
 use rwc_core::RwcError;
 use rwc_harness::{CheckpointError, HarnessError};
+use rwc_serve::ServeError;
 
 /// Success.
 pub const EXIT_OK: u8 = 0;
@@ -44,6 +46,9 @@ pub const EXIT_SOLVER: u8 = 7;
 pub const EXIT_HARDWARE: u8 = 8;
 /// Telemetry or fault-plan failure.
 pub const EXIT_TELEMETRY: u8 = 9;
+/// Serve daemon failure: shards unhealthy with work stranded, socket or
+/// drain trouble.
+pub const EXIT_SERVE: u8 = 10;
 
 /// Exit code for a pipeline error.
 pub fn rwc_exit_code(err: &RwcError) -> u8 {
@@ -72,6 +77,20 @@ pub fn perf_exit_code(err: &PerfError) -> u8 {
     }
 }
 
+/// Exit code for a serve-daemon error. Configuration mistakes are usage
+/// errors and checkpoint trouble keeps its class; everything the daemon
+/// itself caused (shard failure, sockets, shutdown races) is `10`.
+pub fn serve_exit_code(err: &ServeError) -> u8 {
+    match err {
+        ServeError::Config(_) => EXIT_USAGE,
+        ServeError::Checkpoint(CheckpointError::Io(_)) => EXIT_SERVE,
+        ServeError::Checkpoint(_) => EXIT_CHECKPOINT,
+        ServeError::Io(_) | ServeError::ShardFailed { .. } | ServeError::ShuttingDown => {
+            EXIT_SERVE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +109,7 @@ mod tests {
             EXIT_SOLVER,
             EXIT_HARDWARE,
             EXIT_TELEMETRY,
+            EXIT_SERVE,
         ];
         for (i, a) in codes.iter().enumerate() {
             assert_eq!(*a, i as u8, "codes are consecutive and stable");
@@ -123,6 +143,19 @@ mod tests {
         let failed =
             HarnessError::ChunkFailed { chunk: 3, attempts: 3, message: "boom".into() };
         assert_eq!(harness_exit_code(&failed), EXIT_GENERIC);
+    }
+
+    #[test]
+    fn serve_variants_map_to_their_classes() {
+        assert_eq!(serve_exit_code(&ServeError::Config("zero shards".into())), EXIT_USAGE);
+        assert_eq!(serve_exit_code(&ServeError::Io("bind".into())), EXIT_SERVE);
+        assert_eq!(serve_exit_code(&ServeError::ShuttingDown), EXIT_SERVE);
+        let failed = ServeError::ShardFailed { shard: 1, message: "boom".into() };
+        assert_eq!(serve_exit_code(&failed), EXIT_SERVE);
+        let corrupt = ServeError::Checkpoint(CheckpointError::Corrupt("bits".into()));
+        assert_eq!(serve_exit_code(&corrupt), EXIT_CHECKPOINT);
+        let io = ServeError::Checkpoint(CheckpointError::Io("enoent".into()));
+        assert_eq!(serve_exit_code(&io), EXIT_SERVE);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn penalty_ablation() -> Vec<(&'static str, usize, f64)> {
         let traffic = vec![100.0, 100.0, 0.0, 0.0, 0.0];
         let aug = augment(&wan, &dm, &cfg, &traffic);
         let sol = ExactTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).expect("experiment translation on solver output");
         rows.push((name, tr.upgrades.len(), tr.effective_penalty));
     }
     rows

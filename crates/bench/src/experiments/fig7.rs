@@ -42,7 +42,7 @@ pub fn run(_scale: Scale) -> Report {
     let cfg = AugmentConfig { penalty: PenaltyPolicy::paper_example(), ..Default::default() };
     let aug = augment(&wan, &dm, &cfg, &[]);
     let sol = ExactTe::default().solve(&aug.problem);
-    let tr = translate(&aug, &wan, &sol);
+    let tr = translate(&aug, &wan, &sol).expect("experiment translation on solver output");
     report.line(format!(
         "demands 2×125 G: routed {:.0} G; upgrades: {:?}; effective penalty {:.0}",
         sol.total,
@@ -62,7 +62,8 @@ pub fn run(_scale: Scale) -> Report {
     let unit_cfg = AugmentConfig { penalty: PenaltyPolicy::UnitWeights, ..Default::default() };
     let unit_aug = augment(&wan, &dm, &unit_cfg, &[]);
     let unit_sol = ExactTe::default().solve(&unit_aug.problem);
-    let unit_tr = translate(&unit_aug, &wan, &unit_sol);
+    let unit_tr = translate(&unit_aug, &wan, &unit_sol)
+        .expect("experiment translation on solver output");
     // Hop count of the solution = total flow-hops / total flow.
     let flow_hops: f64 = unit_tr.real_edge_flows.iter().sum();
     report.line(format!(
@@ -86,7 +87,7 @@ mod tests {
             AugmentConfig { penalty: PenaltyPolicy::paper_example(), ..Default::default() };
         let aug = augment(&wan, &dm, &cfg, &[]);
         let sol = ExactTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).expect("experiment translation on solver output");
         assert!((sol.total - 250.0).abs() < 1e-6, "both demands fully routed");
         assert_eq!(tr.upgrades.len(), 1, "exactly one link upgraded: {:?}", tr.upgrades);
         let (link, target) = tr.upgrades[0];
@@ -104,7 +105,7 @@ mod tests {
         let cfg = AugmentConfig { penalty: PenaltyPolicy::UnitWeights, ..Default::default() };
         let aug = augment(&wan, &dm, &cfg, &[]);
         let sol = ExactTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).expect("experiment translation on solver output");
         assert!((sol.total - 250.0).abs() < 1e-6);
         let flow_hops: f64 = tr.real_edge_flows.iter().sum();
         // Fig. 7c: all flows take only one hop, so both upgradable links

@@ -75,7 +75,7 @@ pub fn sweep(scale: Scale) -> Vec<Cell> {
                 };
                 let aug = augment(&wan, &dm, &cfg, &[]);
                 let dyn_sol = algo.solve(&aug.problem);
-                let tr = translate(&aug, &wan, &dyn_sol);
+                let tr = translate(&aug, &wan, &dyn_sol).expect("experiment translation on solver output");
                 cells.push(Cell {
                     topology: topo_name,
                     algorithm: algo_name,

@@ -275,7 +275,13 @@ impl IncrementalAugmenter {
             return self.rebuild(wan, demands, config, current_traffic);
         }
         let traffic_dependent = matches!(config.penalty, PenaltyPolicy::CurrentTraffic);
-        let aug = self.cached.as_mut().expect("can_patch checked cache");
+        // `can_patch` only returns true with a cached problem; taking it
+        // out lets the patch body work on an owned value (no aliasing with
+        // the gadget cache) and makes the no-cache path a rebuild instead
+        // of a crash.
+        let Some(mut aug) = self.cached.take() else {
+            return self.rebuild(wan, demands, config, current_traffic);
+        };
 
         // Commodities: structure is unchanged (checked above), volumes may
         // have scaled — patch them all, it's O(#demands).
@@ -360,7 +366,7 @@ impl IncrementalAugmenter {
                 }
             }
         }
-        self.cached.as_ref().expect("cache populated")
+        self.cached.insert(aug)
     }
 
     /// Whether the cached problem can be patched to match the new inputs.
@@ -416,8 +422,7 @@ impl IncrementalAugmenter {
             fake_offset += 2 * n;
         }
         self.config = Some(config.clone());
-        self.cached = Some(aug);
-        self.cached.as_ref().expect("just cached")
+        self.cached.insert(aug)
     }
 }
 

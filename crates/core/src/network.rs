@@ -357,7 +357,7 @@ impl DynamicCapacityNetwork {
         };
         let solution = algorithm.try_solve(&aug.problem)?;
         let solve_time = solve_start.elapsed();
-        let mut translation = translate(aug, &self.wan, &solution);
+        let mut translation = translate(aug, &self.wan, &solution)?;
         if let Some(before) = augment_before {
             let after = self.augmenter.stats();
             obs.record("te.solve_micros", solve_time.as_micros() as f64);

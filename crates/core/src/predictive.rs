@@ -89,10 +89,13 @@ impl PredictiveController {
             if crossing && table.supports(snr, current) {
                 // Feed the *forecast lower bound* to the reactive logic so
                 // it walks down now; clamp so we never invent a total
-                // outage out of a forecast.
-                let lb = f
-                    .lower_bound(self.horizon_ticks, self.z)
-                    .expect("forecaster has samples");
+                // outage out of a forecast. An empty forecaster cannot
+                // happen after `samples() > 8`, but if it does the link
+                // simply stays on its truthful reading.
+                let Some(lb) = f.lower_bound(self.horizon_ticks, self.z) else {
+                    effective.push((link, Some(snr)));
+                    continue;
+                };
                 let degraded = lb.max(Db(3.0)).min(snr);
                 if let Decision::StepTo(target) =
                     self.inner.decide(link, current, degraded, now)

@@ -62,7 +62,8 @@ pub fn check_single_commodity(
         edge_flows: mcmf.flow.edge_flows.clone(),
         total: mcmf.flow.value,
     };
-    let translation = translate(&aug, wan, &te_solution);
+    let translation =
+        translate(&aug, wan, &te_solution).expect("theorem translation on solver output");
 
     // Right side: max-flow on G with every feasible upgrade applied.
     let mut upgraded = wan.clone();
@@ -126,7 +127,7 @@ pub fn check_multicommodity(
     let aug = augment(wan, demands, config, &[]);
     let augmented = exact.solve(&aug.problem);
     // Translation must stay feasible (exercises the full pipeline).
-    let tr = translate(&aug, wan, &augmented);
+    let tr = translate(&aug, wan, &augmented).expect("theorem translation on solver output");
     let mut translated_wan = wan.clone();
     for &(id, m) in &tr.upgrades {
         translated_wan.set_modulation(id, m);

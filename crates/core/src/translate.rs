@@ -9,8 +9,10 @@
 //! - **(b)** the flow paths of the demands on the *real* topology.
 
 use crate::augment::AugmentedProblem;
+use crate::error::RwcError;
 use rwc_optics::Modulation;
 use rwc_te::problem::{EdgeOrigin, TeSolution};
+use rwc_te::TeError;
 use rwc_topology::wan::LinkId;
 
 const EPS: f64 = 1e-9;
@@ -49,16 +51,27 @@ impl Translation {
 
 /// Translates a TE solution on the augmented problem back to the physical
 /// network.
+///
+/// Fails with [`RwcError::Te`] when the solution does not fit the
+/// augmented problem (wrong edge count) or when the folded flow on some
+/// link exceeds the fastest modulation rung — both indicate corrupt
+/// solver output, not a routable condition, and must not crash a serving
+/// daemon.
 pub fn translate(
     aug: &AugmentedProblem,
     wan: &rwc_topology::wan::WanTopology,
     solution: &TeSolution,
-) -> Translation {
-    assert_eq!(
-        solution.edge_flows.len(),
-        aug.problem.net.n_edges(),
-        "solution does not match augmented problem"
-    );
+) -> Result<Translation, RwcError> {
+    if solution.edge_flows.len() != aug.problem.net.n_edges() {
+        return Err(RwcError::Te(TeError::SolverAbort {
+            algorithm: "translate",
+            detail: format!(
+                "solution carries {} edge flows but the augmented problem has {} edges",
+                solution.edge_flows.len(),
+                aug.problem.net.n_edges()
+            ),
+        }));
+    }
     let mut real_edge_flows: Vec<f64> = solution.edge_flows[..aug.n_real_edges].to_vec();
     let mut penalty_paid = 0.0;
 
@@ -106,15 +119,20 @@ pub fn translate(
         if needed <= link.capacity().value() + EPS {
             continue;
         }
-        // Only links that had fake edges can exceed their capacity.
-        let target = Modulation::LADDER
-            .iter()
-            .copied()
-            .find(|m| {
-                m.capacity().value() + EPS >= needed
-                    && m.capacity() > link.capacity()
-            })
-            .expect("folded flow exceeds the fastest rung");
+        // Only links that had fake edges can exceed their capacity, and
+        // fake-edge capacities are bounded by the ladder — more flow than
+        // the fastest rung means the solver violated an edge capacity.
+        let Some(target) = Modulation::LADDER.iter().copied().find(|m| {
+            m.capacity().value() + EPS >= needed && m.capacity() > link.capacity()
+        }) else {
+            return Err(RwcError::Te(TeError::SolverAbort {
+                algorithm: "translate",
+                detail: format!(
+                    "link {} folded flow {needed:.3} Gbps exceeds the fastest rung",
+                    id.0
+                ),
+            }));
+        };
         upgrades.push((id, target));
     }
 
@@ -127,13 +145,13 @@ pub fn translate(
         .take(aug.n_real_edges)
         .all(|o| matches!(o, EdgeOrigin::Real { .. })));
 
-    Translation {
+    Ok(Translation {
         upgrades,
         real_edge_flows,
         routed: solution.routed.clone(),
         penalty_paid,
         effective_penalty,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +198,7 @@ mod tests {
         // the augmented problem, then translate.
         use rwc_te::TeAlgorithm;
         let sol = rwc_te::exact::ExactTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         // All 250 G must route.
         assert!((sol.total - 250.0).abs() < 1e-6, "total={}", sol.total);
         // Penalty-minimising TE upgrades exactly ONE of the two upgradable
@@ -210,7 +228,7 @@ mod tests {
         let aug = augment(&wan, &dm, &cfg, &[]);
         use rwc_te::TeAlgorithm;
         let sol = rwc_te::swan::SwanTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         assert!(!tr.requires_changes(), "upgrades={:?}", tr.upgrades);
         // A cost-oblivious solver may have sprinkled flow on fake edges
         // (raw penalty_paid ≥ 0), but nothing exceeded real capacity, so
@@ -224,7 +242,7 @@ mod tests {
         let aug = augment(&wan, &dm, &cfg, &[]);
         use rwc_te::TeAlgorithm;
         let sol = rwc_te::exact::ExactTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         let aug_total: f64 = sol.edge_flows.iter().sum();
         let real_total: f64 = tr.real_edge_flows.iter().sum();
         assert!((aug_total - real_total).abs() < 1e-6);
@@ -253,7 +271,7 @@ mod tests {
         flows[0] = 100.0;
         flows[fake.edge_index] = 20.0;
         let sol = TeSolution { routed: vec![120.0], edge_flows: flows, total: 120.0 };
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         assert_eq!(
             tr.upgrade_of(rwc_topology::wan::LinkId(0)),
             Some(rwc_optics::Modulation::Hybrid125),
@@ -273,7 +291,7 @@ mod tests {
         flows[fwd.edge_index] = 10.0;
         flows[bwd.edge_index] = 5.0;
         let sol = TeSolution { routed: vec![], edge_flows: flows, total: 0.0 };
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         assert!((tr.penalty_paid - 1_500.0).abs() < 1e-9);
     }
 }

@@ -226,6 +226,121 @@ pub fn load_str(text: &str) -> Result<SweepCheckpoint, CheckpointError> {
         .map_err(|e: DeError| CheckpointError::Corrupt(format!("payload: {e}")))
 }
 
+/// Which epoch a [`CheckpointStore`] load was satisfied from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointEpoch {
+    /// The most recently written checkpoint.
+    Current,
+    /// The rotated previous epoch — the current one was missing or
+    /// rejected.
+    Previous,
+}
+
+/// Outcome of a [`CheckpointStore::load_or_fallback`] call.
+///
+/// `rejected` lists the typed errors of every epoch that was present but
+/// disqualified (corrupt, wrong version, foreign fingerprint) — callers
+/// count these instead of silently starting over.
+#[derive(Debug)]
+pub enum StoreLoad {
+    /// No usable checkpoint: both epochs missing or rejected. Start fresh.
+    Fresh {
+        /// Errors of the epochs that existed but did not load.
+        rejected: Vec<CheckpointError>,
+    },
+    /// A checkpoint loaded and (when a fingerprint was supplied) verified.
+    Loaded {
+        /// The restored checkpoint.
+        checkpoint: SweepCheckpoint,
+        /// Which epoch satisfied the load.
+        epoch: CheckpointEpoch,
+        /// Errors of newer epochs that were skipped over.
+        rejected: Vec<CheckpointError>,
+    },
+}
+
+/// A two-epoch checkpoint slot: the current file plus a rotated `.prev`.
+///
+/// [`write_atomic`] already guarantees a single file is never torn; the
+/// store extends that to *silent corruption after the write* (bit rot, a
+/// truncating copy, an operator editing the file): each write first
+/// rotates the current epoch to `<path>.prev`, so a later load that
+/// rejects the current epoch falls back one interval of progress instead
+/// of starting from zero. A kill between the rotate and the write leaves
+/// only the `.prev` epoch — which is exactly the fallback path.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `path`; the previous epoch lives at
+    /// `<path>.prev`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The current-epoch file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The previous-epoch file.
+    pub fn prev_path(&self) -> PathBuf {
+        let mut name = self.path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".prev");
+        self.path.with_file_name(name)
+    }
+
+    /// Rotates the current epoch (if any) to `.prev`, then writes
+    /// `checkpoint` atomically as the new current epoch.
+    pub fn write(&self, checkpoint: &SweepCheckpoint) -> Result<(), CheckpointError> {
+        if self.path.exists() {
+            let prev = self.prev_path();
+            std::fs::rename(&self.path, &prev)
+                .map_err(|e| CheckpointError::Io(format!("rotate into {}: {e}", prev.display())))?;
+        }
+        write_atomic(&self.path, checkpoint)
+    }
+
+    /// Loads the newest epoch that parses, verifies, and (when given)
+    /// matches `fingerprint`. Missing files are skipped silently; files
+    /// that exist but fail are recorded in `rejected`. Only returns `Err`
+    /// for I/O trouble reading a file that exists.
+    pub fn load_or_fallback(
+        &self,
+        fingerprint: Option<&SweepFingerprint>,
+    ) -> Result<StoreLoad, CheckpointError> {
+        let mut rejected = Vec::new();
+        for (epoch, path) in
+            [(CheckpointEpoch::Current, self.path.clone()), (CheckpointEpoch::Previous, self.prev_path())]
+        {
+            if !path.exists() {
+                continue;
+            }
+            match load(&path).and_then(|cp| {
+                if let Some(fp) = fingerprint {
+                    fp.verify(&cp.fingerprint)?;
+                }
+                Ok(cp)
+            }) {
+                Ok(checkpoint) => {
+                    return Ok(StoreLoad::Loaded { checkpoint, epoch, rejected });
+                }
+                Err(e @ CheckpointError::Io(_)) => return Err(e),
+                Err(e) => rejected.push(e),
+            }
+        }
+        Ok(StoreLoad::Fresh { rejected })
+    }
+
+    /// Removes both epochs (ignoring files that are already gone).
+    pub fn clear(&self) {
+        std::fs::remove_file(&self.path).ok();
+        std::fs::remove_file(self.prev_path()).ok();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +460,107 @@ mod tests {
     fn missing_file_is_io() {
         let err = load(Path::new("/definitely/not/here.json")).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    fn temp_store(tag: &str) -> CheckpointStore {
+        let path = std::env::temp_dir()
+            .join(format!("rwc_store_{tag}_{}.json", std::process::id()));
+        let store = CheckpointStore::new(path);
+        store.clear();
+        store
+    }
+
+    #[test]
+    fn store_rotates_epochs_and_loads_current() {
+        let store = temp_store("rotate");
+        let mut a = sample_checkpoint();
+        a.round_index = 1;
+        let mut b = sample_checkpoint();
+        b.round_index = 2;
+        store.write(&a).unwrap();
+        store.write(&b).unwrap();
+        assert!(store.prev_path().exists(), "first epoch must rotate to .prev");
+        match store.load_or_fallback(Some(&fingerprint())).unwrap() {
+            StoreLoad::Loaded { checkpoint, epoch, rejected } => {
+                assert_eq!(checkpoint.round_index, 2);
+                assert_eq!(epoch, CheckpointEpoch::Current);
+                assert!(rejected.is_empty());
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+        store.clear();
+    }
+
+    #[test]
+    fn store_falls_back_when_current_is_corrupt() {
+        let store = temp_store("fallback");
+        let mut a = sample_checkpoint();
+        a.round_index = 1;
+        let mut b = sample_checkpoint();
+        b.round_index = 2;
+        store.write(&a).unwrap();
+        store.write(&b).unwrap();
+        // Corrupt the current epoch in place; the previous must satisfy.
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        std::fs::write(store.path(), crate::chaos::corrupt_truncate(&text, 3)).unwrap();
+        match store.load_or_fallback(Some(&fingerprint())).unwrap() {
+            StoreLoad::Loaded { checkpoint, epoch, rejected } => {
+                assert_eq!(checkpoint.round_index, 1);
+                assert_eq!(epoch, CheckpointEpoch::Previous);
+                assert_eq!(rejected.len(), 1);
+            }
+            other => panic!("expected Previous-epoch load, got {other:?}"),
+        }
+        store.clear();
+    }
+
+    #[test]
+    fn store_is_fresh_when_both_epochs_fail() {
+        let store = temp_store("fresh");
+        store.write(&sample_checkpoint()).unwrap();
+        store.write(&sample_checkpoint()).unwrap();
+        for path in [store.path().to_path_buf(), store.prev_path()] {
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, crate::chaos::corrupt_version_bump(&text)).unwrap();
+        }
+        match store.load_or_fallback(None).unwrap() {
+            StoreLoad::Fresh { rejected } => {
+                assert_eq!(rejected.len(), 2);
+                assert!(rejected
+                    .iter()
+                    .all(|e| matches!(e, CheckpointError::VersionMismatch { .. })));
+            }
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+        store.clear();
+    }
+
+    #[test]
+    fn store_with_no_files_is_fresh_and_clean() {
+        let store = temp_store("none");
+        match store.load_or_fallback(None).unwrap() {
+            StoreLoad::Fresh { rejected } => assert!(rejected.is_empty()),
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_rejects_foreign_fingerprint_then_falls_back() {
+        let store = temp_store("foreign");
+        store.write(&sample_checkpoint()).unwrap();
+        let mut foreign = fingerprint();
+        foreign.seed = 999;
+        let mut cp = SweepCheckpoint::new(foreign);
+        cp.round_index = 9;
+        store.write(&cp).unwrap();
+        match store.load_or_fallback(Some(&fingerprint())).unwrap() {
+            StoreLoad::Loaded { checkpoint, epoch, rejected } => {
+                assert_eq!(epoch, CheckpointEpoch::Previous);
+                assert_eq!(checkpoint.fingerprint, fingerprint());
+                assert!(matches!(rejected[0], CheckpointError::ConfigMismatch(_)));
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        store.clear();
     }
 }

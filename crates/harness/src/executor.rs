@@ -514,8 +514,17 @@ pub fn run_fleet_sweep(
     // Slot-ordered merge: identical to a sequential pass over link ids.
     let mut accumulator = FleetAccumulator::new();
     let mut metrics: Option<MetricsSnapshot> = None;
-    for slot in slots {
-        let done = slot.expect("all chunks completed");
+    for (chunk, slot) in slots.into_iter().enumerate() {
+        // An empty slot past the kill/failure gates above means the
+        // executor lost track of a chunk — surface it as a typed failure
+        // rather than poisoning whoever embeds the harness.
+        let Some(done) = slot else {
+            return Err(HarnessError::ChunkFailed {
+                chunk: chunk as u64,
+                attempts: 0,
+                message: "chunk never completed despite a clean sweep".to_string(),
+            });
+        };
         accumulator.merge(done.acc);
         if let Some(m) = done.metrics {
             match &mut metrics {

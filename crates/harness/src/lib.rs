@@ -29,7 +29,8 @@ pub mod executor;
 
 pub use chaos::{corrupt_bit_flip, corrupt_truncate, corrupt_version_bump, ChaosPlan};
 pub use checkpoint::{
-    CheckpointError, ChunkCheckpoint, SweepCheckpoint, SweepFingerprint, CHECKPOINT_VERSION,
+    CheckpointEpoch, CheckpointError, CheckpointStore, ChunkCheckpoint, StoreLoad,
+    SweepCheckpoint, SweepFingerprint, CHECKPOINT_VERSION,
 };
 pub use executor::{
     chunk_size_for, run_fleet_sweep, CheckpointConfig, ExecutorConfig, HarnessError, RetryPolicy,

@@ -129,6 +129,34 @@ pub enum Event {
         /// Pivots spent before the deadline fired.
         pivots: u64,
     },
+    /// The daemon supervisor restarted a panicked shard from its last
+    /// checkpoint.
+    ShardRestarted {
+        /// The shard that was restarted.
+        shard: u64,
+        /// Restarts spent on this shard so far (1 = first restart).
+        restarts: u64,
+    },
+    /// A shard exhausted its restart budget and was marked unhealthy;
+    /// its pending work is re-routed to healthy shards.
+    ShardUnhealthy {
+        /// The shard taken out of rotation.
+        shard: u64,
+    },
+    /// The ingest path shed work under overload (bounded queue full or a
+    /// queued item outlived its deadline).
+    OverloadShed {
+        /// Shard whose queue shed.
+        shard: u64,
+        /// Link ids shed by this action.
+        count: u64,
+    },
+    /// A graceful drain finished: queues flushed, final checkpoints
+    /// written, report sealed.
+    DrainCompleted {
+        /// Links completed over the daemon's lifetime.
+        links_completed: u64,
+    },
 }
 
 impl Event {
@@ -149,6 +177,10 @@ impl Event {
             Event::CheckpointWritten { .. } => "events.checkpoint_written",
             Event::ResumeVerified { .. } => "events.resume_verified",
             Event::WatchdogAbort { .. } => "events.watchdog_abort",
+            Event::ShardRestarted { .. } => "events.shard_restarted",
+            Event::ShardUnhealthy { .. } => "events.shard_unhealthy",
+            Event::OverloadShed { .. } => "events.overload_shed",
+            Event::DrainCompleted { .. } => "events.drain_completed",
         }
     }
 }
@@ -173,6 +205,10 @@ mod tests {
             Event::CheckpointWritten { completed_chunks: 4 },
             Event::ResumeVerified { restored_chunks: 4 },
             Event::WatchdogAbort { pivots: 512 },
+            Event::ShardRestarted { shard: 1, restarts: 2 },
+            Event::ShardUnhealthy { shard: 1 },
+            Event::OverloadShed { shard: 0, count: 12 },
+            Event::DrainCompleted { links_completed: 40 },
         ];
         for e in &events {
             assert!(

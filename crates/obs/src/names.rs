@@ -54,6 +54,26 @@ pub const COUNTERS: &[&str] = &[
     "harness.resume_verified",
     "harness.chaos_panics",
     "harness.chaos_kills",
+    // serve: sharded controller daemon (rwc-serve). The ingest ledger
+    // closes exactly: ingested = completed + shed_* + inflight_drops +
+    // still-queued — overload is counted, never silent. Requeues keep
+    // the original admission open and sit outside the ledger.
+    "serve.ingested",
+    "serve.rejected",
+    "serve.duplicates",
+    "serve.shed_oldest",
+    "serve.shed_deadline",
+    "serve.requeued",
+    "serve.inflight_drops",
+    "serve.links_completed",
+    "serve.shard_panics",
+    "serve.shard_restarts",
+    "serve.shards_unhealthy",
+    "serve.checkpoints_written",
+    "serve.checkpoint_fallbacks",
+    "serve.checkpoints_rejected",
+    "serve.http_requests",
+    "serve.drains",
     // scenario driver.
     "scenario.ticks",
     "scenario.runs",
@@ -80,6 +100,10 @@ pub const COUNTERS: &[&str] = &[
     "events.checkpoint_written",
     "events.resume_verified",
     "events.watchdog_abort",
+    "events.shard_restarted",
+    "events.shard_unhealthy",
+    "events.overload_shed",
+    "events.drain_completed",
 ];
 
 /// Point-in-time gauges, set via [`crate::Observer::gauge`]. Merging
@@ -89,6 +113,8 @@ pub const GAUGES: &[&str] = &[
     "te.warm_hit_rate",
     "scenario.availability",
     "scenario.degraded_share",
+    // High-water ingest-queue depth across all shards of the daemon.
+    "serve.queue_depth",
 ];
 
 /// Log-linear histograms, fed via [`crate::Observer::record`] (and

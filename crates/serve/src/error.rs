@@ -1,0 +1,69 @@
+//! Typed failures of the service runtime.
+
+use rwc_harness::CheckpointError;
+use std::fmt;
+
+/// Why the daemon could not start, serve, or drain.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration (zero shards, empty ladder, bad bounds).
+    Config(String),
+    /// Socket or filesystem trouble outside the checkpoint path.
+    Io(String),
+    /// Checkpoint I/O, corruption, version or fingerprint trouble.
+    Checkpoint(CheckpointError),
+    /// A shard exhausted its restart budget and no healthy shard remains
+    /// to take over its work.
+    ShardFailed {
+        /// The last shard to fail.
+        shard: u64,
+        /// The panic payload of its final attempt.
+        message: String,
+    },
+    /// The daemon is draining or killed; no new work is accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "serve configuration error: {msg}"),
+            ServeError::Io(msg) => write!(f, "serve I/O error: {msg}"),
+            ServeError::Checkpoint(e) => write!(f, "{e}"),
+            ServeError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed with no healthy shard left (last panic: {message})")
+            }
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        assert!(ServeError::Config("x".into()).to_string().contains("configuration"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        let e = ServeError::ShardFailed { shard: 3, message: "boom".into() };
+        assert!(e.to_string().contains("shard 3"));
+        let c: ServeError = CheckpointError::Corrupt("bits".into()).into();
+        assert!(c.to_string().contains("corrupt"));
+    }
+}

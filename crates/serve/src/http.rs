@@ -1,0 +1,230 @@
+//! Minimal hand-rolled HTTP/1.1 surface over `std::net`.
+//!
+//! One request per connection, `Connection: close`, JSON bodies. This is
+//! an operational endpoint for a single-daemon deployment, not a general
+//! web server: requests are parsed just far enough to route
+//!
+//! | route | method | body |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness |
+//! | `/readyz` | GET | per-shard health; 503 once any shard is unhealthy |
+//! | `/metrics` | GET | merged pipeline + `serve.*` snapshot (`--obs-json` schema) |
+//! | `/capacity/<link>` | GET | a completed link's feasible capacity |
+//! | `/ingest` | POST | whitespace-separated link ids / `a-b` ranges |
+//! | `/shutdown` | POST | raises the shutdown flag; accept loop drains |
+//!
+//! The accept loop polls a shared [`AtomicBool`] — the same
+//! SIGINT/SIGTERM-equivalent hook the shard supervisors watch — so
+//! `/shutdown`, Ctrl-C handling in the binary, and tests all stop the
+//! server the same way.
+
+use crate::daemon::Daemon;
+use crate::error::ServeError;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_WAIT: Duration = Duration::from_millis(5);
+/// Per-connection read timeout (slow-loris is not worth defending in an
+/// operational endpoint, but a dead peer must not wedge the loop).
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+/// Largest request (line + headers + body) we will read.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// A bound listener serving one [`Daemon`].
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Binds and switches to non-blocking accepts (the loop polls the
+    /// shutdown flag between accepts).
+    pub fn bind(addr: &str) -> Result<Self, ServeError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("set_nonblocking: {e}")))?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (use with port 0 in tests).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.local_addr().ok()
+    }
+
+    /// Serves until `shutdown` flips true (via `/shutdown` or externally).
+    /// Returns when the flag is observed; the caller then drains the
+    /// daemon.
+    pub fn run(&self, daemon: &Daemon, shutdown: &AtomicBool) {
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => handle_connection(daemon, stream, shutdown),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_WAIT);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_WAIT),
+            }
+        }
+    }
+}
+
+fn handle_connection(daemon: &Daemon, mut stream: TcpStream, shutdown: &AtomicBool) {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    stream.set_nonblocking(false).ok();
+    let Some((method, path, body)) = read_request(&mut stream) else {
+        respond(&mut stream, 400, "{\"error\":\"malformed request\"}");
+        return;
+    };
+    daemon.note_http_request();
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond(&mut stream, 200, "{\"ok\":true}"),
+        ("GET", "/readyz") => {
+            let status = if daemon.is_ready() { 200 } else { 503 };
+            respond(&mut stream, status, &daemon.readyz_json());
+        }
+        ("GET", "/metrics") => respond(&mut stream, 200, &daemon.metrics_json()),
+        ("GET", p) if p.starts_with("/capacity/") => {
+            match p["/capacity/".len()..].parse::<usize>() {
+                Err(_) => respond(&mut stream, 400, "{\"error\":\"bad link id\"}"),
+                Ok(link) if link >= daemon.n_links() => {
+                    respond(&mut stream, 404, "{\"error\":\"link outside fleet\"}")
+                }
+                Ok(link) => match daemon.capacity(link) {
+                    Some(gbps) => respond(
+                        &mut stream,
+                        200,
+                        &format!("{{\"link\":{link},\"feasible_gbps\":{gbps}}}"),
+                    ),
+                    None => respond(&mut stream, 404, "{\"error\":\"not yet analysed\"}"),
+                },
+            }
+        }
+        ("POST", "/ingest") => match parse_links(&body) {
+            None => respond(&mut stream, 400, "{\"error\":\"bad link list\"}"),
+            Some(links) => match daemon.ingest(&links) {
+                Ok(r) => respond(
+                    &mut stream,
+                    200,
+                    &format!(
+                        "{{\"accepted\":{},\"rejected\":{},\"duplicates\":{},\"shed\":{},\"invalid\":{}}}",
+                        r.accepted, r.rejected, r.duplicates, r.shed, r.invalid
+                    ),
+                ),
+                Err(e) => respond(&mut stream, 503, &format!("{{\"error\":{:?}}}", e.to_string())),
+            },
+        },
+        ("POST", "/shutdown") => {
+            respond(&mut stream, 200, "{\"draining\":true}");
+            shutdown.store(true, Ordering::Release);
+        }
+        _ => respond(&mut stream, 404, "{\"error\":\"no such route\"}"),
+    }
+}
+
+/// Reads one request: `(method, path, body)`. Returns `None` on anything
+/// malformed — the caller answers 400.
+fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let mut request_line = lines.next()?.split(' ');
+    let method = request_line.next()?.to_string();
+    let path = request_line.next()?.to_string();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_REQUEST_BYTES {
+        return None;
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Some((method, path, body))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses a whitespace-separated list of link ids, with `a-b` inclusive
+/// ranges (`"0-9 40 41"`).
+fn parse_links(body: &str) -> Option<Vec<usize>> {
+    let mut links = Vec::new();
+    for token in body.split_whitespace() {
+        if let Some((a, b)) = token.split_once('-') {
+            let (a, b) = (a.parse::<usize>().ok()?, b.parse::<usize>().ok()?);
+            if b < a || b - a > 1_000_000 {
+                return None;
+            }
+            links.extend(a..=b);
+        } else {
+            links.push(token.parse::<usize>().ok()?);
+        }
+    }
+    Some(links)
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).ok();
+    stream.flush().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_lists_parse_ids_and_ranges() {
+        assert_eq!(parse_links("0 1 2"), Some(vec![0, 1, 2]));
+        assert_eq!(parse_links("0-3 9"), Some(vec![0, 1, 2, 3, 9]));
+        assert_eq!(parse_links(""), Some(vec![]));
+        assert!(parse_links("3-1").is_none());
+        assert!(parse_links("x").is_none());
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! The daemon's HTTP surface, exercised over real sockets.
+
+use rwc_serve::{Daemon, HttpServer, ServeConfig};
+use rwc_telemetry::FleetConfig;
+use rwc_util::time::SimDuration;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    let status = reply.split(' ').nth(1).unwrap().parse::<u16>().unwrap();
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_surface_serves_ingest_metrics_capacity_and_shutdown() {
+    let mut cfg = ServeConfig::for_fleet(FleetConfig {
+        seed: 77,
+        n_fibers: 2,
+        wavelengths_per_fiber: 4,
+        horizon: SimDuration::from_days(7),
+        ..FleetConfig::paper()
+    });
+    cfg.n_shards = 2;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    cfg.shutdown = Some(shutdown.clone());
+    let n_links = 8;
+
+    let daemon = Daemon::start(cfg).unwrap();
+    let server = HttpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let daemon = Arc::new(daemon);
+    let server_thread = {
+        let daemon = Arc::clone(&daemon);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&daemon, &shutdown))
+    };
+
+    let (status, body) = request(&addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+
+    let (status, body) = request(&addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ready\":true"));
+    assert!(body.contains(&format!("\"links_total\":{n_links}")));
+    assert!(body.contains("\"shard\":1"));
+
+    // Capacity before any work: known link is 404 (not yet analysed),
+    // unknown link is 404 (outside fleet), junk is 400.
+    assert_eq!(request(&addr, "GET", "/capacity/0", "").0, 404);
+    assert_eq!(request(&addr, "GET", "/capacity/999", "").0, 404);
+    assert_eq!(request(&addr, "GET", "/capacity/x", "").0, 400);
+
+    let (status, body) = request(&addr, "POST", "/ingest", "0-3 4 5 6 7");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"accepted\":8"), "got {body}");
+    let (_, body) = request(&addr, "POST", "/ingest", "0-7");
+    assert!(body.contains("\"duplicates\":8"), "got {body}");
+    assert_eq!(request(&addr, "POST", "/ingest", "nonsense").0, 400);
+
+    let start = Instant::now();
+    loop {
+        let (_, body) = request(&addr, "GET", "/readyz", "");
+        if body.contains(&format!("\"links_completed\":{n_links}")) {
+            break;
+        }
+        assert!(start.elapsed() < Duration::from_secs(20), "fleet did not complete");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, body) = request(&addr, "GET", "/capacity/0", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"feasible_gbps\":"), "got {body}");
+
+    let (status, body) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"serve.links_completed\":8"), "got {body}");
+    assert!(body.contains("\"serve.http_requests\":"));
+    assert!(body.contains("\"fleet.links\":8"));
+
+    assert_eq!(request(&addr, "GET", "/nope", "").0, 404);
+
+    let (status, body) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, "{\"draining\":true}"));
+    server_thread.join().unwrap();
+    assert!(shutdown.load(Ordering::Acquire));
+
+    let daemon = Arc::into_inner(daemon).expect("server thread released its handle");
+    let report = daemon.drain().unwrap();
+    assert_eq!(report.links_completed, n_links as u64);
+    assert_eq!(report.counter("serve.duplicates"), 8);
+}

@@ -215,6 +215,13 @@ impl FleetAccumulator {
         self.feasible_capacity_ecdf.get_or_init(|| Ecdf::new(self.feasible_caps.clone()))
     }
 
+    /// Per-link feasible capacities (Gbps) in push order. A single-link
+    /// partial (as checkpointed by the serve daemon) exposes its one value
+    /// at index 0.
+    pub fn feasible_capacities(&self) -> &[f64] {
+        &self.feasible_caps
+    }
+
     /// Fraction of links whose HDR is narrower than `width` (the paper: 83%
     /// below 2 dB).
     pub fn fraction_hdr_below(&self, width: Db) -> f64 {

@@ -51,7 +51,7 @@ fn main() {
     println!("TE routed {:.0} of 250 Gbps", solution.total);
 
     // --- Translate back ------------------------------------------------
-    let result = translate(&aug, &wan, &solution);
+    let result = translate(&aug, &wan, &solution).expect("translation");
     for (link, target) in &result.upgrades {
         let l = wan.link(*link);
         println!(

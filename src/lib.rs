@@ -16,6 +16,7 @@
 //! | [`optics`] | modulation ladder, link budgets, constellations, BVT model |
 //! | [`telemetry`] | synthetic 2.5-year SNR fleet (the paper's measurement corpus) |
 //! | [`harness`] | crash-safe sweep runtime: checkpoint/resume, panic-isolated workers, chaos injection |
+//! | [`serve`] | sharded controller daemon: bounded ingest, load shedding, shard supervision, crash recovery |
 //! | [`failures`] | failure-ticket corpus + root-cause/availability analyses |
 //! | [`faults`] | deterministic fault injection: BVT/telemetry/TE fault plans |
 //! | [`topology`] | WAN graphs: Abilene, B4-like, Waxman, the paper's Fig. 7 |
@@ -52,7 +53,7 @@
 //! let cfg = AugmentConfig { penalty: PenaltyPolicy::paper_example(), ..Default::default() };
 //! let aug = augment(&wan, &demands, &cfg, &[]);
 //! let solution = rwc::te::exact::ExactTe::default().solve(&aug.problem);
-//! let result = translate(&aug, &wan, &solution);
+//! let result = translate(&aug, &wan, &solution).expect("translation");
 //!
 //! assert!((solution.total - 250.0).abs() < 1e-6, "all demand routed");
 //! assert!(result.requires_changes(), "some link must be upgraded");
@@ -69,6 +70,7 @@ pub use rwc_harness as harness;
 pub use rwc_lp as lp;
 pub use rwc_obs as obs;
 pub use rwc_optics as optics;
+pub use rwc_serve as serve;
 pub use rwc_te as te;
 pub use rwc_telemetry as telemetry;
 pub use rwc_topology as topology;

@@ -121,7 +121,7 @@ proptest! {
         let aug = augment(&wan, &demands, &cfg, &[]);
         use rwc::te::TeAlgorithm;
         let sol = rwc::te::swan::SwanTe::default().solve(&aug.problem);
-        let tr = translate(&aug, &wan, &sol);
+        let tr = translate(&aug, &wan, &sol).unwrap();
         // Aggregate flow preserved by folding.
         let aug_total: f64 = sol.edge_flows.iter().sum();
         let real_total: f64 = tr.real_edge_flows.iter().sum();

@@ -36,7 +36,7 @@ fn abilene_dynamic_beats_static_under_pressure() {
             static_sol.total
         );
         // Translation must produce a feasible plan.
-        let tr = translate(&aug, &wan, &dyn_sol);
+        let tr = translate(&aug, &wan, &dyn_sol).unwrap();
         let mut upgraded = wan.clone();
         for &(id, m) in &tr.upgrades {
             upgraded.set_modulation(id, m);
