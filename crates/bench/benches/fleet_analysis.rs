@@ -10,7 +10,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rwc_optics::ModulationTable;
 use rwc_telemetry::analysis::LinkAnalysis;
-use rwc_telemetry::{FleetAccumulator, FleetConfig, FleetGenerator, FleetKernel};
+use rwc_telemetry::{
+    BatchScratch, FleetAccumulator, FleetConfig, FleetGenerator, FleetKernel, GenMode,
+};
 use rwc_util::rng::Xoshiro256;
 use rwc_util::stats::{hdi_of_unsorted, sort_f64_with_scratch};
 use rwc_util::time::SimTime;
@@ -143,12 +145,37 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_generation_only(c: &mut Criterion) {
+    // Pure generation throughput, one 913-day link, no analysis: the
+    // tentpole comparison. `legacy` is the serial Xoshiro path; `batch` is
+    // the counter-based SIMD pipeline (target ≥5× on this stage).
+    let legacy_gen = paper_fiber();
+    let batch_gen = paper_fiber().with_gen_mode(GenMode::Batch);
+    let mut group = c.benchmark_group("fleet/generation_only_913d");
+    let mut scratch = BatchScratch::default();
+    let mut buf: Vec<f64> = Vec::new();
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            legacy_gen.generate_link_into(11, &mut scratch, &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            batch_gen.generate_link_into(11, &mut scratch, &mut buf);
+            buf.len()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fleet_paper,
     bench_analysis_only,
     bench_sort,
     bench_hdi,
-    bench_generation
+    bench_generation,
+    bench_generation_only
 );
 criterion_main!(benches);

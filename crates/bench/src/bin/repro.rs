@@ -1,8 +1,8 @@
 //! Figure-reproduction CLI.
 //!
 //! ```text
-//! repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet]
-//!       [--obs-json FILE] [--checkpoint FILE] [--resume FILE]
+//! repro [--quick|--full|--scale N] [--legacy-analysis] [--gen-mode legacy|batch]
+//!       [--quiet] [--obs-json FILE] [--checkpoint FILE] [--resume FILE]
 //!       [--out DIR] <id>... | all
 //! repro --bench-json [--perf-baseline FILE] [--quick|--full|--scale N] [--out DIR]
 //! ```
@@ -30,6 +30,12 @@
 //! trace-materialising analysis path instead of the fused kernel — the
 //! escape hatch for bisecting or re-checking equivalence.
 //!
+//! `--gen-mode batch` switches trace *generation* to the counter-based
+//! batch pipeline (blockwise OU + vectorised composition, DESIGN.md §13).
+//! The batch fleet is statistically equivalent to the legacy fleet but
+//! not byte-identical to it, so checkpoints fingerprint the generation
+//! mode: a `--resume` across `--gen-mode` values is rejected up front.
+//!
 //! `--checkpoint FILE` makes every fleet sweep crash-safe: progress is
 //! checkpointed to `FILE` every few chunks (atomically, temp + rename),
 //! so a killed run can be continued with `--resume FILE`. The resume file
@@ -53,7 +59,7 @@ use rwc_bench::perf::PerfBaseline;
 use rwc_bench::{cli, Scale};
 use rwc_harness::{checkpoint, HarnessError, SweepFingerprint};
 use rwc_obs::{ConsoleSink, MetricsObserver};
-use rwc_telemetry::{AnalysisMode, FleetGenerator};
+use rwc_telemetry::{AnalysisMode, FleetGenerator, GenMode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -74,6 +80,7 @@ fn main() -> ExitCode {
     let mut resume_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut mode = AnalysisMode::Fused;
+    let mut gen_mode = GenMode::Legacy;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,6 +91,10 @@ fn main() -> ExitCode {
                 _ => return usage_error("--scale needs a positive integer fleet multiplier"),
             },
             "--legacy-analysis" => mode = AnalysisMode::Legacy,
+            "--gen-mode" => match args.next().and_then(|m| m.parse::<GenMode>().ok()) {
+                Some(m) => gen_mode = m,
+                None => return usage_error("--gen-mode needs 'legacy' or 'batch'"),
+            },
             "--bench-json" => bench_json = true,
             "--quiet" => quiet = true,
             "--obs-json" => match args.next() {
@@ -108,7 +119,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick|--full|--scale N] [--legacy-analysis] [--quiet] \
+                    "usage: repro [--quick|--full|--scale N] [--legacy-analysis] \
+                     [--gen-mode legacy|batch] [--quiet] \
                      [--obs-json FILE] [--checkpoint FILE] [--resume FILE] [--out DIR] \
                      <id>... | all"
                 );
@@ -121,6 +133,7 @@ fn main() -> ExitCode {
     }
     let sink = ConsoleSink::new(quiet);
     experiments::set_analysis_mode(mode);
+    experiments::set_gen_mode(gen_mode);
     if obs_path.is_some() {
         // Install before any experiment dispatches: every pipeline built
         // from here on publishes into this registry, with the salient
@@ -135,7 +148,7 @@ fn main() -> ExitCode {
     }
     if checkpoint_path.is_some() || resume_path.is_some() {
         if let Err(code) =
-            install_checkpoint_plan(checkpoint_path, resume_path, scale, mode, &sink)
+            install_checkpoint_plan(checkpoint_path, resume_path, scale, mode, gen_mode, &sink)
         {
             return code;
         }
@@ -178,6 +191,7 @@ fn install_checkpoint_plan(
     resume_path: Option<PathBuf>,
     scale: Scale,
     mode: AnalysisMode,
+    gen_mode: GenMode,
     sink: &ConsoleSink,
 ) -> Result<(), ExitCode> {
     let resume = match &resume_path {
@@ -189,16 +203,21 @@ fn install_checkpoint_plan(
             // Fail fast on a checkpoint from a different sweep, before any
             // experiment dispatches. Chunk size comes from the checkpoint
             // itself (resume replays the original chunk boundaries no
-            // matter the thread count), so only fleet size, seed and
-            // analysis mode are pinned by this invocation.
+            // matter the thread count), so only fleet size, seed, analysis
+            // mode and generation mode are pinned by this invocation. The
+            // labels match the executor's fingerprinting: legacy-generation
+            // labels keep their historical spelling so pre-batch
+            // checkpoints still resume.
             let fleet = scale.fleet();
             let expected = SweepFingerprint {
                 n_links: FleetGenerator::new(scale.fleet()).n_links() as u64,
                 chunk_size: cp.fingerprint.chunk_size,
                 seed: fleet.seed,
-                mode: match mode {
-                    AnalysisMode::Fused => "fused",
-                    AnalysisMode::Legacy => "legacy",
+                mode: match (mode, gen_mode) {
+                    (AnalysisMode::Fused, GenMode::Legacy) => "fused",
+                    (AnalysisMode::Legacy, GenMode::Legacy) => "legacy",
+                    (AnalysisMode::Fused, GenMode::Batch) => "fused+batchgen",
+                    (AnalysisMode::Legacy, GenMode::Batch) => "legacy+batchgen",
                 }
                 .into(),
             };
@@ -290,6 +309,14 @@ fn run_bench_json(
         fleet.speedup,
         fleet.alloc_ratio,
         fleet.accumulators_identical,
+    ));
+    sink.result(&format!(
+        "generation only ({} links, 1 thread): legacy {:.2e} samples/sec -> batch {:.2e} \
+         samples/sec ({:.2}x)",
+        fleet.generation.legacy.links,
+        fleet.generation.legacy.samples_per_sec,
+        fleet.generation.batch.samples_per_sec,
+        fleet.generation.speedup,
     ));
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         sink.error(&format!("cannot create {}: {e}", out_dir.display()));

@@ -48,7 +48,7 @@ fn chaos_fleet(scale: Scale) -> FleetGenerator {
     cfg.n_fibers = cfg.n_fibers.min(4);
     cfg.wavelengths_per_fiber = cfg.wavelengths_per_fiber.min(10);
     cfg.horizon = SimDuration::from_days(30);
-    FleetGenerator::new(cfg)
+    super::fleet_generator(cfg)
 }
 
 struct Verdict {

@@ -9,7 +9,7 @@
 use crate::{Report, Scale};
 use rwc_optics::{Modulation, ModulationTable};
 use rwc_telemetry::{
-    analysis::LinkAnalysis, AnalysisMode, FleetConfig, FleetGenerator, FleetKernel,
+    analysis::LinkAnalysis, AnalysisMode, FleetConfig, FleetKernel,
 };
 use rwc_util::stats::Summary;
 use std::fmt::Write as _;
@@ -38,7 +38,7 @@ fn high_quality_fiber(scale: Scale) -> Vec<LinkAnalysis> {
     if scale == Scale::Quick {
         cfg.horizon = rwc_util::time::SimDuration::from_days(120);
     }
-    let gen = FleetGenerator::new(cfg);
+    let gen = super::fleet_generator(cfg);
     let table = ModulationTable::paper_default();
     match super::analysis_mode() {
         AnalysisMode::Fused => {
@@ -88,7 +88,7 @@ pub fn run_3a(scale: Scale) -> Report {
 pub fn run_3b(scale: Scale) -> Report {
     let mut report =
         Report::new("fig3b", "duration of hypothetical link failures vs capacity (whole WAN)");
-    let gen = FleetGenerator::new(scale.fleet());
+    let gen = super::fleet_generator(scale.fleet());
     let table = ModulationTable::paper_default();
     let acc = super::fleet_sweep(&gen, &table);
     let mut csv = String::from("capacity_gbps,mean_h,p25_h,median_h,p75_h,max_h,episodes\n");
@@ -147,7 +147,7 @@ mod tests {
     fn fig3b_durations_in_hours() {
         let r = run_3b(Scale::Quick);
         // At 100 G, mean failure duration must be hours, not minutes.
-        let gen = FleetGenerator::new(Scale::Quick.fleet());
+        let gen = rwc_telemetry::FleetGenerator::new(Scale::Quick.fleet());
         let acc = gen.fleet_analysis(&ModulationTable::paper_default());
         let d100 = acc.failure_durations_hours(Modulation::DpQpsk100);
         assert!(!d100.is_empty());

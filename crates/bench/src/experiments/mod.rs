@@ -22,12 +22,13 @@ use crate::{Report, Scale};
 use rwc_harness::{CheckpointConfig, ExecutorConfig, SweepCheckpoint};
 use rwc_obs::{MetricsObserver, MetricsSnapshot, Observer};
 use rwc_optics::ModulationTable;
-use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator};
+use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetConfig, FleetGenerator, GenMode};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 static LEGACY_ANALYSIS: AtomicBool = AtomicBool::new(false);
+static BATCH_GEN: AtomicBool = AtomicBool::new(false);
 
 /// Process-wide observability sink for experiment runs, mirroring the
 /// [`set_analysis_mode`] pattern: `repro --obs-json` installs a
@@ -81,6 +82,29 @@ pub fn analysis_mode() -> AnalysisMode {
     } else {
         AnalysisMode::Fused
     }
+}
+
+/// Selects the trace-generation path for every experiment in this
+/// process. Defaults to the serial legacy generator; the `repro
+/// --gen-mode batch` flag switches to the counter-based batch pipeline
+/// (statistically equivalent fleet, different bytes — see DESIGN.md §13).
+pub fn set_gen_mode(mode: GenMode) {
+    BATCH_GEN.store(mode == GenMode::Batch, Ordering::Relaxed);
+}
+
+/// The trace-generation path experiments should use.
+pub fn gen_mode() -> GenMode {
+    if BATCH_GEN.load(Ordering::Relaxed) {
+        GenMode::Batch
+    } else {
+        GenMode::Legacy
+    }
+}
+
+/// The generator every experiment should build from a fleet config:
+/// [`FleetGenerator::new`] with the process-wide [`gen_mode`] applied.
+pub(crate) fn fleet_generator(cfg: FleetConfig) -> FleetGenerator {
+    FleetGenerator::new(cfg).with_gen_mode(gen_mode())
 }
 
 /// Checkpoints are written after this many fresh chunk completions. The

@@ -228,8 +228,23 @@ pub struct FleetArmPerf {
     pub peak_live_bytes: u64,
 }
 
+/// Generation-only stage of the fleet digest: single-threaded trace
+/// synthesis with no analysis attached, serial legacy generator vs the
+/// counter-based batch pipeline (DESIGN.md §13). The tentpole target is
+/// `speedup >= 5`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerationPerf {
+    /// Serial Xoshiro generation (the pre-batch path).
+    pub legacy: FleetArmPerf,
+    /// Counter-based blockwise generation.
+    pub batch: FleetArmPerf,
+    /// `legacy.elapsed_secs / batch.elapsed_secs`, single-threaded.
+    pub speedup: f64,
+}
+
 /// The `BENCH_fleet.json` payload: fused vs legacy fleet analysis of the
-/// scale's fleet, plus the byte-identity verdict between the two paths.
+/// scale's fleet, plus the byte-identity verdict between the two paths
+/// and the generation-only legacy-vs-batch stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetPerf {
     /// Experiment id (always `"fleet"`).
@@ -248,6 +263,8 @@ pub struct FleetPerf {
     pub alloc_ratio: f64,
     /// Whether the two accumulators serialized byte-identically.
     pub accumulators_identical: bool,
+    /// Generation-only stage, legacy vs batch.
+    pub generation: GenerationPerf,
 }
 
 fn fleet_arm(
@@ -277,8 +294,53 @@ fn fleet_arm(
     (acc, perf)
 }
 
+/// One single-threaded generation-only pass over the fleet: every link's
+/// trace synthesised into a reused buffer, no analysis attached. The
+/// generator's own [`rwc_telemetry::GenMode`] decides the path.
+fn generation_arm(gen: &rwc_telemetry::FleetGenerator) -> FleetArmPerf {
+    let samples_per_link = gen.config().horizon.ticks(gen.config().tick);
+    let started = std::time::Instant::now();
+    let (_, alloc) = crate::alloc::measure(|| {
+        let mut scratch = rwc_telemetry::BatchScratch::default();
+        let mut buf: Vec<f64> = Vec::new();
+        let mut sink = 0.0f64;
+        for link in 0..gen.n_links() {
+            gen.generate_link_into(link, &mut scratch, &mut buf);
+            sink += buf[buf.len() - 1];
+        }
+        sink
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let links = gen.n_links() as u64;
+    let samples = links * samples_per_link;
+    FleetArmPerf {
+        links,
+        samples,
+        elapsed_secs: elapsed,
+        links_per_sec: links as f64 / elapsed,
+        samples_per_sec: samples as f64 / elapsed,
+        alloc_bytes: alloc.bytes,
+        alloc_count: alloc.count,
+        peak_live_bytes: alloc.peak_live_bytes,
+    }
+}
+
+/// Runs the generation-only pair (serial legacy vs counter-based batch,
+/// both single-threaded on the same fleet) and assembles the stage.
+pub fn generation_perf(cfg: FleetConfig) -> GenerationPerf {
+    let legacy_gen = rwc_telemetry::FleetGenerator::new(cfg.clone());
+    let batch_gen =
+        rwc_telemetry::FleetGenerator::new(cfg).with_gen_mode(rwc_telemetry::GenMode::Batch);
+    let legacy = generation_arm(&legacy_gen);
+    let batch = generation_arm(&batch_gen);
+    let speedup =
+        if batch.elapsed_secs == 0.0 { 0.0 } else { legacy.elapsed_secs / batch.elapsed_secs };
+    GenerationPerf { legacy, batch, speedup }
+}
+
 /// Runs the fused and legacy fleet sweeps back to back (same fleet, same
-/// worker count) and assembles the digest.
+/// worker count), plus the generation-only stage, and assembles the
+/// digest.
 pub fn fleet_perf(scale: Scale) -> FleetPerf {
     let gen = rwc_telemetry::FleetGenerator::new(scale.fleet());
     let table = rwc_optics::ModulationTable::paper_default();
@@ -298,6 +360,7 @@ pub fn fleet_perf(scale: Scale) -> FleetPerf {
         fused,
         legacy,
         accumulators_identical,
+        generation: generation_perf(scale.fleet()),
     }
 }
 
@@ -312,9 +375,10 @@ impl FleetPerf {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
 
-    /// CI regression gate: errors when fused fleet throughput has fallen
-    /// below half the committed baseline, or the fused path has diverged
-    /// from legacy. Same 2× noise band as the scenario gate.
+    /// CI regression gate: errors when fused fleet throughput or batch
+    /// generation throughput has fallen below half the committed
+    /// baseline, or the fused path has diverged from legacy. Same 2×
+    /// noise band as the scenario gate.
     pub fn check_against_baseline(&self, baseline: &FleetPerf) -> Result<(), String> {
         let floor = baseline.fused.links_per_sec / 2.0;
         if self.fused.links_per_sec < floor {
@@ -326,6 +390,14 @@ impl FleetPerf {
         }
         if !self.accumulators_identical {
             return Err("fused fleet analysis diverged from the legacy path".into());
+        }
+        let gen_floor = baseline.generation.batch.samples_per_sec / 2.0;
+        if self.generation.batch.samples_per_sec < gen_floor {
+            return Err(format!(
+                "perf regression: batch generation at {:.3e} samples/sec, \
+                 below half the baseline {:.3e}",
+                self.generation.batch.samples_per_sec, baseline.generation.batch.samples_per_sec
+            ));
         }
         Ok(())
     }
@@ -447,7 +519,7 @@ mod tests {
         let mut cfg = quick.fleet();
         cfg.n_fibers = 2;
         cfg.horizon = rwc_util::time::SimDuration::from_days(60);
-        let gen = rwc_telemetry::FleetGenerator::new(cfg);
+        let gen = rwc_telemetry::FleetGenerator::new(cfg.clone());
         let table = rwc_optics::ModulationTable::paper_default();
         let (fused_acc, fused) =
             fleet_arm(&gen, &table, 2, rwc_telemetry::AnalysisMode::Fused);
@@ -469,6 +541,9 @@ mod tests {
             fused.alloc_bytes,
             legacy.alloc_bytes
         );
+        let generation = generation_perf(cfg);
+        assert_eq!(generation.legacy.samples, generation.batch.samples);
+        assert!(generation.batch.samples_per_sec > 0.0);
         let perf = FleetPerf {
             experiment: "fleet".into(),
             scale: quick.label(),
@@ -478,6 +553,7 @@ mod tests {
             fused,
             legacy,
             accumulators_identical: true,
+            generation,
         };
         let json = perf.to_json();
         let back = FleetPerf::from_json(&json).expect("digest parses back");
@@ -486,6 +562,10 @@ mod tests {
         let mut fast = back.clone();
         fast.fused.links_per_sec = perf.fused.links_per_sec * 10.0;
         assert!(perf.check_against_baseline(&fast).is_err());
+        let mut gen_fast = perf.clone();
+        gen_fast.generation.batch.samples_per_sec =
+            perf.generation.batch.samples_per_sec * 10.0;
+        assert!(perf.check_against_baseline(&gen_fast).is_err());
         let mut diverged = back;
         diverged.accumulators_identical = false;
         assert!(diverged.check_against_baseline(&perf).is_err());

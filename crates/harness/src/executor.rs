@@ -30,7 +30,9 @@ use crate::checkpoint::{
 };
 use rwc_obs::{Event, MetricsObserver, MetricsSnapshot, Observer};
 use rwc_optics::ModulationTable;
-use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel, LinkAnalysis};
+use rwc_telemetry::{
+    AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel, GenMode, LinkAnalysis,
+};
 use rwc_util::rng::Xoshiro256;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -215,10 +217,17 @@ pub fn chunk_size_for(n_links: usize, n_threads: usize) -> usize {
     n_links.div_ceil(n_threads.max(1) * 4).max(1)
 }
 
-fn mode_label(mode: AnalysisMode) -> &'static str {
-    match mode {
-        AnalysisMode::Fused => "fused",
-        AnalysisMode::Legacy => "legacy",
+/// The fingerprint's mode string covers both the analysis path and the
+/// generation pipeline: resuming a checkpoint under a different generation
+/// mode would merge byte-different traces, so the pair must match exactly.
+/// Legacy-generation labels keep their pre-batch spelling, so checkpoints
+/// written before `GenMode` existed still resume.
+fn mode_label(mode: AnalysisMode, gen_mode: GenMode) -> &'static str {
+    match (mode, gen_mode) {
+        (AnalysisMode::Fused, GenMode::Legacy) => "fused",
+        (AnalysisMode::Legacy, GenMode::Legacy) => "legacy",
+        (AnalysisMode::Fused, GenMode::Batch) => "fused+batchgen",
+        (AnalysisMode::Legacy, GenMode::Batch) => "legacy+batchgen",
     }
 }
 
@@ -327,7 +336,7 @@ pub fn run_fleet_sweep(
         n_links: n_links as u64,
         chunk_size: chunk_size as u64,
         seed: spec.gen.config().seed,
-        mode: mode_label(spec.mode).into(),
+        mode: mode_label(spec.mode, spec.gen.gen_mode()).into(),
     };
     let n_chunks = n_links.div_ceil(chunk_size);
     let mut slots: Vec<Option<ChunkDone>> = (0..n_chunks).map(|_| None).collect();
@@ -666,6 +675,51 @@ mod tests {
             reference.metrics.as_ref().map(MetricsSnapshot::to_json),
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_gen_sweep_is_thread_count_invariant() {
+        // Batch generation must be byte-identical across thread counts —
+        // the sweep-level half of the batch identity contract.
+        let gen = tiny_fleet().with_gen_mode(GenMode::Batch);
+        let table = ModulationTable::paper_default();
+        let sequential = gen.fleet_analysis(&table);
+        for threads in [1, 2, 5] {
+            let out = run_fleet_sweep(&spec(&gen, &table, threads), &ExecutorConfig::default(), None)
+                .unwrap();
+            let result = completed(out);
+            assert_eq!(
+                serde_json::to_string(&result.accumulator).unwrap(),
+                serde_json::to_string(&sequential).unwrap(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_cross_gen_mode_checkpoint() {
+        // A checkpoint written under legacy generation must not resume a
+        // batch-generation sweep: the remaining chunks would carry
+        // byte-different traces.
+        let legacy_gen = tiny_fleet();
+        let table = ModulationTable::paper_default();
+        let n_links = legacy_gen.n_links() as u64;
+        let chunk_size = chunk_size_for(n_links as usize, 2) as u64;
+        let cp = SweepCheckpoint::new(SweepFingerprint {
+            n_links,
+            chunk_size,
+            seed: legacy_gen.config().seed,
+            mode: "fused".into(),
+        });
+        // Same fingerprint resumes fine under legacy generation…
+        run_fleet_sweep(&spec(&legacy_gen, &table, 2), &ExecutorConfig::default(), Some(&cp))
+            .expect("legacy-gen resume accepts a legacy fingerprint");
+        // …but is rejected under batch generation.
+        let batch_gen = tiny_fleet().with_gen_mode(GenMode::Batch);
+        match run_fleet_sweep(&spec(&batch_gen, &table, 2), &ExecutorConfig::default(), Some(&cp)) {
+            Err(HarnessError::Checkpoint(CheckpointError::ConfigMismatch(_))) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
     }
 
     #[test]

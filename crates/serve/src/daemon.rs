@@ -47,7 +47,7 @@ use rwc_harness::{
     SweepFingerprint,
 };
 use rwc_obs::{Event, MetricsObserver, MetricsSnapshot, Observer};
-use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel};
+use rwc_telemetry::{AnalysisMode, FleetAccumulator, FleetGenerator, FleetKernel, GenMode};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -164,10 +164,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn mode_label(mode: AnalysisMode) -> &'static str {
-    match mode {
-        AnalysisMode::Fused => "fused",
-        AnalysisMode::Legacy => "legacy",
+/// Combined `(analysis mode, generation mode)` checkpoint fingerprint
+/// label. Legacy-generation labels keep their historical spelling so
+/// pre-batch shard checkpoints still resume.
+fn mode_label(mode: AnalysisMode, gen_mode: GenMode) -> &'static str {
+    match (mode, gen_mode) {
+        (AnalysisMode::Fused, GenMode::Legacy) => "fused",
+        (AnalysisMode::Legacy, GenMode::Legacy) => "legacy",
+        (AnalysisMode::Fused, GenMode::Batch) => "fused+batchgen",
+        (AnalysisMode::Legacy, GenMode::Batch) => "legacy+batchgen",
     }
 }
 
@@ -470,12 +475,13 @@ impl Daemon {
         cfg.validate()?;
         let n_links = cfg.n_links();
         let n_shards = cfg.n_shards;
-        let gen = Arc::new(FleetGenerator::new(cfg.fleet.clone()));
+        let gen =
+            Arc::new(FleetGenerator::new(cfg.fleet.clone()).with_gen_mode(cfg.gen_mode));
         let fingerprint = SweepFingerprint {
             n_links: n_links as u64,
             chunk_size: 1,
             seed: cfg.fleet.seed,
-            mode: mode_label(cfg.mode).into(),
+            mode: mode_label(cfg.mode, cfg.gen_mode).into(),
         };
         let stores = match &cfg.checkpoint {
             None => Vec::new(),

@@ -95,7 +95,7 @@ pub(crate) fn fresh_controller(cfg: &ServeConfig) -> Controller {
 /// regardless of shard count, interleaving, shedding, panics, or resume
 /// cycles.
 pub fn batch_reference(cfg: &ServeConfig) -> (FleetAccumulator, MetricsSnapshot) {
-    let gen = FleetGenerator::new(cfg.fleet.clone());
+    let gen = FleetGenerator::new(cfg.fleet.clone()).with_gen_mode(cfg.gen_mode);
     let mut kernel = FleetKernel::new();
     let controller = fresh_controller(cfg);
     let mut acc = FleetAccumulator::new();
@@ -121,7 +121,7 @@ mod tests {
             c
         };
         let (acc, metrics) = batch_reference(&cfg);
-        let gen = FleetGenerator::new(cfg.fleet.clone());
+        let gen = FleetGenerator::new(cfg.fleet.clone()).with_gen_mode(cfg.gen_mode);
         let plain = gen.fleet_analysis_with(&cfg.controller.table, cfg.mode);
         assert_eq!(
             serde_json::to_string(&acc).unwrap(),
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn process_link_is_shard_agnostic() {
         let cfg = ServeConfig::small();
-        let gen = FleetGenerator::new(cfg.fleet.clone());
+        let gen = FleetGenerator::new(cfg.fleet.clone()).with_gen_mode(cfg.gen_mode);
         let ctrl_a = fresh_controller(&cfg);
         let ctrl_b = fresh_controller(&cfg);
         let mut k_a = FleetKernel::new();

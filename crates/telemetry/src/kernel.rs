@@ -35,7 +35,7 @@
 use crate::analysis::{FailureEpisode, LinkAnalysis, STATIC_CAPACITY};
 use crate::generator::FleetGenerator;
 use crate::hdr::{Hdr, PAPER_COVERAGE};
-use crate::process::SnrProcess;
+use crate::process::{BatchScratch, SnrProcess};
 use crate::trace::SnrTrace;
 use rwc_obs::{Event as ObsEvent, Observer};
 use rwc_optics::{Modulation, ModulationTable};
@@ -74,6 +74,9 @@ pub struct FleetKernel {
     thresholds: Vec<f64>,
     /// Per-rung open episode: `(start index, running floor)`.
     open: Vec<Option<(usize, f64)>>,
+    /// Batch-pipeline scratch (innovation block, event segments), reused
+    /// across links when the generator runs in `GenMode::Batch`.
+    batch_scratch: BatchScratch,
     /// Observability hooks (episode events, fleet counters).
     obs: Arc<dyn Observer>,
     /// The link id stamped on emitted episode events (set by
@@ -88,6 +91,7 @@ impl Default for FleetKernel {
             sorted: Vec::new(),
             thresholds: Vec::new(),
             open: Vec::new(),
+            batch_scratch: BatchScratch::default(),
             obs: rwc_obs::noop(),
             link: 0,
         }
@@ -115,7 +119,8 @@ impl FleetKernel {
     /// Fused analysis of link `link_id`: streams the link's samples from
     /// the generator into the kernel's buffer and analyses them in place.
     /// Produces exactly what `LinkAnalysis::new(&gen.link(id).trace, table)`
-    /// produces, without materialising the link.
+    /// produces, without materialising the link. Generation runs on the
+    /// generator's configured [`GenMode`](crate::generator::GenMode).
     pub fn analyze_generated(
         &mut self,
         gen: &FleetGenerator,
@@ -123,18 +128,9 @@ impl FleetKernel {
         table: &ModulationTable,
     ) -> LinkAnalysis {
         let cfg = gen.config();
-        let profile = gen.link_profile(link_id);
-        let mut rng = gen.trace_rng(link_id);
         self.link = link_id as u64;
         let mut samples = std::mem::take(&mut self.samples);
-        profile.process.generate_into(
-            SimTime::EPOCH,
-            cfg.horizon,
-            cfg.tick,
-            &profile.events,
-            &mut rng,
-            &mut samples,
-        );
+        gen.generate_link_into(link_id, &mut self.batch_scratch, &mut samples);
         let analysis = self.analyze(SimTime::EPOCH, cfg.tick, &samples, table);
         self.samples = samples;
         analysis
