@@ -298,6 +298,30 @@ fn run_bench_json(
         100.0 * perf.warm_hit_rate,
         perf.max_throughput_delta,
     ));
+    if let Some(lt) = &perf.large_te {
+        let dense_arm = if lt.dense.rounds == 0 {
+            "dense skipped (topology beyond the tableau's reach)".to_string()
+        } else {
+            format!(
+                "dense {:.1} rounds/sec -> sparse at {:.1}x",
+                lt.dense.rounds_per_sec, lt.sparse_speedup
+            )
+        };
+        sink.result(&format!(
+            "large TE (scale x{}, {} links, {} commodities, LP {}x{}): \
+             sparse {:.1} rounds/sec (p50 {} us / p99 {} us, \
+             {:.1} eta updates/refactor); {dense_arm}",
+            lt.scale_factor,
+            lt.links,
+            lt.commodities,
+            lt.lp_rows,
+            lt.lp_cols,
+            lt.sparse.rounds_per_sec,
+            lt.sparse.solve_p50_micros,
+            lt.sparse.solve_p99_micros,
+            lt.eta_updates_per_refactor,
+        ));
+    }
     let fleet = rwc_bench::perf::fleet_perf(scale);
     sink.result(&format!(
         "fleet analysis ({} links, {} threads): legacy {:.1} links/sec -> fused {:.1} links/sec \

@@ -22,15 +22,19 @@
 
 use crate::Scale;
 use rwc_core::scenario::{Scenario, ScenarioConfig, ScenarioReport, ScenarioTiming};
+use rwc_lp::LpBackend;
 use rwc_te::demand::{DemandMatrix, Priority};
 use rwc_te::exact::{ExactTe, IncrementalExactTe};
+use rwc_te::problem::TeProblem;
 use rwc_te::swan::SwanTe;
 use rwc_te::TeAlgorithm;
 use rwc_telemetry::FleetConfig;
 use rwc_topology::builders;
+use rwc_topology::wan::LinkId;
 use rwc_util::time::SimDuration;
 use rwc_util::units::Gbps;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Timing digest of one scenario arm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,6 +95,164 @@ pub struct ScenarioPerf {
     /// the exact arms — bounded by LP tolerance, not zero, because warm
     /// and cold may land on different optimal vertices.
     pub max_throughput_delta: f64,
+    /// Large-topology TE stage: both LP backends on a `--scale`-multiplied
+    /// replicated mesh. `Option` so baselines from before the sparse
+    /// backend still parse (the shim reads a missing field as `None`).
+    pub large_te: Option<LargeTePerf>,
+}
+
+/// One LP backend's arm of the [`LargeTePerf`] stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LargeTeArm {
+    /// Drifted TE rounds solved.
+    pub rounds: u64,
+    /// Rounds per second of pure solve time (cold first round included).
+    pub rounds_per_sec: f64,
+    /// Median per-round solve time, microseconds.
+    pub solve_p50_micros: u64,
+    /// 99th-percentile per-round solve time, microseconds.
+    pub solve_p99_micros: u64,
+    /// Total microseconds across all rounds.
+    pub total_solve_micros: u64,
+}
+
+/// The `large_te` stage of `BENCH_scenario.json`: the same drifting
+/// sequence of exact TE rounds on a replicated-mesh topology
+/// ([`builders::scaled_mesh`]), solved once per LP backend. This is where
+/// the sparse revised simplex earns its keep — the CI gate asserts
+/// `sparse_speedup >= 5` at the smoke scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LargeTePerf {
+    /// Mesh replication factor used for this run.
+    pub scale_factor: u64,
+    /// Directed TE edges of the composite topology.
+    pub links: u64,
+    /// Commodities in the demand matrix.
+    pub commodities: u64,
+    /// Structural columns of the lowered sparse LP.
+    pub lp_cols: u64,
+    /// Constraint rows of the lowered sparse LP (capacities are bounds
+    /// for single-commodity programs and rows otherwise).
+    pub lp_rows: u64,
+    /// Sparse revised-simplex backend.
+    pub sparse: LargeTeArm,
+    /// Dense tableau backend (the escape hatch).
+    pub dense: LargeTeArm,
+    /// `sparse.rounds_per_sec / dense.rounds_per_sec`.
+    pub sparse_speedup: f64,
+    /// Mean product-form eta updates between basis refactorisations in
+    /// the sparse arm — the refactorisation-policy health metric.
+    pub eta_updates_per_refactor: f64,
+}
+
+fn percentile_micros(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn large_te_arm(rounds: &[TeProblem], backend: LpBackend) -> (LargeTeArm, rwc_lp::SolverStats) {
+    let te = IncrementalExactTe::with_backend(backend);
+    let mut micros: Vec<u64> = Vec::with_capacity(rounds.len());
+    for p in rounds {
+        let t0 = Instant::now();
+        let sol = te.try_solve(p).expect("large TE round solves");
+        std::hint::black_box(sol.total);
+        micros.push(t0.elapsed().as_micros().max(1) as u64);
+    }
+    let total: u64 = micros.iter().sum();
+    micros.sort_unstable();
+    let arm = LargeTeArm {
+        rounds: rounds.len() as u64,
+        rounds_per_sec: rounds.len() as f64 / (total as f64 / 1e6),
+        solve_p50_micros: percentile_micros(&micros, 0.50),
+        solve_p99_micros: percentile_micros(&micros, 0.99),
+        total_solve_micros: total,
+    };
+    (arm, te.warm_stats().unwrap_or_default())
+}
+
+/// Runs the large-topology TE stage: a replicated mesh at the scale's
+/// replication factor, one cross-replica commodity per replica plus an
+/// end-to-end long haul, capacities drifting every round — solved by the
+/// sparse backend and then the dense escape hatch on identical inputs.
+pub fn large_te_perf(scale: Scale) -> LargeTePerf {
+    let factor = match scale {
+        Scale::Quick => 6,
+        Scale::Full => 10,
+        Scale::Scaled(n) => (n as usize).max(1),
+    };
+    let wan = builders::scaled_mesh(factor, 500.0);
+    let pick = |name: String| wan.node_by_name(&name).expect("scaled mesh site");
+    let mut dm = DemandMatrix::new();
+    // One cross-replica commodity per stride-spaced replica, at most 8:
+    // columns grow as edges × commodities, so the commodity count must
+    // stay bounded for the ≥10k-edge scales to remain about topology
+    // size, not LP blow-up.
+    let stride = factor.div_ceil(8).max(1);
+    for i in (0..factor).step_by(stride) {
+        let s = pick(format!("S{i}-{}", 3 + (i % 3)));
+        let t = pick(format!("S{}-4", (i + 1) % factor));
+        if s != t {
+            dm.add(s, t, Gbps(60.0), Priority::Elastic);
+        }
+    }
+    if factor > 1 {
+        // End-to-end long haul across all replicas (self-demand at x1).
+        let (s, t) = (pick("S0-5".into()), pick(format!("S{}-5", factor - 1)));
+        dm.add(s, t, Gbps(80.0), Priority::Elastic);
+    }
+    let base = TeProblem::from_wan(&wan, &dm);
+    const ROUNDS: usize = 6;
+    let rounds: Vec<TeProblem> = (0..ROUNDS)
+        .map(|round| {
+            let mut p = base.clone();
+            for l in 0..wan.n_links() {
+                // Deterministic ±9% capacity drift, same pattern for both
+                // backends.
+                let phase = (round * (l + 3)) % 7;
+                let factor = 0.91 + 0.03 * phase as f64;
+                p.override_link_capacity(LinkId(l), wan.link(LinkId(l)).capacity().value() * factor);
+            }
+            p
+        })
+        .collect();
+    let lowered = rwc_te::exact::build_sparse_lp(&base, 1e6);
+    let (sparse, sparse_stats) = large_te_arm(&rounds, LpBackend::Sparse);
+    // The dense tableau grows as rows × (cols + rows) with O(rows · cols)
+    // work per pivot: beyond this factor it needs minutes per round (and
+    // gigabytes at --scale 300), which is the regime this stage exists to
+    // show the sparse backend escaping. Skip it rather than hang the
+    // digest; a zeroed arm (rounds == 0) marks the skip in the JSON.
+    const DENSE_ARM_MAX_FACTOR: usize = 16;
+    let dense = if factor <= DENSE_ARM_MAX_FACTOR {
+        large_te_arm(&rounds, LpBackend::Dense).0
+    } else {
+        LargeTeArm {
+            rounds: 0,
+            rounds_per_sec: 0.0,
+            solve_p50_micros: 0,
+            solve_p99_micros: 0,
+            total_solve_micros: 0,
+        }
+    };
+    let ratio = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
+    LargeTePerf {
+        scale_factor: factor as u64,
+        links: base.net.n_edges() as u64,
+        commodities: base.commodities.len() as u64,
+        lp_cols: lowered.n_vars() as u64,
+        lp_rows: lowered.n_rows() as u64,
+        sparse_speedup: ratio(sparse.rounds_per_sec, dense.rounds_per_sec),
+        eta_updates_per_refactor: ratio(
+            sparse_stats.eta_updates as f64,
+            sparse_stats.refactorizations as f64,
+        ),
+        sparse,
+        dense,
+    }
 }
 
 /// Builds the perf scenario: continental-scale Abilene rather than the
@@ -173,6 +335,7 @@ pub fn scenario_perf(scale: Scale) -> ScenarioPerf {
         warm_hits: stats.warm_hits,
         warm_hit_rate: stats.warm_hit_rate(),
         max_throughput_delta,
+        large_te: Some(large_te_perf(scale)),
     }
 }
 
@@ -202,6 +365,16 @@ impl ScenarioPerf {
         }
         if !self.reports_identical {
             return Err("incremental engine diverged from full rebuild".into());
+        }
+        if let (Some(lt), Some(base)) = (&self.large_te, &baseline.large_te) {
+            let floor = base.sparse.rounds_per_sec / 2.0;
+            if lt.sparse.rounds_per_sec < floor {
+                return Err(format!(
+                    "perf regression: sparse large-TE arm at {:.1} rounds/sec, \
+                     below half the baseline {:.1}",
+                    lt.sparse.rounds_per_sec, base.sparse.rounds_per_sec
+                ));
+            }
         }
         Ok(())
     }

@@ -13,15 +13,26 @@
 //!
 //! - [`model`]: the LP model ([`model::LinearProgram`], built via
 //!   [`model::LpBuilder`]);
-//! - [`simplex`]: the solver;
+//! - [`simplex`]: the dense tableau solver (legacy backend, escape hatch);
+//! - [`sparse`]: CSC computational form + bound-absorbing lowering;
+//! - [`revised`]: the sparse revised-simplex solver (default backend);
 //! - [`flows`]: max-flow / min-cost-max-flow / multicommodity encoders.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod flows;
+mod lu;
 pub mod model;
+mod pricing;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 
 pub use model::{LinearProgram, LpBuilder, Relation};
-pub use simplex::{solve, solve_with_budget, LpOutcome, SimplexSolver, Solution, SolverStats};
+pub use revised::SparseSimplexSolver;
+pub use simplex::{
+    solve, solve_with_budget, solve_with_backend, LpBackend, LpOutcome, SimplexSolver, Solution,
+    SolverStats,
+};
+pub use sparse::{CscMatrix, SparseLp, SparseLpBuilder};

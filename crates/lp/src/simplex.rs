@@ -101,6 +101,14 @@ pub struct SolverStats {
     /// Solve attempts aborted by the wall-clock watchdog (each warm or
     /// cold attempt that hit its deadline counts once).
     pub watchdog_aborts: u64,
+    /// Product-form eta updates pushed between refactorisations (sparse
+    /// backend only; the dense tableau has no factorisation to update).
+    pub eta_updates: u64,
+    /// Basis refactorisations performed (sparse backend only).
+    pub refactorizations: u64,
+    /// Candidate-list refill scans over the full column set (sparse
+    /// backend only; each scan prices up to the whole matrix once).
+    pub pricing_scans: u64,
 }
 
 impl SolverStats {
@@ -861,18 +869,41 @@ impl SimplexSolver {
     }
 }
 
+/// Which simplex core to run. The sparse revised simplex is the default;
+/// the dense tableau remains as an escape hatch (and as the oracle the
+/// equivalence proptests pin the sparse backend against, to 1e-6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LpBackend {
+    /// Legacy dense tableau: O(m·n) memory and per-pivot work. Exact and
+    /// battle-tested, but does not survive large augmented graphs.
+    Dense,
+    /// Sparse revised simplex: CSC matrix, LU-factorised basis with
+    /// product-form eta updates, bounded variables, partial pricing.
+    #[default]
+    Sparse,
+}
+
 /// Solves an LP (maximisation, `x ≥ 0`) with a pivot budget scaled to
-/// the problem size. One-shot: allocates a fresh [`SimplexSolver`]; use
-/// a persistent solver to amortise allocation and warm-start.
+/// the problem size, on the default (sparse) backend. One-shot: use a
+/// persistent solver to amortise allocation and warm-start.
 pub fn solve(lp: &LinearProgram) -> LpOutcome {
-    SimplexSolver::new().solve(lp)
+    crate::revised::solve(lp)
 }
 
 /// Solves an LP (maximisation, `x ≥ 0`) with an explicit per-phase
-/// pivot budget. Returns [`LpOutcome::Stalled`] when the budget runs
-/// out, which callers should surface as a solver error.
+/// pivot budget on the default (sparse) backend. Returns
+/// [`LpOutcome::Stalled`] when the budget runs out, which callers should
+/// surface as a solver error.
 pub fn solve_with_budget(lp: &LinearProgram, max_pivots: u64) -> LpOutcome {
-    SimplexSolver::new().solve_with_budget(lp, max_pivots)
+    crate::revised::solve_with_budget(lp, max_pivots)
+}
+
+/// Solves an LP on an explicitly chosen backend, one-shot.
+pub fn solve_with_backend(lp: &LinearProgram, backend: LpBackend) -> LpOutcome {
+    match backend {
+        LpBackend::Dense => SimplexSolver::new().solve(lp),
+        LpBackend::Sparse => crate::revised::solve(lp),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,277 @@
+//! Backend equivalence: the sparse revised simplex against the dense
+//! tableau on randomized multi-commodity-flow instances and on the drift
+//! sequences the TE round engine produces.
+//!
+//! Both backends solve the *same* `LinearProgram`; the dense tableau is
+//! the oracle (it predates the sparse core and is pinned by its own
+//! vertex-enumeration property suite). Every test asserts objective
+//! agreement to 1e-6 — the same tolerance the `LpBackend::Dense` escape
+//! hatch promises.
+
+use proptest::prelude::*;
+use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
+use rwc_lp::simplex::{LpOutcome, SimplexSolver};
+use rwc_lp::SparseSimplexSolver;
+use std::time::Duration;
+
+/// A random multi-commodity-flow instance in dense `LinearProgram` form:
+/// per-commodity flow variables on each directed edge, conservation
+/// equalities at interior nodes, a demand cap at each source, shared
+/// capacity rows, and a maximise-delivery objective.
+#[derive(Debug, Clone)]
+struct McfInstance {
+    n_nodes: usize,
+    /// Directed edges `(from, to, capacity)`.
+    edges: Vec<(usize, usize, f64)>,
+    /// Commodities `(source, sink, demand)`.
+    commodities: Vec<(usize, usize, f64)>,
+}
+
+impl McfInstance {
+    /// Lowers the instance with the given capacity multipliers (one per
+    /// edge; pass `&[]` for unscaled). Multipliers only touch rhs values,
+    /// never the sparsity pattern — exactly what TE capacity drift does.
+    fn lower(&self, cap_scale: &[f64]) -> LinearProgram {
+        let m = self.edges.len();
+        let k = self.commodities.len();
+        let mut b = LpBuilder::new();
+        // x[e*k + c]: flow of commodity c on edge e, rewarded at the
+        // source so total delivery is maximised.
+        let mut vars = Vec::with_capacity(m * k);
+        for (ei, &(from, _, _)) in self.edges.iter().enumerate() {
+            for &(src, _, _) in &self.commodities {
+                let reward = if from == src { 1.0 } else { 0.0 };
+                vars.push(b.add_var(reward - 0.001 * (ei % 3) as f64));
+            }
+        }
+        let var = |ei: usize, ci: usize| vars[ei * k + ci];
+        // Conservation at interior nodes: inflow == outflow.
+        for (ci, &(src, sink, _)) in self.commodities.iter().enumerate() {
+            for node in 0..self.n_nodes {
+                if node == src || node == sink {
+                    continue;
+                }
+                let mut terms = Vec::new();
+                for (ei, &(from, to, _)) in self.edges.iter().enumerate() {
+                    if to == node {
+                        terms.push((var(ei, ci), 1.0));
+                    } else if from == node {
+                        terms.push((var(ei, ci), -1.0));
+                    }
+                }
+                if !terms.is_empty() {
+                    b.add_constraint(&terms, Relation::Eq, 0.0);
+                }
+            }
+        }
+        // Demand cap: net outflow at each source is at most the demand.
+        for (ci, &(src, _, demand)) in self.commodities.iter().enumerate() {
+            let mut terms = Vec::new();
+            for (ei, &(from, to, _)) in self.edges.iter().enumerate() {
+                if from == src {
+                    terms.push((var(ei, ci), 1.0));
+                } else if to == src {
+                    terms.push((var(ei, ci), -1.0));
+                }
+            }
+            if !terms.is_empty() {
+                b.add_constraint(&terms, Relation::Le, demand);
+            }
+        }
+        // Shared capacity per edge.
+        for (ei, &(_, _, cap)) in self.edges.iter().enumerate() {
+            let scale = cap_scale.get(ei).copied().unwrap_or(1.0);
+            let terms: Vec<(usize, f64)> = (0..k).map(|ci| (var(ei, ci), 1.0)).collect();
+            b.add_constraint(&terms, Relation::Le, cap * scale);
+        }
+        b.build()
+    }
+}
+
+/// Strategy: connected-enough random MCF instances. A ring backbone
+/// guarantees every pair is reachable; extra chords add multipath.
+/// Sources and sinks that collide are remapped a step apart instead of
+/// rejected, so every generated instance is solvable as-is.
+fn mcf_instances() -> impl Strategy<Value = McfInstance> {
+    (
+        3usize..6,
+        proptest::collection::vec((0usize..5, 0usize..5, 1.0f64..20.0), 0..6),
+        proptest::collection::vec((0usize..5, 0usize..5, 1.0f64..15.0), 1..3),
+    )
+        .prop_map(|(n, chords, raw)| {
+            let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                edges.push((i, (i + 1) % n, 10.0));
+            }
+            for (a, b, cap) in chords {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    edges.push((a, b, cap));
+                }
+            }
+            let commodities = raw
+                .into_iter()
+                .map(|(s, t, d)| {
+                    let s = s % n;
+                    let t = if t % n == s { (s + 1) % n } else { t % n };
+                    (s, t, d)
+                })
+                .collect();
+            McfInstance { n_nodes: n, edges, commodities }
+        })
+}
+
+fn dense_objective(lp: &LinearProgram) -> f64 {
+    SimplexSolver::new().solve(lp).expect_optimal().objective
+}
+
+fn sparse_objective(solver: &mut SparseSimplexSolver, lp: &LinearProgram) -> f64 {
+    solver.solve(lp).expect_optimal().objective
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sparse and dense land on the same optimal objective for random
+    /// MCF instances (the zero flow is always feasible, capacities bound
+    /// every variable, so the outcome is always `Optimal`).
+    #[test]
+    fn backends_agree_on_random_mcf(inst in mcf_instances()) {
+        let lp = inst.lower(&[]);
+        let dense = dense_objective(&lp);
+        let sparse = sparse_objective(&mut SparseSimplexSolver::new(), &lp);
+        prop_assert!((dense - sparse).abs() <= 1e-6 * (1.0 + dense.abs()),
+            "dense {dense} vs sparse {sparse}");
+    }
+
+    /// A persistent sparse solver tracking a capacity-drift sequence
+    /// (rhs-only changes: the fast-resolve / dual-repair path) matches a
+    /// cold dense solve at every step, and attempts a warm start on each.
+    #[test]
+    fn warm_sparse_tracks_dense_across_rhs_drift(
+        inst in mcf_instances(),
+        drift in proptest::collection::vec(
+            proptest::collection::vec(0.4f64..1.6, 12), 2..6),
+    ) {
+        let mut warm = SparseSimplexSolver::new();
+        let lp0 = inst.lower(&[]);
+        let d0 = dense_objective(&lp0);
+        let s0 = sparse_objective(&mut warm, &lp0);
+        prop_assert!((d0 - s0).abs() <= 1e-6 * (1.0 + d0.abs()));
+        for scales in &drift {
+            let lp = inst.lower(&scales[..scales.len().min(inst.edges.len())]);
+            let dense = dense_objective(&lp);
+            let sparse = sparse_objective(&mut warm, &lp);
+            prop_assert!((dense - sparse).abs() <= 1e-6 * (1.0 + dense.abs()),
+                "dense {dense} vs warm sparse {sparse}");
+        }
+        prop_assert!(warm.stats().warm_attempts >= drift.len() as u64,
+            "only {} warm attempts across {} drift steps",
+            warm.stats().warm_attempts, drift.len());
+    }
+
+    /// Shrinking every capacity makes the retained basis primal-infeasible
+    /// (flows exceed the new caps), forcing the dual-simplex repair — the
+    /// repaired solution must still match a cold dense solve, without a
+    /// cold fallback when the repair succeeds.
+    #[test]
+    fn forced_dual_repair_matches_dense(
+        inst in mcf_instances(),
+        shrink in 0.3f64..0.8,
+    ) {
+        let mut warm = SparseSimplexSolver::new();
+        let lp0 = inst.lower(&[]);
+        sparse_objective(&mut warm, &lp0);
+        let cold_before = warm.stats().cold_solves;
+        let scales = vec![shrink; inst.edges.len()];
+        let lp1 = inst.lower(&scales);
+        let dense = dense_objective(&lp1);
+        let sparse = sparse_objective(&mut warm, &lp1);
+        prop_assert!((dense - sparse).abs() <= 1e-6 * (1.0 + dense.abs()),
+            "dense {dense} vs repaired sparse {sparse}");
+        let stats = warm.stats();
+        prop_assert!(stats.warm_attempts >= 1);
+        // Rhs-only drift must resolve on the warm path: repair, not
+        // refactor-from-scratch.
+        prop_assert_eq!(stats.cold_solves, cold_before,
+            "rhs-only shrink went cold");
+    }
+
+    /// Degenerate instances — every constraint duplicated, so vertices
+    /// are massively over-determined — terminate under partial pricing
+    /// (Bland's anti-cycling) and still match the dense oracle.
+    #[test]
+    fn degenerate_duplicated_rows_terminate_and_agree(inst in mcf_instances()) {
+        let base = inst.lower(&[]);
+        let mut b = LpBuilder::new();
+        let vars: Vec<usize> = base.objective.iter().map(|&o| b.add_var(o)).collect();
+        for con in &base.constraints {
+            let terms: Vec<(usize, f64)> = con
+                .coeffs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(j, &v)| (vars[j], v))
+                .collect();
+            for _ in 0..2 {
+                b.add_constraint(&terms, con.op, con.rhs);
+            }
+        }
+        let doubled = b.build();
+        let dense = dense_objective(&doubled);
+        let sparse = sparse_objective(&mut SparseSimplexSolver::new(), &doubled);
+        prop_assert!((dense - sparse).abs() <= 1e-6 * (1.0 + dense.abs()),
+            "dense {dense} vs sparse {sparse} on degenerate instance");
+    }
+
+    /// An expired deadline plus a per-pivot delay makes the stride-64
+    /// watchdog fire on any non-trivial instance; clearing the deadline
+    /// must then recover the true optimum.
+    #[test]
+    fn watchdog_aborts_then_recovers(inst in mcf_instances()) {
+        let mut solver = SparseSimplexSolver::new();
+        solver.set_solve_timeout(Some(Duration::ZERO));
+        solver.set_pivot_delay(Some(Duration::from_micros(10)));
+        let lp = inst.lower(&[]);
+        let outcome = solver.solve(&lp);
+        prop_assert!(matches!(outcome, LpOutcome::Stalled),
+            "expected Stalled, got {outcome:?}");
+        prop_assert!(solver.stats().watchdog_aborts >= 1);
+        solver.set_solve_timeout(None);
+        solver.set_pivot_delay(None);
+        let dense = dense_objective(&lp);
+        let sparse = sparse_objective(&mut solver, &lp);
+        prop_assert!((dense - sparse).abs() <= 1e-6 * (1.0 + dense.abs()));
+    }
+}
+
+/// A value-only drift that turns the retained basis singular: the column
+/// sparsity patterns are unchanged (so the warm plan applies), but the
+/// two basic columns become linearly dependent, the LU refactorisation
+/// fails, and the solver must fall back to a cold solve — correctly.
+#[test]
+fn singular_basis_falls_back_to_cold() {
+    let build = |a0: f64, a1: f64, b0: f64, b1: f64| {
+        let mut b = LpBuilder::new();
+        let x = b.add_var(1.0);
+        let y = b.add_var(1.0);
+        b.add_constraint(&[(x, a0), (y, b0)], Relation::Le, 10.0);
+        b.add_constraint(&[(x, a1), (y, b1)], Relation::Le, 10.0);
+        b.build()
+    };
+    let mut solver = SparseSimplexSolver::new();
+    // max x + y s.t. x + 2y <= 10, 2x + y <= 10: optimum 20/3 with both
+    // structurals basic.
+    let first = solver.solve(&build(1.0, 2.0, 2.0, 1.0)).expect_optimal();
+    assert!((first.objective - 20.0 / 3.0).abs() < 1e-6);
+    assert_eq!(solver.stats().cold_solves, 1);
+    // Same sparsity pattern, but both columns are now [1, 1]: the saved
+    // basis matrix is singular. Optimum of the new LP is x + y = 10.
+    let second = solver.solve(&build(1.0, 1.0, 1.0, 1.0)).expect_optimal();
+    assert!((second.objective - 10.0).abs() < 1e-6, "got {}", second.objective);
+    assert_eq!(
+        solver.stats().cold_solves,
+        2,
+        "singular warm basis must trigger the cold fallback"
+    );
+}

@@ -46,6 +46,9 @@ pub const COUNTERS: &[&str] = &[
     "lp.warm_hits",
     "lp.pivots",
     "lp.watchdog_aborts",
+    "lp.eta_updates",
+    "lp.refactorizations",
+    "lp.pricing_scans",
     // harness: crash-safe sweep runtime (rwc-harness).
     "harness.chunk_retries",
     "harness.chunk_failures",

@@ -6,10 +6,11 @@
 //! demands — where it serves as the optimality reference for the heuristic
 //! solvers and for the Theorem 1 cross-validation.
 
-use crate::problem::{TeProblem, TeSolution};
+use crate::problem::{EdgeOrigin, TeProblem, TeSolution};
 use crate::{TeAlgorithm, TeError};
 use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
-use rwc_lp::simplex::{solve, LpOutcome, SimplexSolver, Solution, SolverStats};
+use rwc_lp::simplex::{LpBackend, LpOutcome, SimplexSolver, Solution, SolverStats};
+use rwc_lp::{SparseLp, SparseLpBuilder, SparseSimplexSolver};
 use rwc_obs::{Event, Observer};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -27,11 +28,14 @@ pub struct ExactTe {
     /// Objective weight of a routed unit relative to one unit of edge
     /// cost. Must dwarf any plausible per-unit cost.
     pub throughput_weight: f64,
+    /// Which simplex core to run. Defaults to the sparse revised simplex;
+    /// [`LpBackend::Dense`] is the legacy escape hatch.
+    pub backend: LpBackend,
 }
 
 impl Default for ExactTe {
     fn default() -> Self {
-        Self { throughput_weight: 1e6 }
+        Self { throughput_weight: 1e6, backend: LpBackend::default() }
     }
 }
 
@@ -92,6 +96,131 @@ pub fn build_lp(problem: &TeProblem, throughput_weight: f64) -> LinearProgram {
         b.add_constraint(&terms, Relation::Le, c.demand);
     }
     b.build()
+}
+
+/// Lowers a TE problem straight to sparse computational form, skipping the
+/// dense intermediate entirely. The layout is chosen to stay *stable under
+/// edge augmentation* so the structural-pattern warm key holds across
+/// dirty-link rounds:
+///
+/// - columns are edge-major (`ei·k + ki`): fake edges appended by the
+///   Theorem 1 augmentation add columns strictly at the end;
+/// - rows are `[conservation (commodity-major, every non-terminal node)]
+///   [demand (per commodity)][capacity (edge order; multi-commodity
+///   only)]` — appending edges appends capacity rows without shifting any
+///   existing row index;
+/// - with a single commodity the capacity constraint of each edge is a
+///   plain column bound, so capacity drift is a bounds-only change the
+///   solver absorbs without even refactorising. Multi-commodity capacity
+///   drift is rhs-only, which warm-resolves equally.
+///
+/// Fake (upgrade) edges additionally carry a tiny index-proportional
+/// objective epsilon. Linear per-unit penalties cannot distinguish
+/// "concentrate the overflow on one link's ladder" from "open a second
+/// link" when the totals tie (Fig. 7's worked example is exactly such a
+/// tie), so which co-optimal vertex a solver lands on — and therefore how
+/// many *upgrades* the translation orders — would otherwise depend on
+/// pivot order. The epsilon deterministically prefers earlier-appended
+/// fake edges, i.e. lower-indexed links and their ladder rungs, making
+/// the translated upgrade set backend-independent. At 1e-6 per index per
+/// unit flow it is far below any real penalty difference and far above
+/// solver tolerances.
+pub fn build_sparse_lp(problem: &TeProblem, throughput_weight: f64) -> SparseLp {
+    let net = &problem.net;
+    let k = problem.commodities.len();
+    let m = net.n_edges();
+    let n_nodes = net.n_nodes();
+
+    // Conservation rows: one per (commodity, non-terminal node), indexed
+    // commodity-major. Allocated for every such node — even currently
+    // isolated ones — so the row map never depends on the edge set.
+    let mut cons_row = vec![usize::MAX; k * n_nodes];
+    let mut next_row = 0usize;
+    for (ki, c) in problem.commodities.iter().enumerate() {
+        for node in 0..n_nodes {
+            if node != c.source && node != c.sink {
+                cons_row[ki * n_nodes + node] = next_row;
+                next_row += 1;
+            }
+        }
+    }
+    let demand_row = |ki: usize| next_row + ki;
+    let cap_base = next_row + k;
+    let n_rows = if k > 1 { cap_base + m } else { cap_base };
+
+    let mut b = SparseLpBuilder::new(n_rows);
+    for (ki, c) in problem.commodities.iter().enumerate() {
+        b.set_row(demand_row(ki), Relation::Le, c.demand);
+    }
+    if k > 1 {
+        for (ei, e) in net.edges().iter().enumerate() {
+            b.set_row(cap_base + ei, Relation::Le, e.capacity);
+        }
+    }
+    for r in cons_row.iter().filter(|&&r| r != usize::MAX) {
+        b.set_row(*r, Relation::Eq, 0.0);
+    }
+
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(4);
+    for (ei, e) in net.edges().iter().enumerate() {
+        for (ki, c) in problem.commodities.iter().enumerate() {
+            entries.clear();
+            let push = |entries: &mut Vec<(usize, f64)>, row: usize, v: f64| {
+                if let Some(slot) = entries.iter_mut().find(|(r, _)| *r == row) {
+                    slot.1 += v;
+                } else {
+                    entries.push((row, v));
+                }
+            };
+            let from_row = cons_row[ki * n_nodes + e.from];
+            if from_row != usize::MAX {
+                push(&mut entries, from_row, 1.0);
+            }
+            let to_row = cons_row[ki * n_nodes + e.to];
+            if to_row != usize::MAX {
+                push(&mut entries, to_row, -1.0);
+            }
+            let mut outflow = 0.0;
+            if e.from == c.source {
+                outflow += 1.0;
+            }
+            if e.to == c.source {
+                outflow -= 1.0;
+            }
+            if outflow != 0.0 {
+                push(&mut entries, demand_row(ki), outflow);
+            }
+            if k > 1 {
+                push(&mut entries, cap_base + ei, 1.0);
+            }
+            entries.retain(|&(_, v)| v != 0.0);
+            entries.sort_unstable_by_key(|&(r, _)| r);
+            let tie_break = match problem.origins.get(ei) {
+                Some(EdgeOrigin::Fake { .. }) => 1e-6 * ei as f64,
+                _ => 0.0,
+            };
+            let objective = outflow * throughput_weight - e.cost - tie_break;
+            b.push_col(objective, e.capacity, &entries);
+        }
+    }
+    b.build()
+}
+
+/// Reorders an edge-major sparse LP point into the commodity-major layout
+/// the shared extraction code expects.
+fn remap_edge_major(outcome: LpOutcome, k: usize, m: usize) -> LpOutcome {
+    match outcome {
+        LpOutcome::Optimal(s) => {
+            let mut x = vec![0.0; k * m];
+            for ei in 0..m {
+                for ki in 0..k {
+                    x[ki * m + ei] = s.x[ei * k + ki];
+                }
+            }
+            LpOutcome::Optimal(Solution { x, objective: s.objective })
+        }
+        other => other,
+    }
 }
 
 /// Maps an LP outcome to a TE result, shared by the cold and warm solvers.
@@ -158,8 +287,19 @@ impl TeAlgorithm for ExactTe {
                 total: 0.0,
             });
         }
-        let lp = build_lp(problem, self.throughput_weight);
-        outcome_to_solution(solve(&lp), problem, self.name())
+        let k = problem.commodities.len();
+        let m = problem.net.n_edges();
+        let outcome = match self.backend {
+            LpBackend::Dense => {
+                let lp = build_lp(problem, self.throughput_weight);
+                SimplexSolver::new().solve(&lp)
+            }
+            LpBackend::Sparse => {
+                let sp = build_sparse_lp(problem, self.throughput_weight);
+                remap_edge_major(SparseSimplexSolver::new().solve_sparse(&sp), k, m)
+            }
+        };
+        outcome_to_solution(outcome, problem, self.name())
     }
 }
 
@@ -176,15 +316,22 @@ impl TeAlgorithm for ExactTe {
 /// not flow vectors.
 #[derive(Debug)]
 pub struct IncrementalExactTe {
-    /// The LP formulation knobs, shared with the cold solver.
+    /// The LP formulation knobs (including the backend), shared with the
+    /// cold solver.
     pub base: ExactTe,
     solver: RefCell<SimplexSolver>,
+    sparse_solver: RefCell<SparseSimplexSolver>,
     obs: Arc<dyn Observer>,
 }
 
 impl Default for IncrementalExactTe {
     fn default() -> Self {
-        Self { base: ExactTe::default(), solver: RefCell::default(), obs: rwc_obs::noop() }
+        Self {
+            base: ExactTe::default(),
+            solver: RefCell::default(),
+            sparse_solver: RefCell::default(),
+            obs: rwc_obs::noop(),
+        }
     }
 }
 
@@ -192,6 +339,13 @@ impl IncrementalExactTe {
     /// A fresh solver with the default throughput weight and no basis.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh solver pinned to an explicit LP backend.
+    pub fn with_backend(backend: LpBackend) -> Self {
+        let mut te = Self::default();
+        te.base.backend = backend;
+        te
     }
 
     /// Attaches an observer: per-solve `lp.*` counters plus
@@ -206,12 +360,14 @@ impl IncrementalExactTe {
     /// [`TeError::SolverTimeout`] instead of hanging the round.
     pub fn set_solve_timeout(&self, timeout: Option<Duration>) {
         self.solver.borrow_mut().set_solve_timeout(timeout);
+        self.sparse_solver.borrow_mut().set_solve_timeout(timeout);
     }
 
     /// Chaos hook: sleeps this long before every simplex pivot, forcing a
     /// slow solve so watchdog behaviour can be driven deterministically.
     pub fn set_pivot_delay(&self, delay: Option<Duration>) {
         self.solver.borrow_mut().set_pivot_delay(delay);
+        self.sparse_solver.borrow_mut().set_pivot_delay(delay);
     }
 
     /// Publishes the delta between two [`SolverStats`] readings.
@@ -221,6 +377,9 @@ impl IncrementalExactTe {
         self.obs.incr("lp.warm_attempts", after.warm_attempts - before.warm_attempts);
         self.obs.incr("lp.warm_hits", after.warm_hits - before.warm_hits);
         self.obs.incr("lp.cold_solves", after.cold_solves - before.cold_solves);
+        self.obs.incr("lp.eta_updates", after.eta_updates - before.eta_updates);
+        self.obs.incr("lp.refactorizations", after.refactorizations - before.refactorizations);
+        self.obs.incr("lp.pricing_scans", after.pricing_scans - before.pricing_scans);
         if after.warm_hits > before.warm_hits {
             self.obs.event(&Event::WarmSolve { pivots });
         } else if after.cold_solves > before.cold_solves {
@@ -251,18 +410,35 @@ impl TeAlgorithm for IncrementalExactTe {
                 total: 0.0,
             });
         }
-        let lp = build_lp(problem, self.base.throughput_weight);
         let enabled = self.obs.enabled();
-        let before = enabled.then(|| self.solver.borrow().stats());
-        let outcome = self.solver.borrow_mut().solve(&lp);
-        if let Some(before) = before {
-            self.publish_solve(before, self.solver.borrow().stats());
-        }
+        let outcome = match self.base.backend {
+            LpBackend::Dense => {
+                let lp = build_lp(problem, self.base.throughput_weight);
+                let before = enabled.then(|| self.solver.borrow().stats());
+                let outcome = self.solver.borrow_mut().solve(&lp);
+                if let Some(before) = before {
+                    self.publish_solve(before, self.solver.borrow().stats());
+                }
+                outcome
+            }
+            LpBackend::Sparse => {
+                let sp = build_sparse_lp(problem, self.base.throughput_weight);
+                let before = enabled.then(|| self.sparse_solver.borrow().stats());
+                let outcome = self.sparse_solver.borrow_mut().solve_sparse(&sp);
+                if let Some(before) = before {
+                    self.publish_solve(before, self.sparse_solver.borrow().stats());
+                }
+                remap_edge_major(outcome, problem.commodities.len(), problem.net.n_edges())
+            }
+        };
         outcome_to_solution(outcome, problem, self.name())
     }
 
     fn warm_stats(&self) -> Option<SolverStats> {
-        Some(self.solver.borrow().stats())
+        Some(match self.base.backend {
+            LpBackend::Dense => self.solver.borrow().stats(),
+            LpBackend::Sparse => self.sparse_solver.borrow().stats(),
+        })
     }
 }
 
@@ -359,6 +535,53 @@ mod tests {
         let stats = warm.warm_stats().unwrap();
         assert!(stats.warm_attempts >= 6, "expected warm attempts, got {stats:?}");
         assert!(stats.warm_hits >= 1, "expected at least one warm hit, got {stats:?}");
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_agree() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(125.0), Priority::Elastic);
+        dm.add(c, d, Gbps(125.0), Priority::Elastic);
+        dm.add(b, c, Gbps(40.0), Priority::Elastic);
+        let p = TeProblem::from_wan(&wan, &dm);
+        let sparse = ExactTe::default().solve(&p);
+        let dense =
+            ExactTe { backend: LpBackend::Dense, ..ExactTe::default() }.solve(&p);
+        sparse.validate(&p).unwrap();
+        dense.validate(&p).unwrap();
+        assert!(
+            (sparse.total - dense.total).abs() < 1e-6,
+            "sparse {} vs dense {}",
+            sparse.total,
+            dense.total
+        );
+    }
+
+    #[test]
+    fn sparse_counters_published() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(120.0), Priority::Elastic);
+        let base = TeProblem::from_wan(&wan, &dm);
+        let mut warm = IncrementalExactTe::new();
+        let metrics = Arc::new(rwc_obs::MetricsObserver::new());
+        warm.set_observer(metrics.clone());
+        for cap in [100.0, 80.0, 120.0] {
+            let mut p = base.clone();
+            p.net.set_capacity(0, cap);
+            warm.try_solve(&p).unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert!(snap.counters["lp.refactorizations"] >= 1, "{snap:?}");
+        assert!(snap.counters.contains_key("lp.eta_updates"), "{snap:?}");
+        assert!(snap.counters.contains_key("lp.pricing_scans"), "{snap:?}");
     }
 
     #[test]

@@ -160,6 +160,41 @@ pub fn full_mesh(n: usize, hop_km: f64) -> WanTopology {
     wan
 }
 
+/// `scale` replicas of a six-node full mesh chained with cross-links —
+/// the `--scale` topology multiplier for large-TE stress runs (the
+/// scenario-path counterpart of the fleet `--scale` flag).
+///
+/// Replica `i`'s node `j` is named `S{i}-{j}`; nodes `0..3` of
+/// consecutive replicas are tied together, so the composite stays
+/// connected and multipath-rich while links grow linearly:
+/// `15·scale + 3·(scale−1)` links, i.e. `2×` that in directed TE edges.
+pub fn scaled_mesh(scale: usize, hop_km: f64) -> WanTopology {
+    assert!(scale >= 1, "scaled mesh needs at least one replica");
+    const MESH_N: usize = 6;
+    const CROSS: usize = 3;
+    let mut wan = WanTopology::new();
+    let mut ids = Vec::with_capacity(scale * MESH_N);
+    for i in 0..scale {
+        for j in 0..MESH_N {
+            ids.push(wan.add_node(format!("S{i}-{j}"), None));
+        }
+    }
+    let at = |i: usize, j: usize| ids[i * MESH_N + j];
+    for i in 0..scale {
+        for j in 0..MESH_N {
+            for jj in j + 1..MESH_N {
+                wan.add_link(at(i, j), at(i, jj), hop_km);
+            }
+        }
+        if i + 1 < scale {
+            for j in 0..CROSS {
+                wan.add_link(at(i, j), at(i + 1, j), hop_km);
+            }
+        }
+    }
+    wan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +274,16 @@ mod tests {
     #[should_panic]
     fn tiny_ring_rejected() {
         ring(2, 100.0);
+    }
+
+    #[test]
+    fn scaled_mesh_grows_linearly_and_stays_connected() {
+        for scale in [1usize, 3, 5] {
+            let wan = scaled_mesh(scale, 500.0);
+            assert_eq!(wan.n_nodes(), 6 * scale);
+            assert_eq!(wan.n_links(), 15 * scale + 3 * scale.saturating_sub(1));
+            assert!(wan.is_connected(), "scale {scale} disconnected");
+            assert!(wan.node_by_name(&format!("S{}-5", scale - 1)).is_some());
+        }
     }
 }
