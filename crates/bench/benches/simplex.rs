@@ -15,8 +15,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rwc_lp::{SimplexSolver, SparseSimplexSolver};
 use rwc_te::demand::{DemandMatrix, Priority};
-use rwc_te::exact::{build_lp, build_sparse_lp};
 use rwc_te::problem::TeProblem;
+use rwc_te::TeFormulation;
 use rwc_topology::builders;
 use rwc_topology::wan::LinkId;
 use rwc_util::units::Gbps;
@@ -33,7 +33,14 @@ fn drifted_lp(round: usize) -> rwc_lp::LinearProgram {
         let id = LinkId(l);
         problem.override_link_capacity(id, wan.link(id).capacity().0 * factor);
     }
-    build_lp(&problem, 1.0)
+    lowering(&problem).dense_lp()
+}
+
+/// Max-throughput lowering with the benches' historical unit weight.
+fn lowering(problem: &TeProblem) -> rwc_te::LoweredTe<'_> {
+    TeFormulation { throughput_weight: 1.0, ..TeFormulation::default() }
+        .lower(problem)
+        .expect("max-throughput lowering cannot fail validation")
 }
 
 fn bench_cold_vs_warm(c: &mut Criterion) {
@@ -92,8 +99,8 @@ fn scaled_problems(factor: usize, rounds: usize) -> (TeProblem, Vec<TeProblem>) 
 fn bench_sparse_vs_dense(c: &mut Criterion) {
     for factor in [1usize, 2, 4] {
         let (_, rounds) = scaled_problems(factor, 4);
-        let sparse_rounds: Vec<_> = rounds.iter().map(|p| build_sparse_lp(p, 1.0)).collect();
-        let dense_rounds: Vec<_> = rounds.iter().map(|p| build_lp(p, 1.0)).collect();
+        let sparse_rounds: Vec<_> = rounds.iter().map(|p| lowering(p).sparse_lp()).collect();
+        let dense_rounds: Vec<_> = rounds.iter().map(|p| lowering(p).dense_lp()).collect();
         c.bench_function(&format!("simplex/sparse_mesh_x{factor}"), |b| {
             let mut solver = SparseSimplexSolver::new();
             b.iter(|| {

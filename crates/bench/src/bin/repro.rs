@@ -322,6 +322,22 @@ fn run_bench_json(
             lt.eta_updates_per_refactor,
         ));
     }
+    if let Some(obj) = &perf.objectives {
+        sink.result(&format!(
+            "objective zoo (mesh x{}, {} fake edges): {}/{} objectives solved, \
+             worst backend disagreement {:.2e}; min-MLU envelope {:.3} >= \
+             max single-TM {:.3}, drift warm hit rate {:.0}%, sparse {:.1}x dense",
+            obj.scale_factor,
+            obj.fake_edges,
+            obj.arms.iter().filter(|a| a.solved).count(),
+            obj.arms.len(),
+            obj.max_agreement_delta,
+            obj.min_mlu.envelope_mlu,
+            obj.min_mlu.max_single_tm_mlu,
+            100.0 * obj.min_mlu.warm_hit_rate,
+            obj.min_mlu.sparse_speedup,
+        ));
+    }
     let fleet = rwc_bench::perf::fleet_perf(scale);
     sink.result(&format!(
         "fleet analysis ({} links, {} threads): legacy {:.1} links/sec -> fused {:.1} links/sec \

@@ -53,7 +53,7 @@ pub const EXIT_SERVE: u8 = 10;
 /// Exit code for a pipeline error.
 pub fn rwc_exit_code(err: &RwcError) -> u8 {
     match err {
-        RwcError::Te(_) => EXIT_SOLVER,
+        RwcError::Te(_) | RwcError::Validation(_) => EXIT_SOLVER,
         RwcError::Bvt(_) | RwcError::Quarantined { .. } => EXIT_HARDWARE,
         RwcError::Config(_) => EXIT_USAGE,
         RwcError::Telemetry(_) | RwcError::FaultPlan(_) => EXIT_TELEMETRY,

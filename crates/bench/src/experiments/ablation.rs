@@ -12,7 +12,7 @@ use crate::{Report, Scale};
 use rwc_core::controller::{Controller, ControllerConfig};
 use rwc_core::{augment, translate, AugmentConfig, PenaltyPolicy};
 use rwc_te::demand::DemandMatrix;
-use rwc_te::exact::ExactTe;
+use rwc_te::TeSolver;
 use rwc_te::updates::{plan_capacity_changes, CapacityChange};
 use rwc_te::TeAlgorithm;
 use rwc_topology::builders;
@@ -52,7 +52,7 @@ pub fn penalty_ablation() -> Vec<(&'static str, usize, f64)> {
         // Current traffic: both demand links loaded at 100 G.
         let traffic = vec![100.0, 100.0, 0.0, 0.0, 0.0];
         let aug = augment(&wan, &dm, &cfg, &traffic);
-        let sol = ExactTe::default().solve(&aug.problem);
+        let sol = TeSolver::builder().build().expect("default TE solver").solve(&aug.problem);
         let tr = translate(&aug, &wan, &sol).expect("experiment translation on solver output");
         rows.push((name, tr.upgrades.len(), tr.effective_penalty));
     }
@@ -165,7 +165,7 @@ pub fn procedure_ablation() -> (f64, f64) {
 pub fn run(scale: Scale) -> Report {
     let mut report = Report::new("ablation", "design-choice ablations");
 
-    report.line("— penalty policy (Fig. 7 scenario, ExactTe) —".to_string());
+    report.line("— penalty policy (Fig. 7 scenario, exact LP) —".to_string());
     let mut csv = String::from("policy,upgrades,effective_penalty\n");
     for (name, upgrades, penalty) in penalty_ablation() {
         report.line(format!(

@@ -28,7 +28,7 @@ use rwc_harness::{
 };
 use rwc_obs::MetricsSnapshot;
 use rwc_optics::ModulationTable;
-use rwc_te::exact::IncrementalExactTe;
+use rwc_te::TeSolver;
 use rwc_te::TeAlgorithm;
 use rwc_te::TeError;
 use rwc_telemetry::FleetGenerator;
@@ -234,9 +234,11 @@ fn watchdog_scenario() -> Verdict {
     dm.add(a, b, Gbps(300.0), Priority::Elastic);
     let problem = TeProblem::from_wan(&wan, &dm);
 
-    let mut te = IncrementalExactTe::new();
-    te.set_observer(super::observer());
-    te.set_solve_timeout(Some(Duration::from_millis(1)));
+    let te = TeSolver::builder()
+        .observer(super::observer())
+        .solve_timeout(Duration::from_millis(1))
+        .build()
+        .expect("default TE solver");
     te.set_pivot_delay(Some(Duration::from_millis(10)));
     let aborted = matches!(te.try_solve(&problem), Err(TeError::SolverTimeout { .. }));
     // Lift the chaos delay: the very same solver must recover.

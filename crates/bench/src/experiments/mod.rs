@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod objectives;
 pub mod scenario;
 pub mod srlg;
 pub mod thm1;
@@ -169,9 +170,9 @@ pub(crate) fn fleet_sweep(gen: &FleetGenerator, table: &ModulationTable) -> Flee
 }
 
 /// All experiment ids, in paper order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6b", "fig7", "fig8", "thm1",
-    "tput", "avail", "scenario", "faults", "srlg",
+    "tput", "avail", "scenario", "faults", "srlg", "objectives",
 ];
 
 /// Runs one experiment by id (plus the "ablation" extra).
@@ -193,6 +194,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "scenario" => scenario::run(scale),
         "faults" => faults::run(scale),
         "srlg" => srlg::run(scale),
+        "objectives" => objectives::run(scale),
         "ablation" => ablation::run(scale),
         "chaos" => chaos::run(scale),
         _ => return None,

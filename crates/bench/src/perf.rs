@@ -24,13 +24,12 @@ use crate::Scale;
 use rwc_core::scenario::{Scenario, ScenarioConfig, ScenarioReport, ScenarioTiming};
 use rwc_lp::LpBackend;
 use rwc_te::demand::{DemandMatrix, Priority};
-use rwc_te::exact::{ExactTe, IncrementalExactTe};
 use rwc_te::problem::TeProblem;
 use rwc_te::swan::SwanTe;
-use rwc_te::TeAlgorithm;
+use rwc_te::{TeAlgorithm, TeFormulation, TeObjective, TeSolver, WarmStartPolicy};
 use rwc_telemetry::FleetConfig;
 use rwc_topology::builders;
-use rwc_topology::wan::LinkId;
+use rwc_topology::wan::{LinkId, WanTopology};
 use rwc_util::time::SimDuration;
 use rwc_util::units::Gbps;
 use serde::{Deserialize, Serialize};
@@ -99,6 +98,11 @@ pub struct ScenarioPerf {
     /// replicated mesh. `Option` so baselines from before the sparse
     /// backend still parse (the shim reads a missing field as `None`).
     pub large_te: Option<LargeTePerf>,
+    /// Objective-zoo stage: every [`TeObjective`] solved on the augmented
+    /// scaled mesh by both LP backends, plus the min-MLU envelope/drift
+    /// sub-stage. `Option` for the same baseline-compatibility reason as
+    /// `large_te`.
+    pub objectives: Option<ObjectivesPerf>,
 }
 
 /// One LP backend's arm of the [`LargeTePerf`] stage.
@@ -154,7 +158,7 @@ fn percentile_micros(sorted: &[u64], q: f64) -> u64 {
 }
 
 fn large_te_arm(rounds: &[TeProblem], backend: LpBackend) -> (LargeTeArm, rwc_lp::SolverStats) {
-    let te = IncrementalExactTe::with_backend(backend);
+    let te = TeSolver::builder().backend(backend).build().expect("default TE solver");
     let mut micros: Vec<u64> = Vec::with_capacity(rounds.len());
     for p in rounds {
         let t0 = Instant::now();
@@ -178,12 +182,7 @@ fn large_te_arm(rounds: &[TeProblem], backend: LpBackend) -> (LargeTeArm, rwc_lp
 /// replication factor, one cross-replica commodity per replica plus an
 /// end-to-end long haul, capacities drifting every round — solved by the
 /// sparse backend and then the dense escape hatch on identical inputs.
-pub fn large_te_perf(scale: Scale) -> LargeTePerf {
-    let factor = match scale {
-        Scale::Quick => 6,
-        Scale::Full => 10,
-        Scale::Scaled(n) => (n as usize).max(1),
-    };
+fn large_te_instance(factor: usize) -> (WanTopology, DemandMatrix) {
     let wan = builders::scaled_mesh(factor, 500.0);
     let pick = |name: String| wan.node_by_name(&name).expect("scaled mesh site");
     let mut dm = DemandMatrix::new();
@@ -204,6 +203,16 @@ pub fn large_te_perf(scale: Scale) -> LargeTePerf {
         let (s, t) = (pick("S0-5".into()), pick(format!("S{}-5", factor - 1)));
         dm.add(s, t, Gbps(80.0), Priority::Elastic);
     }
+    (wan, dm)
+}
+
+pub fn large_te_perf(scale: Scale) -> LargeTePerf {
+    let factor = match scale {
+        Scale::Quick => 6,
+        Scale::Full => 10,
+        Scale::Scaled(n) => (n as usize).max(1),
+    };
+    let (wan, dm) = large_te_instance(factor);
     let base = TeProblem::from_wan(&wan, &dm);
     const ROUNDS: usize = 6;
     let rounds: Vec<TeProblem> = (0..ROUNDS)
@@ -219,7 +228,10 @@ pub fn large_te_perf(scale: Scale) -> LargeTePerf {
             p
         })
         .collect();
-    let lowered = rwc_te::exact::build_sparse_lp(&base, 1e6);
+    let lowered = TeFormulation::default()
+        .lower(&base)
+        .expect("max-throughput lowering is always valid")
+        .sparse_lp();
     let (sparse, sparse_stats) = large_te_arm(&rounds, LpBackend::Sparse);
     // The dense tableau grows as rows × (cols + rows) with O(rows · cols)
     // work per pivot: beyond this factor it needs minutes per round (and
@@ -252,6 +264,237 @@ pub fn large_te_perf(scale: Scale) -> LargeTePerf {
         ),
         sparse,
         dense,
+    }
+}
+
+/// One objective's arm of the [`ObjectivesPerf`] stage: the same lowered
+/// problem solved by both LP backends, compared on the objective's
+/// headline value (total throughput, MLU, or the concurrency factor λ).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectiveArm {
+    /// The formulation's algorithm name (e.g. `"exact-lp:min-mlu"`).
+    pub objective: String,
+    /// Whether both backends reached optimality.
+    pub solved: bool,
+    /// Headline value from the sparse revised simplex.
+    pub sparse_headline: f64,
+    /// Headline value from the dense tableau.
+    pub dense_headline: f64,
+    /// `|sparse_headline - dense_headline|` — gated at 1e-6 in CI.
+    pub agreement_delta: f64,
+    /// Sparse-backend solve time, microseconds.
+    pub sparse_solve_micros: u64,
+    /// Dense-backend solve time, microseconds.
+    pub dense_solve_micros: u64,
+}
+
+/// The min-MLU sub-stage: envelope dominance plus warm-start behaviour
+/// under rhs-only traffic-matrix drift (the `MinMlu` twin of the
+/// max-throughput fast-resolve path).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinMluPerf {
+    /// Optimal MLU over the whole traffic-matrix envelope.
+    pub envelope_mlu: f64,
+    /// Max over the envelope's members of each single-TM optimal MLU.
+    /// Must be `<= envelope_mlu + 1e-6`: routing that works for every
+    /// matrix at once can never beat routing tuned to one matrix.
+    pub max_single_tm_mlu: f64,
+    /// Drift rounds solved by each backend.
+    pub rounds: u64,
+    /// Warm starts attempted by the sparse arm across the drift rounds.
+    pub warm_attempts: u64,
+    /// Warm starts that reached optimality without a cold fallback.
+    pub warm_hits: u64,
+    /// `warm_hits / warm_attempts` in `[0, 1]`.
+    pub warm_hit_rate: f64,
+    /// Dense total drift time / sparse total drift time.
+    pub sparse_speedup: f64,
+}
+
+/// The `objectives` stage of `BENCH_scenario.json`: the whole
+/// [`TeObjective`] zoo on one augmented scaled-mesh instance (fake
+/// upgrade edges included, so the unsplittable gadget and the reduction
+/// readout have real work to do), each objective solved by both backends.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectivesPerf {
+    /// Mesh replication factor used for this stage.
+    pub scale_factor: u64,
+    /// Commodities in the demand matrix.
+    pub commodities: u64,
+    /// Fake upgrade edges the augmentation injected.
+    pub fake_edges: u64,
+    /// One arm per objective, in declaration order.
+    pub arms: Vec<ObjectiveArm>,
+    /// Whether every arm solved on both backends.
+    pub all_solved: bool,
+    /// Worst cross-backend headline disagreement across the arms.
+    pub max_agreement_delta: f64,
+    /// The min-MLU envelope/drift sub-stage.
+    pub min_mlu: MinMluPerf,
+}
+
+/// Headline value of a solve under an objective: the quantity the two
+/// backends must agree on at 1e-6 (LP objectives differ by the sparse
+/// tie-break epsilon, so the comparison happens at the solution level).
+fn headline(objective: &TeObjective, solve: &rwc_te::TeSolve) -> f64 {
+    match objective {
+        TeObjective::MinMlu { .. } => solve.mlu.expect("min-MLU solve reports MLU"),
+        TeObjective::MaxConcurrentFlow => solve.lambda.expect("concurrent solve reports lambda"),
+        _ => solve.solution.total,
+    }
+}
+
+fn timed_solve(solver: &TeSolver, problem: &TeProblem) -> (Option<rwc_te::TeSolve>, u64) {
+    let t0 = Instant::now();
+    let solve = solver.solve_detailed(problem).ok();
+    (solve, t0.elapsed().as_micros().max(1) as u64)
+}
+
+/// Optimal MLU of one traffic-matrix set on `problem`, sparse backend.
+fn min_mlu_of(problem: &TeProblem, traffic_matrices: Vec<Vec<f64>>) -> f64 {
+    let solver = TeSolver::builder()
+        .objective(TeObjective::MinMlu { traffic_matrices })
+        .build()
+        .expect("min-MLU solver config is valid");
+    let solve = solver.solve_detailed(problem).expect("min-MLU instance solves");
+    solve.mlu.expect("min-MLU solve reports MLU")
+}
+
+/// Runs the objective-zoo stage: augments the scaled mesh (some links get
+/// SNR headroom so fake upgrade rungs exist), then solves every objective
+/// with both backends on the identical augmented problem, plus the
+/// min-MLU envelope-dominance check and warm-start drift sub-stage.
+pub fn objectives_perf(scale: Scale) -> ObjectivesPerf {
+    use rwc_core::{augment, AugmentConfig};
+    use rwc_util::units::Db;
+
+    let factor = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 6,
+        // Every arm runs the dense backend, so this stage stays at
+        // tableau-reachable sizes regardless of `--scale`.
+        Scale::Scaled(n) => (n as usize).clamp(1, 8),
+    };
+    let (mut wan, dm) = large_te_instance(factor);
+    // Alternate SNR so every third link has headroom for upgrade rungs
+    // (same 7.5/13 dB split as the Fig. 7 worked example): the gadget and
+    // the reduction readout need fake edges to be non-trivial.
+    for l in 0..wan.n_links() {
+        wan.set_snr(LinkId(l), if l % 3 == 0 { Db(13.0) } else { Db(7.5) });
+    }
+    let aug = augment(&wan, &dm, &AugmentConfig::default(), &[]);
+    let problem = &aug.problem;
+    let fake_edges = problem
+        .origins
+        .iter()
+        .filter(|o| matches!(o, rwc_te::problem::EdgeOrigin::Fake { .. }))
+        .count() as u64;
+
+    // Traffic-matrix envelope for the MinMlu arms: the base demands plus
+    // a peak-shifted and a scaled-down variant (per-commodity phase so
+    // the matrices genuinely disagree about where load lands).
+    let base_tm: Vec<f64> = problem.commodities.iter().map(|c| c.demand).collect();
+    let k = base_tm.len();
+    let tms: Vec<Vec<f64>> = (0..3)
+        .map(|j| {
+            (0..k)
+                .map(|i| base_tm[i] * (0.7 + 0.15 * j as f64 + 0.1 * ((i + j) % 3) as f64))
+                .collect()
+        })
+        .collect();
+
+    let objectives = [
+        TeObjective::MaxThroughput,
+        TeObjective::MinMlu { traffic_matrices: tms.clone() },
+        TeObjective::MaxConcurrentFlow,
+        TeObjective::Unsplittable,
+        TeObjective::CapacityReduction,
+    ];
+    let mut arms = Vec::with_capacity(objectives.len());
+    for objective in &objectives {
+        let build = |backend| {
+            TeSolver::builder()
+                .objective(objective.clone())
+                .backend(backend)
+                .build()
+                .expect("objective-zoo solver config is valid")
+        };
+        let (sparse, sparse_micros) = timed_solve(&build(LpBackend::Sparse), problem);
+        let (dense, dense_micros) = timed_solve(&build(LpBackend::Dense), problem);
+        let (sparse_headline, dense_headline) = (
+            sparse.as_ref().map_or(f64::NAN, |s| headline(objective, s)),
+            dense.as_ref().map_or(f64::NAN, |s| headline(objective, s)),
+        );
+        arms.push(ObjectiveArm {
+            objective: objective.algorithm_name().to_string(),
+            solved: sparse.is_some() && dense.is_some(),
+            sparse_headline,
+            dense_headline,
+            agreement_delta: (sparse_headline - dense_headline).abs(),
+            sparse_solve_micros: sparse_micros,
+            dense_solve_micros: dense_micros,
+        });
+    }
+    let all_solved = arms.iter().all(|a| a.solved);
+    let max_agreement_delta =
+        arms.iter().map(|a| a.agreement_delta).fold(0.0f64, f64::max);
+
+    // Envelope dominance: the envelope optimum must cover every member
+    // matrix's own optimum.
+    let envelope_mlu = min_mlu_of(problem, tms.clone());
+    let max_single_tm_mlu = tms
+        .iter()
+        .map(|tm| min_mlu_of(problem, vec![tm.clone()]))
+        .fold(0.0f64, f64::max);
+
+    // Rhs-only TM drift: the same solver re-targeted each round via
+    // `set_objective` (identical LP pattern, drifted demand rhs), sparse
+    // vs dense. This is the MinMlu twin of the warm fast-resolve path.
+    const DRIFT_ROUNDS: usize = 8;
+    let drift_tms = |round: usize| -> Vec<Vec<f64>> {
+        let scale = 0.75 + 0.03 * round as f64;
+        tms.iter().map(|tm| tm.iter().map(|d| d * scale).collect()).collect()
+    };
+    let drift_arm = |backend| -> (u64, rwc_lp::SolverStats) {
+        let mut solver = TeSolver::builder()
+            .objective(TeObjective::MinMlu { traffic_matrices: drift_tms(0) })
+            .backend(backend)
+            .build()
+            .expect("min-MLU solver config is valid");
+        let mut total = 0u64;
+        for round in 0..DRIFT_ROUNDS {
+            solver
+                .set_objective(TeObjective::MinMlu { traffic_matrices: drift_tms(round) })
+                .expect("drifted traffic matrices stay valid");
+            let t0 = Instant::now();
+            solver.solve_detailed(problem).expect("drift round solves");
+            total += t0.elapsed().as_micros().max(1) as u64;
+        }
+        (total, solver.warm_stats().unwrap_or_default())
+    };
+    let (sparse_total, sparse_stats) = drift_arm(LpBackend::Sparse);
+    let (dense_total, _) = drift_arm(LpBackend::Dense);
+
+    ObjectivesPerf {
+        scale_factor: factor as u64,
+        commodities: problem.commodities.len() as u64,
+        fake_edges,
+        arms,
+        all_solved,
+        max_agreement_delta,
+        min_mlu: MinMluPerf {
+            envelope_mlu,
+            max_single_tm_mlu,
+            rounds: DRIFT_ROUNDS as u64,
+            warm_attempts: sparse_stats.warm_attempts,
+            warm_hits: sparse_stats.warm_hits,
+            warm_hit_rate: sparse_stats.warm_hit_rate(),
+            sparse_speedup: if sparse_total == 0 {
+                0.0
+            } else {
+                dense_total as f64 / sparse_total as f64
+            },
+        },
     }
 }
 
@@ -307,8 +550,12 @@ fn run_arm(
 pub fn scenario_perf(scale: Scale) -> ScenarioPerf {
     let (full_report, full_t) = run_arm(scale, true, &SwanTe::default());
     let (inc_report, inc_t) = run_arm(scale, false, &SwanTe::default());
-    let (cold_report, cold_t) = run_arm(scale, true, &ExactTe::default());
-    let warm_algo = IncrementalExactTe::default();
+    let cold_algo = TeSolver::builder()
+        .warm_start(WarmStartPolicy::AlwaysCold)
+        .build()
+        .expect("default TE solver");
+    let (cold_report, cold_t) = run_arm(scale, true, &cold_algo);
+    let warm_algo = TeSolver::builder().build().expect("default TE solver");
     let (warm_report, warm_t) = run_arm(scale, false, &warm_algo);
     let stats = warm_algo.warm_stats().unwrap_or_default();
 
@@ -336,6 +583,7 @@ pub fn scenario_perf(scale: Scale) -> ScenarioPerf {
         warm_hit_rate: stats.warm_hit_rate(),
         max_throughput_delta,
         large_te: Some(large_te_perf(scale)),
+        objectives: Some(objectives_perf(scale)),
     }
 }
 
@@ -373,6 +621,24 @@ impl ScenarioPerf {
                     "perf regression: sparse large-TE arm at {:.1} rounds/sec, \
                      below half the baseline {:.1}",
                     lt.sparse.rounds_per_sec, base.sparse.rounds_per_sec
+                ));
+            }
+        }
+        if let Some(obj) = &self.objectives {
+            if !obj.all_solved {
+                return Err("objective-zoo stage: not every objective solved".into());
+            }
+            if obj.max_agreement_delta > 1e-6 {
+                return Err(format!(
+                    "objective-zoo stage: backends disagree by {:.3e} (gate 1e-6)",
+                    obj.max_agreement_delta
+                ));
+            }
+            if obj.min_mlu.max_single_tm_mlu > obj.min_mlu.envelope_mlu + 1e-6 {
+                return Err(format!(
+                    "objective-zoo stage: a single-TM optimum ({:.6}) beat the \
+                     envelope optimum ({:.6}) — envelope dominance broken",
+                    obj.min_mlu.max_single_tm_mlu, obj.min_mlu.envelope_mlu
                 ));
             }
         }

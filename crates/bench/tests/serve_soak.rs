@@ -146,12 +146,16 @@ fn soak_kill_and_resume_matches_uninterrupted_run() {
     let restored = daemon.completed_links();
     assert!(restored > 0, "periodic checkpoints restore completed work");
     assert!(restored <= n, "restore cannot invent links");
-    drive_to_completion(&daemon);
-    let metrics = daemon.serve_metrics();
+    // Replay the whole fleet once explicitly: every restored link must
+    // dedupe. (drive_to_completion skips ingest entirely when the first
+    // life happened to finish the fleet before the kill landed, so the
+    // dedupe assertion has to run on its own receipt.)
+    let replay = daemon.ingest(&links).unwrap();
     assert!(
-        metrics.counters["serve.duplicates"] >= restored,
-        "replaying restored links counts as duplicates"
+        replay.duplicates >= restored,
+        "replaying restored links counts as duplicates: {replay:?}"
     );
+    drive_to_completion(&daemon);
     assert_identical("kill+resume", daemon, &want);
     let _ = std::fs::remove_dir_all(&dir);
 }

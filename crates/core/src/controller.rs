@@ -903,18 +903,6 @@ impl Controller {
         }
         report
     }
-
-    /// Former name of the telemetry-fault-tolerant sweep. [`Controller::sweep`]
-    /// now accepts `Option<Db>` readings directly.
-    #[deprecated(since = "0.5.0", note = "use `sweep`, which now takes `Option<Db>` readings")]
-    pub fn sweep_observed(
-        &mut self,
-        wan: &mut WanTopology,
-        readings: &[(LinkId, Option<Db>)],
-        now: SimTime,
-    ) -> SweepReport {
-        self.sweep(wan, readings, now)
-    }
 }
 
 #[cfg(test)]

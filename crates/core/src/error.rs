@@ -7,7 +7,7 @@
 
 use rwc_faults::FaultPlanError;
 use rwc_optics::bvt::BvtError;
-use rwc_te::TeError;
+use rwc_te::{TeError, TeValidationError};
 use rwc_topology::wan::LinkId;
 use rwc_util::time::SimTime;
 use std::fmt;
@@ -17,6 +17,10 @@ use std::fmt;
 pub enum RwcError {
     /// A traffic-engineering solver failed.
     Te(TeError),
+    /// A TE solution failed validation against its problem (a solver bug
+    /// or a solution checked against the wrong problem — never expected in
+    /// a healthy pipeline, which is exactly why it's worth typing).
+    Validation(TeValidationError),
     /// A transceiver (hardware or management bus) failure.
     Bvt(BvtError),
     /// A pipeline stage was configured with values it cannot run with.
@@ -40,6 +44,7 @@ impl fmt::Display for RwcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RwcError::Te(e) => write!(f, "TE failure: {e}"),
+            RwcError::Validation(e) => write!(f, "invalid TE solution: {e}"),
             RwcError::Bvt(e) => write!(f, "BVT failure: {e}"),
             RwcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             RwcError::Telemetry(msg) => write!(f, "telemetry: {msg}"),
@@ -55,6 +60,7 @@ impl std::error::Error for RwcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RwcError::Te(e) => Some(e),
+            RwcError::Validation(e) => Some(e),
             RwcError::Bvt(e) => Some(e),
             RwcError::FaultPlan(e) => Some(e),
             _ => None,
@@ -71,6 +77,12 @@ impl From<FaultPlanError> for RwcError {
 impl From<TeError> for RwcError {
     fn from(e: TeError) -> Self {
         RwcError::Te(e)
+    }
+}
+
+impl From<TeValidationError> for RwcError {
+    fn from(e: TeValidationError) -> Self {
+        RwcError::Validation(e)
     }
 }
 
@@ -92,6 +104,10 @@ mod tests {
         }
         .into();
         assert!(te.to_string().contains("exact-lp"));
+        let validation: RwcError =
+            TeValidationError::NegativeFlow { edge: 3, flow: -0.5 }.into();
+        assert!(validation.to_string().contains("edge 3"));
+        assert!(std::error::Error::source(&validation).is_some());
         let bvt: RwcError = BvtError::Timeout.into();
         assert!(bvt.to_string().contains("timed out"));
         assert!(std::error::Error::source(&bvt).is_some());

@@ -153,11 +153,15 @@ pub struct DynamicCapacityNetwork {
     obs: Arc<dyn Observer>,
 }
 
-/// Exact memo key for the static-baseline solve: algorithm name, each
-/// link's capacity bits, and each demand's endpoints + volume bits. No
-/// hashing-to-u64 shortcuts — a collision would silently break the
-/// determinism guarantee the scenario tests pin down.
-type StaticKey = (&'static str, Vec<u64>, Vec<(usize, usize, u64)>);
+/// Exact memo key for the static-baseline solve: algorithm name, the
+/// algorithm's solve fingerprint (objective/backend/weights — two
+/// `TeSolver`s share a name but not a meaning), each link's capacity
+/// bits, and each demand's endpoints + volume bits. Only the fingerprint
+/// is a hash (it folds solver *configuration*, which is tiny and fixed
+/// per solver instance); the capacity/demand inputs stay exact — a
+/// collision there would silently break the determinism guarantee the
+/// scenario tests pin down.
+type StaticKey = (&'static str, u64, Vec<u64>, Vec<(usize, usize, u64)>);
 
 fn static_key(
     algorithm: &dyn TeAlgorithm,
@@ -166,6 +170,7 @@ fn static_key(
 ) -> StaticKey {
     (
         algorithm.name(),
+        algorithm.solve_fingerprint(),
         wan.links().map(|(_, l)| l.capacity().value().to_bits()).collect(),
         demands
             .demands()
@@ -261,25 +266,6 @@ impl DynamicCapacityNetwork {
     /// for the hold/last-known-good semantics.
     pub fn ingest(&mut self, readings: &[(LinkId, Option<Db>)], now: SimTime) -> SweepReport {
         self.controller.sweep(&mut self.wan, readings, now)
-    }
-
-    /// Former fresh-readings-only ingest. [`Self::ingest`] accepts
-    /// `Option<Db>` readings directly; wrap fresh readings in `Some`.
-    #[deprecated(since = "0.5.0", note = "use `ingest`, which takes `Option<Db>` readings")]
-    pub fn ingest_snr(&mut self, readings: &[(LinkId, Db)], now: SimTime) -> SweepReport {
-        let observed: Vec<(LinkId, Option<Db>)> =
-            readings.iter().map(|&(l, snr)| (l, Some(snr))).collect();
-        self.ingest(&observed, now)
-    }
-
-    /// Former name of [`Self::ingest`].
-    #[deprecated(since = "0.5.0", note = "renamed to `ingest`")]
-    pub fn ingest_observed(
-        &mut self,
-        readings: &[(LinkId, Option<Db>)],
-        now: SimTime,
-    ) -> SweepReport {
-        self.ingest(readings, now)
     }
 
     /// Arms a hardware fault on a link's transceiver; the next applicable

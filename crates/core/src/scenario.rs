@@ -472,20 +472,6 @@ impl Scenario {
         ScenarioBuilder { wan, fleet, demands, config: ScenarioConfig::default(), obs: rwc_obs::noop() }
     }
 
-    /// Positional constructor, panicking on invalid wiring.
-    #[deprecated(since = "0.5.0", note = "use `Scenario::builder`, which validates instead of panicking")]
-    pub fn new(
-        wan: WanTopology,
-        fleet: FleetConfig,
-        demands: DemandMatrix,
-        config: ScenarioConfig,
-    ) -> Self {
-        match Self::builder(wan, fleet, demands).config(config).build() {
-            Ok(s) => s,
-            Err(e) => panic!("invalid scenario wiring: {e}"),
-        }
-    }
-
     /// Read access to the live network state.
     pub fn network(&self) -> &DynamicCapacityNetwork {
         &self.network
@@ -511,28 +497,6 @@ impl Scenario {
     /// interrupted run's value to confirm both walked the same schedule.
     pub fn rounds_completed(&self) -> u64 {
         self.rounds_completed
-    }
-
-    /// Fallible twin of [`Scenario::run`], kept for source compatibility.
-    #[deprecated(since = "0.5.0", note = "`run` now returns `Result` and records timing; call it directly")]
-    pub fn try_run(
-        &mut self,
-        horizon: SimDuration,
-        algorithm: &dyn TeAlgorithm,
-    ) -> Result<ScenarioReport, RwcError> {
-        self.run(horizon, algorithm)
-    }
-
-    /// [`Scenario::run`] returning the timing sidecar by value.
-    #[deprecated(since = "0.5.0", note = "`run` records timing; read it back with `last_timing`")]
-    pub fn try_run_timed(
-        &mut self,
-        horizon: SimDuration,
-        algorithm: &dyn TeAlgorithm,
-    ) -> Result<(ScenarioReport, ScenarioTiming), RwcError> {
-        let report = self.run(horizon, algorithm)?;
-        let timing = self.last_timing.clone().unwrap_or_default();
-        Ok((report, timing))
     }
 
     /// Runs for `horizon`, returning the report. Wiring problems (e.g.
@@ -863,20 +827,6 @@ mod tests {
         // 10 days of simulation needs 10 days of telemetry — typed error.
         let err = s.run(SimDuration::from_days(10), &SwanTe::default()).unwrap_err();
         assert!(matches!(err, RwcError::Telemetry(_)), "{err}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shims_still_work() {
-        // The pre-redesign surface: `try_run` / `try_run_timed` and the
-        // positional constructor keep compiling (with warnings in *their
-        // callers*, silenced here) and agree with the unified `run`.
-        let mut s = scenario(5);
-        let err = s.try_run(SimDuration::from_days(10), &SwanTe::default()).unwrap_err();
-        assert!(matches!(err, RwcError::Telemetry(_)), "{err}");
-        let (report, timing) =
-            s.try_run_timed(SimDuration::from_days(1), &SwanTe::default()).unwrap();
-        assert_eq!(timing.solve_micros.len(), report.samples.len());
     }
 
     #[test]

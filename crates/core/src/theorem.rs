@@ -122,7 +122,7 @@ pub fn check_multicommodity(
     demands: &DemandMatrix,
 ) -> McTheoremReport {
     use rwc_te::TeAlgorithm;
-    let exact = rwc_te::exact::ExactTe::default();
+    let exact = rwc_te::TeSolver::builder().build().expect("default TE solver");
 
     let aug = augment(wan, demands, config, &[]);
     let augmented = exact.solve(&aug.problem);

@@ -194,17 +194,17 @@ mod tests {
         // Solve with the exact LP (min penalties are encoded as costs...
         // the LP maximises throughput; use SWAN-style then check): for the
         // equivalence-grade check we use min-cost max-flow per commodity
-        // pair via the exact TE + penalties. Here: route with ExactTe on
+        // pair via the exact TE + penalties. Here: route with the LP on
         // the augmented problem, then translate.
         use rwc_te::TeAlgorithm;
-        let sol = rwc_te::exact::ExactTe::default().solve(&aug.problem);
+        let sol = rwc_te::TeSolver::builder().build().unwrap().solve(&aug.problem);
         let tr = translate(&aug, &wan, &sol).unwrap();
         // All 250 G must route.
         assert!((sol.total - 250.0).abs() < 1e-6, "total={}", sol.total);
         // Penalty-minimising TE upgrades exactly ONE of the two upgradable
         // links (the other demand detours through the spare capacity) —
         // exact LP may pick either; both are valid per the paper.
-        // NOTE: ExactTe ignores costs (pure throughput), so it may upgrade
+        // NOTE: the max-throughput LP treats costs only as a tie-break, so it may upgrade
         // both; the penalty-aware check uses min-cost flow in theorem.rs.
         // Here we verify the translation mechanics: upgrades cover flows.
         for (id, link) in wan.links() {
@@ -241,7 +241,7 @@ mod tests {
         let (wan, dm, cfg) = fig7_setup();
         let aug = augment(&wan, &dm, &cfg, &[]);
         use rwc_te::TeAlgorithm;
-        let sol = rwc_te::exact::ExactTe::default().solve(&aug.problem);
+        let sol = rwc_te::TeSolver::builder().build().unwrap().solve(&aug.problem);
         let tr = translate(&aug, &wan, &sol).unwrap();
         let aug_total: f64 = sol.edge_flows.iter().sum();
         let real_total: f64 = tr.real_edge_flows.iter().sum();

@@ -146,8 +146,7 @@ impl LuFactors {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by_key(|&s| colptr[s + 1] - colptr[s]);
 
-        for step in 0..m {
-            let slot = order[step];
+        for (step, &slot) in order.iter().enumerate() {
             let (cs, ce) = (colptr[slot], colptr[slot + 1]);
             // Symbolic: reach of the column's pattern over L's graph, in
             // topological order (ancestors first).
@@ -454,12 +453,12 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        for j in 0..m {
-            cols[j][j] = 8.0 + next().abs();
+        for (j, col) in cols.iter_mut().enumerate() {
+            col[j] = 8.0 + next().abs();
             for _ in 0..3 {
                 let r = ((next().abs() * m as f64) as usize).min(m - 1);
                 if r != j {
-                    cols[j][r] = next();
+                    col[r] = next();
                 }
             }
         }

@@ -1244,7 +1244,13 @@ mod tests {
             for _ in 0..nc {
                 let terms: Vec<(usize, f64)> = vars
                     .iter()
-                    .filter_map(|&v| (next() < 0.7).then(|| (v, next() * 3.0 + 0.1)))
+                    .filter_map(|&v| {
+                        if next() < 0.7 {
+                            Some((v, next() * 3.0 + 0.1))
+                        } else {
+                            None
+                        }
+                    })
                     .collect();
                 if terms.is_empty() {
                     continue;

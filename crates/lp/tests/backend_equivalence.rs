@@ -245,6 +245,209 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Objective-zoo equivalence: the same backend contract (sparse == dense
+// at 1e-6, warm starts on rhs-only drift) for every `TeObjective`, driven
+// through the real `TeFormulation` lowering instead of a hand-rolled LP.
+// ---------------------------------------------------------------------
+
+use rwc_lp::simplex::LpBackend;
+use rwc_te::demand::DemandMatrix;
+use rwc_te::problem::{EdgeOrigin, TeProblem};
+use rwc_te::{TeAlgorithm, TeObjective, TeSolve, TeSolver, WarmStartPolicy};
+use rwc_topology::random::{waxman, WaxmanConfig};
+use rwc_topology::wan::LinkId;
+use rwc_util::units::Gbps;
+
+/// A random TE problem (Waxman topology + gravity demands) with one fake
+/// upgrade rung on link 0, so the unsplittable gadget and the reduction
+/// readout have structure to chew on.
+fn te_instances() -> impl Strategy<Value = TeProblem> {
+    (4usize..8, 0u64..200, 60.0f64..600.0, 0u64..50).prop_map(|(n, seed, volume, dseed)| {
+        let wan = waxman(&WaxmanConfig { n_nodes: n, seed, ..Default::default() });
+        let dm = DemandMatrix::gravity(&wan, Gbps(volume), dseed);
+        let mut p = TeProblem::from_wan(&wan, &dm);
+        // One fake rung parallel to link 0's forward direction.
+        let real = p.net.edge(0);
+        p.net.add_edge(real.from, real.to, real.capacity * 0.5, real.cost + 1.0);
+        p.origins.push(EdgeOrigin::Fake { link: LinkId(0), forward: true });
+        p
+    })
+}
+
+/// The value both backends must agree on for an objective: total
+/// throughput, the MLU, or the concurrency factor λ. (Raw LP objectives
+/// differ by the sparse tie-break epsilon, so equivalence is asserted at
+/// the solution level — the same contract the max-throughput path pins.)
+fn zoo_headline(objective: &TeObjective, solve: &TeSolve) -> f64 {
+    match objective {
+        TeObjective::MinMlu { .. } => solve.mlu.expect("min-MLU reports MLU"),
+        TeObjective::MaxConcurrentFlow => solve.lambda.expect("concurrent reports lambda"),
+        _ => solve.solution.total,
+    }
+}
+
+fn zoo_solver(objective: TeObjective, backend: LpBackend) -> TeSolver {
+    TeSolver::builder()
+        .objective(objective)
+        .backend(backend)
+        .build()
+        .expect("objective-zoo solver config is valid")
+}
+
+/// Every objective the formulation can lower for `p`, including a
+/// three-matrix min-MLU envelope derived from the problem's demands.
+fn zoo(p: &TeProblem) -> Vec<TeObjective> {
+    let tms: Vec<Vec<f64>> = (0..3)
+        .map(|j| {
+            p.commodities
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.demand * (0.6 + 0.2 * j as f64 + 0.1 * ((i + j) % 2) as f64))
+                .collect()
+        })
+        .collect();
+    vec![
+        TeObjective::MaxThroughput,
+        TeObjective::MinMlu { traffic_matrices: tms },
+        TeObjective::MaxConcurrentFlow,
+        TeObjective::Unsplittable,
+        TeObjective::CapacityReduction,
+    ]
+}
+
+/// Scales every edge capacity by `scale` — rhs-only drift for every
+/// objective except MinMlu (whose MLU column carries capacities), which
+/// drifts its traffic matrices instead.
+fn drift_problem(p: &TeProblem, scale: f64) -> TeProblem {
+    let mut q = p.clone();
+    for e in 0..q.net.n_edges() {
+        let cap = q.net.edge(e).capacity;
+        q.net.set_capacity(e, cap * scale);
+    }
+    q
+}
+
+fn drift_objective(objective: &TeObjective, scale: f64) -> TeObjective {
+    match objective {
+        TeObjective::MinMlu { traffic_matrices } => TeObjective::MinMlu {
+            traffic_matrices: traffic_matrices
+                .iter()
+                .map(|tm| tm.iter().map(|d| d * scale).collect())
+                .collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sparse and dense agree at 1e-6 on the headline value of every
+    /// objective, on random gadget-bearing TE instances.
+    #[test]
+    fn backends_agree_on_every_objective(p in te_instances()) {
+        for objective in zoo(&p) {
+            let sparse = zoo_solver(objective.clone(), LpBackend::Sparse)
+                .solve_detailed(&p)
+                .expect("sparse solve");
+            let dense = zoo_solver(objective.clone(), LpBackend::Dense)
+                .solve_detailed(&p)
+                .expect("dense solve");
+            let (s, d) = (zoo_headline(&objective, &sparse), zoo_headline(&objective, &dense));
+            prop_assert!((s - d).abs() <= 1e-6 * (1.0 + d.abs()),
+                "{}: sparse {s} vs dense {d}", objective.algorithm_name());
+        }
+    }
+
+    /// Rhs-only drift warm-starts for every objective: a persistent
+    /// sparse solver tracks an always-cold dense solver across the drift
+    /// sequence, attempting a warm start at every step. Capacities drift
+    /// for the throughput-family objectives; traffic matrices drift for
+    /// min-MLU (its MLU column carries capacity values, so capacity moves
+    /// are value drift there, not rhs drift).
+    #[test]
+    fn warm_rhs_drift_tracks_cold_per_objective(
+        p in te_instances(),
+        drift in proptest::collection::vec(0.6f64..1.4, 3..6),
+    ) {
+        for objective in zoo(&p) {
+            let mut warm = zoo_solver(objective.clone(), LpBackend::Sparse);
+            warm.solve_detailed(&p).expect("first solve");
+            let tm_drift = matches!(objective, TeObjective::MinMlu { .. });
+            for &scale in &drift {
+                let q = if tm_drift { p.clone() } else { drift_problem(&p, scale) };
+                let drifted = drift_objective(&objective, if tm_drift { scale } else { 1.0 });
+                if tm_drift {
+                    warm.set_objective(drifted.clone())
+                        .expect("drifted objective stays valid");
+                }
+                let cold = TeSolver::builder()
+                    .objective(drifted)
+                    .backend(LpBackend::Dense)
+                    .warm_start(WarmStartPolicy::AlwaysCold)
+                    .build()
+                    .expect("cold oracle config is valid");
+                let w = warm.solve_detailed(&q).expect("warm drift solve");
+                let c = cold.solve_detailed(&q).expect("cold drift solve");
+                let (wv, cv) = (
+                    zoo_headline(&objective, &w),
+                    zoo_headline(&objective, &c),
+                );
+                prop_assert!((wv - cv).abs() <= 1e-6 * (1.0 + cv.abs()),
+                    "{} at scale {scale}: warm {wv} vs cold {cv}",
+                    objective.algorithm_name());
+            }
+            let stats = warm.warm_stats().expect("TeSolver reports stats");
+            prop_assert!(stats.warm_attempts >= drift.len() as u64,
+                "{}: only {} warm attempts across {} drift steps",
+                objective.algorithm_name(), stats.warm_attempts, drift.len());
+        }
+    }
+}
+
+/// The paper's Fig. 8 unsplittable fixture, with a known integral
+/// optimum: a 100 G real link plus a 100 G fake upgrade rung between the
+/// same endpoints, demand 300 G. The node-splitting gadget routes through
+/// the shared 200 G guard edge, and the ladder fold must put exactly
+/// 100 G on the real edge and exactly 100 G on the rung — identically on
+/// both backends.
+#[test]
+fn fig8_unsplittable_fixture_integral_optimum() {
+    let wan = {
+        let mut w = rwc_topology::wan::WanTopology::new();
+        let a = w.add_node("A".to_string(), None);
+        let b = w.add_node("B".to_string(), None);
+        w.add_link(a, b, 500.0);
+        w
+    };
+    let a = wan.node_by_name("A").unwrap();
+    let b = wan.node_by_name("B").unwrap();
+    let mut dm = DemandMatrix::new();
+    dm.add(a, b, Gbps(300.0), rwc_te::demand::Priority::Elastic);
+    let mut p = TeProblem::from_wan(&wan, &dm);
+    let real = p.net.edge(0);
+    assert_eq!(real.capacity, 100.0, "base modulation is 100 G");
+    p.net.add_edge(real.from, real.to, 100.0, 1.0);
+    p.origins.push(EdgeOrigin::Fake { link: LinkId(0), forward: true });
+
+    for backend in [LpBackend::Sparse, LpBackend::Dense] {
+        let solve = zoo_solver(TeObjective::Unsplittable, backend)
+            .solve_detailed(&p)
+            .expect("fixture solves");
+        assert!(
+            (solve.solution.total - 200.0).abs() < 1e-6,
+            "{backend:?}: total {} != 200", solve.solution.total
+        );
+        // Ladder fold: real slice saturates first, the rung takes the rest.
+        assert!((solve.solution.edge_flows[0] - 100.0).abs() < 1e-6,
+            "{backend:?}: real edge carries {}", solve.solution.edge_flows[0]);
+        assert!((solve.solution.edge_flows[2] - 100.0).abs() < 1e-6,
+            "{backend:?}: fake rung carries {}", solve.solution.edge_flows[2]);
+        solve.solution.validate(&p).expect("fixture solution is feasible");
+    }
+}
+
 /// A value-only drift that turns the retained basis singular: the column
 /// sparsity patterns are unchanged (so the warm plan applies), but the
 /// two basic columns become linearly dependent, the LU refactorisation

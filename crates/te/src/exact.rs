@@ -1,16 +1,29 @@
-//! LP-exact traffic engineering.
+//! LP-exact traffic engineering — the legacy entry points.
 //!
-//! Solves the maximum-total-throughput multicommodity problem exactly via
-//! the simplex solver in `rwc-lp`. The LP has `K·E` variables, so this is
-//! for small/medium instances — Abilene-scale topologies with tens of
-//! demands — where it serves as the optimality reference for the heuristic
-//! solvers and for the Theorem 1 cross-validation.
+//! PR 10 generalised this module into the objective zoo: the lowering
+//! lives in [`crate::formulation`] (max-throughput is one of five
+//! [`crate::formulation::TeObjective`]s) and the configured solver in
+//! [`crate::solver::TeSolver`]. Everything here is now a thin shim kept
+//! for source compatibility:
+//!
+//! | deprecated                          | replacement                               |
+//! |-------------------------------------|-------------------------------------------|
+//! | `ExactTe { backend, .. }`           | `TeSolver::builder().backend(..).build()` |
+//! | `IncrementalExactTe::with_backend`  | `TeSolver::builder().backend(..).build()` |
+//! | `..::set_observer` / `set_solve_timeout` | builder's `.observer(..)` / `.solve_timeout(..)` |
+//! | `build_lp` / `build_sparse_lp`      | `TeFormulation::lower` + `dense_lp`/`sparse_lp` |
+//!
+//! The shims preserve their exact pre-zoo behaviour — algorithm names
+//! (`"exact-lp"`, `"exact-lp-warm"`), LP layouts (byte-identical to the
+//! formulation's max-throughput lowering), error contexts and observer
+//! streams — so existing reports, memo keys and baselines don't move.
 
-use crate::problem::{EdgeOrigin, TeProblem, TeSolution};
+use crate::formulation::{TeFormulation, TeObjective};
+use crate::problem::{TeProblem, TeSolution};
 use crate::{TeAlgorithm, TeError};
-use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
-use rwc_lp::simplex::{LpBackend, LpOutcome, SimplexSolver, Solution, SolverStats};
-use rwc_lp::{SparseLp, SparseLpBuilder, SparseSimplexSolver};
+use rwc_lp::model::LinearProgram;
+use rwc_lp::simplex::{LpBackend, SimplexSolver, SolverStats};
+use rwc_lp::{SparseLp, SparseSimplexSolver};
 use rwc_obs::{Event, Observer};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -23,6 +36,11 @@ use std::time::Duration;
 /// optimal throughputs) minimises `Σ flow·cost`. This is exactly the
 /// min-penalty behaviour the paper's Theorem 1 construction expects from
 /// the TE algorithm on an augmented graph.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `TeSolver::builder()` — e.g. \
+            `TeSolver::builder().backend(LpBackend::Dense).build()?`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExactTe {
     /// Objective weight of a routed unit relative to one unit of edge
@@ -33,247 +51,53 @@ pub struct ExactTe {
     pub backend: LpBackend,
 }
 
+#[allow(deprecated)]
 impl Default for ExactTe {
     fn default() -> Self {
         Self { throughput_weight: 1e6, backend: LpBackend::default() }
     }
 }
 
-/// Lowers a TE problem to the max-throughput multicommodity LP: variable
-/// `(ki, ei)` at `ki*m + ei`, objective = weighted net outflow at each
-/// commodity's source minus edge costs, with capacity, flow-conservation
-/// and demand-cap constraints. Public so the benches can solve the exact
-/// LP the round engine solves.
+fn max_throughput(throughput_weight: f64) -> TeFormulation {
+    TeFormulation { objective: TeObjective::MaxThroughput, throughput_weight }
+}
+
+/// Lowers a TE problem to the max-throughput multicommodity LP (variable
+/// `(ki, ei)` at `ki*m + ei`; see [`crate::formulation`] for the layout
+/// contract).
+#[deprecated(
+    since = "0.10.0",
+    note = "use `TeFormulation::lower(..)?.dense_lp()`"
+)]
 pub fn build_lp(problem: &TeProblem, throughput_weight: f64) -> LinearProgram {
-    let net = &problem.net;
-    let k = problem.commodities.len();
-    let m = net.n_edges();
-    let mut b = LpBuilder::new();
-    for c in &problem.commodities {
-        for e in net.edges() {
-            let outflow = if e.from == c.source {
-                1.0
-            } else if e.to == c.source {
-                -1.0
-            } else {
-                0.0
-            };
-            b.add_var(outflow * throughput_weight - e.cost);
-        }
-    }
-    for (ei, e) in net.edges().iter().enumerate() {
-        let terms: Vec<(usize, f64)> = (0..k).map(|ki| (ki * m + ei, 1.0)).collect();
-        b.add_constraint(&terms, Relation::Le, e.capacity);
-    }
-    for (ki, c) in problem.commodities.iter().enumerate() {
-        for node in 0..net.n_nodes() {
-            if node == c.source || node == c.sink {
-                continue;
-            }
-            let mut terms = Vec::new();
-            for (ei, e) in net.edges().iter().enumerate() {
-                if e.from == node {
-                    terms.push((ki * m + ei, 1.0));
-                }
-                if e.to == node {
-                    terms.push((ki * m + ei, -1.0));
-                }
-            }
-            if !terms.is_empty() {
-                b.add_constraint(&terms, Relation::Eq, 0.0);
-            }
-        }
-        // Demand cap at the source.
-        let mut terms = Vec::new();
-        for (ei, e) in net.edges().iter().enumerate() {
-            if e.from == c.source {
-                terms.push((ki * m + ei, 1.0));
-            }
-            if e.to == c.source {
-                terms.push((ki * m + ei, -1.0));
-            }
-        }
-        b.add_constraint(&terms, Relation::Le, c.demand);
-    }
-    b.build()
+    max_throughput(throughput_weight)
+        .lower(problem)
+        .expect("max-throughput lowering cannot fail validation")
+        .dense_lp()
 }
 
-/// Lowers a TE problem straight to sparse computational form, skipping the
-/// dense intermediate entirely. The layout is chosen to stay *stable under
-/// edge augmentation* so the structural-pattern warm key holds across
-/// dirty-link rounds:
-///
-/// - columns are edge-major (`ei·k + ki`): fake edges appended by the
-///   Theorem 1 augmentation add columns strictly at the end;
-/// - rows are `[conservation (commodity-major, every non-terminal node)]
-///   [demand (per commodity)][capacity (edge order; multi-commodity
-///   only)]` — appending edges appends capacity rows without shifting any
-///   existing row index;
-/// - with a single commodity the capacity constraint of each edge is a
-///   plain column bound, so capacity drift is a bounds-only change the
-///   solver absorbs without even refactorising. Multi-commodity capacity
-///   drift is rhs-only, which warm-resolves equally.
-///
-/// Fake (upgrade) edges additionally carry a tiny index-proportional
-/// objective epsilon. Linear per-unit penalties cannot distinguish
-/// "concentrate the overflow on one link's ladder" from "open a second
-/// link" when the totals tie (Fig. 7's worked example is exactly such a
-/// tie), so which co-optimal vertex a solver lands on — and therefore how
-/// many *upgrades* the translation orders — would otherwise depend on
-/// pivot order. The epsilon deterministically prefers earlier-appended
-/// fake edges, i.e. lower-indexed links and their ladder rungs, making
-/// the translated upgrade set backend-independent. At 1e-6 per index per
-/// unit flow it is far below any real penalty difference and far above
-/// solver tolerances.
+/// Lowers a TE problem straight to sparse computational form with the
+/// augmentation-stable edge-major layout and the deterministic fake-edge
+/// tie-break epsilon (see [`crate::formulation`] for the full rationale:
+/// fake columns and capacity rows append strictly at the end so the
+/// structural warm key holds across dirty-link rounds, and the epsilon
+/// makes translated upgrade sets backend-independent).
+#[deprecated(
+    since = "0.10.0",
+    note = "use `TeFormulation::lower(..)?.sparse_lp()`"
+)]
 pub fn build_sparse_lp(problem: &TeProblem, throughput_weight: f64) -> SparseLp {
-    let net = &problem.net;
-    let k = problem.commodities.len();
-    let m = net.n_edges();
-    let n_nodes = net.n_nodes();
-
-    // Conservation rows: one per (commodity, non-terminal node), indexed
-    // commodity-major. Allocated for every such node — even currently
-    // isolated ones — so the row map never depends on the edge set.
-    let mut cons_row = vec![usize::MAX; k * n_nodes];
-    let mut next_row = 0usize;
-    for (ki, c) in problem.commodities.iter().enumerate() {
-        for node in 0..n_nodes {
-            if node != c.source && node != c.sink {
-                cons_row[ki * n_nodes + node] = next_row;
-                next_row += 1;
-            }
-        }
-    }
-    let demand_row = |ki: usize| next_row + ki;
-    let cap_base = next_row + k;
-    let n_rows = if k > 1 { cap_base + m } else { cap_base };
-
-    let mut b = SparseLpBuilder::new(n_rows);
-    for (ki, c) in problem.commodities.iter().enumerate() {
-        b.set_row(demand_row(ki), Relation::Le, c.demand);
-    }
-    if k > 1 {
-        for (ei, e) in net.edges().iter().enumerate() {
-            b.set_row(cap_base + ei, Relation::Le, e.capacity);
-        }
-    }
-    for r in cons_row.iter().filter(|&&r| r != usize::MAX) {
-        b.set_row(*r, Relation::Eq, 0.0);
-    }
-
-    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(4);
-    for (ei, e) in net.edges().iter().enumerate() {
-        for (ki, c) in problem.commodities.iter().enumerate() {
-            entries.clear();
-            let push = |entries: &mut Vec<(usize, f64)>, row: usize, v: f64| {
-                if let Some(slot) = entries.iter_mut().find(|(r, _)| *r == row) {
-                    slot.1 += v;
-                } else {
-                    entries.push((row, v));
-                }
-            };
-            let from_row = cons_row[ki * n_nodes + e.from];
-            if from_row != usize::MAX {
-                push(&mut entries, from_row, 1.0);
-            }
-            let to_row = cons_row[ki * n_nodes + e.to];
-            if to_row != usize::MAX {
-                push(&mut entries, to_row, -1.0);
-            }
-            let mut outflow = 0.0;
-            if e.from == c.source {
-                outflow += 1.0;
-            }
-            if e.to == c.source {
-                outflow -= 1.0;
-            }
-            if outflow != 0.0 {
-                push(&mut entries, demand_row(ki), outflow);
-            }
-            if k > 1 {
-                push(&mut entries, cap_base + ei, 1.0);
-            }
-            entries.retain(|&(_, v)| v != 0.0);
-            entries.sort_unstable_by_key(|&(r, _)| r);
-            let tie_break = match problem.origins.get(ei) {
-                Some(EdgeOrigin::Fake { .. }) => 1e-6 * ei as f64,
-                _ => 0.0,
-            };
-            let objective = outflow * throughput_weight - e.cost - tie_break;
-            b.push_col(objective, e.capacity, &entries);
-        }
-    }
-    b.build()
+    max_throughput(throughput_weight)
+        .lower(problem)
+        .expect("max-throughput lowering cannot fail validation")
+        .sparse_lp()
 }
 
-/// Reorders an edge-major sparse LP point into the commodity-major layout
-/// the shared extraction code expects.
-fn remap_edge_major(outcome: LpOutcome, k: usize, m: usize) -> LpOutcome {
-    match outcome {
-        LpOutcome::Optimal(s) => {
-            let mut x = vec![0.0; k * m];
-            for ei in 0..m {
-                for ki in 0..k {
-                    x[ki * m + ei] = s.x[ei * k + ki];
-                }
-            }
-            LpOutcome::Optimal(Solution { x, objective: s.objective })
-        }
-        other => other,
-    }
+fn empty_solution(problem: &TeProblem) -> TeSolution {
+    TeSolution { routed: vec![], edge_flows: vec![0.0; problem.net.n_edges()], total: 0.0 }
 }
 
-/// Maps an LP outcome to a TE result, shared by the cold and warm solvers.
-fn outcome_to_solution(
-    outcome: LpOutcome,
-    problem: &TeProblem,
-    algorithm: &'static str,
-) -> Result<TeSolution, TeError> {
-    let k = problem.commodities.len();
-    let m = problem.net.n_edges();
-    let solution = match outcome {
-        LpOutcome::Optimal(s) => s,
-        LpOutcome::Stalled => {
-            return Err(TeError::SolverTimeout {
-                algorithm,
-                detail: format!("simplex exhausted its pivot budget ({k} commodities, {m} edges)"),
-            })
-        }
-        other => {
-            return Err(TeError::SolverAbort {
-                algorithm,
-                detail: format!("LP not optimal: {other:?}"),
-            })
-        }
-    };
-    Ok(extract_solution(&solution, problem))
-}
-
-/// Reads the per-commodity flows back out of the LP point.
-fn extract_solution(solution: &Solution, problem: &TeProblem) -> TeSolution {
-    let net = &problem.net;
-    let k = problem.commodities.len();
-    let m = net.n_edges();
-    let mut routed = vec![0.0; k];
-    let mut edge_flows = vec![0.0; m];
-    for (ki, c) in problem.commodities.iter().enumerate() {
-        let mut net_out = 0.0;
-        for (ei, e) in net.edges().iter().enumerate() {
-            let f = solution.x[ki * m + ei];
-            edge_flows[ei] += f;
-            if e.from == c.source {
-                net_out += f;
-            }
-            if e.to == c.source {
-                net_out -= f;
-            }
-        }
-        routed[ki] = net_out.max(0.0);
-    }
-    let total = routed.iter().sum();
-    TeSolution { routed, edge_flows, total }
-}
-
+#[allow(deprecated)]
 impl TeAlgorithm for ExactTe {
     fn name(&self) -> &'static str {
         "exact-lp"
@@ -281,25 +105,20 @@ impl TeAlgorithm for ExactTe {
 
     fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
         if problem.commodities.is_empty() {
-            return Ok(TeSolution {
-                routed: vec![],
-                edge_flows: vec![0.0; problem.net.n_edges()],
-                total: 0.0,
-            });
+            return Ok(empty_solution(problem));
         }
-        let k = problem.commodities.len();
-        let m = problem.net.n_edges();
-        let outcome = match self.backend {
+        let lowered = max_throughput(self.throughput_weight).lower(problem)?;
+        let solve = match self.backend {
             LpBackend::Dense => {
-                let lp = build_lp(problem, self.throughput_weight);
-                SimplexSolver::new().solve(&lp)
+                let outcome = SimplexSolver::new().solve(&lowered.dense_lp());
+                lowered.extract_dense_as(outcome, self.name())?
             }
             LpBackend::Sparse => {
-                let sp = build_sparse_lp(problem, self.throughput_weight);
-                remap_edge_major(SparseSimplexSolver::new().solve_sparse(&sp), k, m)
+                let outcome = SparseSimplexSolver::new().solve_sparse(&lowered.sparse_lp());
+                lowered.extract_sparse_as(outcome, self.name())?
             }
         };
-        outcome_to_solution(outcome, problem, self.name())
+        Ok(solve.solution)
     }
 }
 
@@ -314,6 +133,13 @@ impl TeAlgorithm for ExactTe {
 /// the optimal objective to tolerance; among degenerate optima the argmax
 /// may differ, so determinism-sensitive comparisons should pin objectives,
 /// not flow vectors.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `TeSolver::builder()` — the builder covers `with_backend` \
+            (`.backend(..)`), `set_observer` (`.observer(..)`) and \
+            `set_solve_timeout` (`.solve_timeout(..)`) in one validated call"
+)]
+#[allow(deprecated)]
 #[derive(Debug)]
 pub struct IncrementalExactTe {
     /// The LP formulation knobs (including the backend), shared with the
@@ -324,6 +150,7 @@ pub struct IncrementalExactTe {
     obs: Arc<dyn Observer>,
 }
 
+#[allow(deprecated)]
 impl Default for IncrementalExactTe {
     fn default() -> Self {
         Self {
@@ -335,6 +162,7 @@ impl Default for IncrementalExactTe {
     }
 }
 
+#[allow(deprecated)]
 impl IncrementalExactTe {
     /// A fresh solver with the default throughput weight and no basis.
     pub fn new() -> Self {
@@ -397,6 +225,7 @@ impl IncrementalExactTe {
     }
 }
 
+#[allow(deprecated)]
 impl TeAlgorithm for IncrementalExactTe {
     fn name(&self) -> &'static str {
         "exact-lp-warm"
@@ -404,34 +233,31 @@ impl TeAlgorithm for IncrementalExactTe {
 
     fn try_solve(&self, problem: &TeProblem) -> Result<TeSolution, TeError> {
         if problem.commodities.is_empty() {
-            return Ok(TeSolution {
-                routed: vec![],
-                edge_flows: vec![0.0; problem.net.n_edges()],
-                total: 0.0,
-            });
+            return Ok(empty_solution(problem));
         }
+        let lowered = max_throughput(self.base.throughput_weight).lower(problem)?;
         let enabled = self.obs.enabled();
-        let outcome = match self.base.backend {
+        let solve = match self.base.backend {
             LpBackend::Dense => {
-                let lp = build_lp(problem, self.base.throughput_weight);
+                let lp = lowered.dense_lp();
                 let before = enabled.then(|| self.solver.borrow().stats());
                 let outcome = self.solver.borrow_mut().solve(&lp);
                 if let Some(before) = before {
                     self.publish_solve(before, self.solver.borrow().stats());
                 }
-                outcome
+                lowered.extract_dense_as(outcome, self.name())?
             }
             LpBackend::Sparse => {
-                let sp = build_sparse_lp(problem, self.base.throughput_weight);
+                let sp = lowered.sparse_lp();
                 let before = enabled.then(|| self.sparse_solver.borrow().stats());
                 let outcome = self.sparse_solver.borrow_mut().solve_sparse(&sp);
                 if let Some(before) = before {
                     self.publish_solve(before, self.sparse_solver.borrow().stats());
                 }
-                remap_edge_major(outcome, problem.commodities.len(), problem.net.n_edges())
+                lowered.extract_sparse_as(outcome, self.name())?
             }
         };
-        outcome_to_solution(outcome, problem, self.name())
+        Ok(solve.solution)
     }
 
     fn warm_stats(&self) -> Option<SolverStats> {
@@ -443,6 +269,7 @@ impl TeAlgorithm for IncrementalExactTe {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::demand::{DemandMatrix, Priority};

@@ -1,0 +1,1294 @@
+//! The TE objective zoo: one formulation layer, many objectives.
+//!
+//! PR 9's sparse revised simplex gave the TE layer one *backend* with two
+//! lowerings (`build_lp` / `build_sparse_lp`); this module generalises the
+//! pair into a [`TeFormulation`] that owns, per [`TeObjective`]:
+//!
+//! - the **variable/row layout** of both the dense and the sparse LP,
+//!   chosen to stay *augmentation-stable* where the objective permits it
+//!   (fake-edge columns and capacity rows strictly appended, scalar
+//!   columns pinned at index 0) so the revised simplex's structural warm
+//!   key keeps matching across dirty-link rounds;
+//! - the **translation back** from an LP point to a [`TeSolution`] (plus
+//!   objective-specific extras in [`TeSolve`]);
+//! - **deterministic tie-breaking** so the translated upgrade/reduction
+//!   sets are backend-independent (see `build_sparse_lp`'s epsilon note).
+//!
+//! The objectives:
+//!
+//! | objective            | LP shape                                          |
+//! |----------------------|---------------------------------------------------|
+//! | [`MaxThroughput`]    | today's weighted max-flow MCF                     |
+//! | [`MinMlu`]           | TROD-style min-`mlu` over per-TM envelopes `U`    |
+//! | [`MaxConcurrentFlow`]| max `λ ≤ 1` with every demand routed at `λ·d_k`   |
+//! | [`Unsplittable`]     | the paper's Fig. 8 node-splitting gadget          |
+//! | [`CapacityReduction`]| max-throughput readout of *deletable* fake slices |
+//!
+//! [`MaxThroughput`]: TeObjective::MaxThroughput
+//! [`MinMlu`]: TeObjective::MinMlu
+//! [`MaxConcurrentFlow`]: TeObjective::MaxConcurrentFlow
+//! [`Unsplittable`]: TeObjective::Unsplittable
+//! [`CapacityReduction`]: TeObjective::CapacityReduction
+
+use crate::problem::{EdgeOrigin, TeProblem, TeSolution};
+use crate::TeError;
+use rwc_flow::network::FlowNetwork;
+use rwc_lp::model::{LinearProgram, LpBuilder, Relation};
+use rwc_lp::simplex::{LpOutcome, Solution};
+use rwc_lp::{SparseLp, SparseLpBuilder};
+use rwc_topology::wan::LinkId;
+use std::collections::BTreeMap;
+
+/// Flow below this is "not using the slice" for capacity-reduction
+/// readouts. Far above simplex tolerance, far below any real allocation.
+const REDUCTION_EPS: f64 = 1e-6;
+
+/// What the TE layer optimises for.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TeObjective {
+    /// Maximise total routed volume (the original shape): throughput is
+    /// rewarded at `throughput_weight` per unit, edge costs act as a
+    /// lexicographic tie-breaker.
+    #[default]
+    MaxThroughput,
+    /// Minimise the maximum link utilisation over a set of representative
+    /// traffic matrices, TROD-style: each matrix is a per-commodity volume
+    /// vector (parallel to `TeProblem::commodities`), the per-commodity
+    /// *envelope* `U_k = max over matrices` is routed exactly, and every
+    /// edge constrains `Σ flow ≤ mlu · capacity`. An empty list means
+    /// "use the problem's own demands as the single matrix".
+    MinMlu {
+        /// Representative traffic matrices; each entry is a volume vector
+        /// with one element per commodity.
+        traffic_matrices: Vec<Vec<f64>>,
+    },
+    /// Max-concurrent-flow fairness: maximise `λ ∈ [0, 1]` such that every
+    /// commodity routes exactly `λ · demand` — no commodity is starved to
+    /// fatten the total.
+    MaxConcurrentFlow,
+    /// The paper's Fig. 8 unsplittable-upgrade gadget: every real edge
+    /// with fake upgrade rungs is split through an auxiliary node whose
+    /// guard edge carries the *combined* (current + upgraded) capacity, so
+    /// the LP prices an upgrade as a whole-link decision rather than a
+    /// freely divisible top-up.
+    Unsplittable,
+    /// Capacity *reduction* (fake-edge deletion instead of addition): the
+    /// same max-throughput LP, but the fake edges model currently-lit
+    /// capacity slices that cost to keep; slices left unused by the
+    /// optimum are reported as deletable in [`TeSolve::reductions`].
+    CapacityReduction,
+}
+
+impl TeObjective {
+    /// Stable algorithm name for reports, memo keys and error contexts.
+    pub fn algorithm_name(&self) -> &'static str {
+        match self {
+            TeObjective::MaxThroughput => "exact-lp:max-throughput",
+            TeObjective::MinMlu { .. } => "exact-lp:min-mlu",
+            TeObjective::MaxConcurrentFlow => "exact-lp:max-concurrent-flow",
+            TeObjective::Unsplittable => "exact-lp:unsplittable",
+            TeObjective::CapacityReduction => "exact-lp:capacity-reduction",
+        }
+    }
+}
+
+/// An objective-specific LP result: the shared [`TeSolution`] plus the
+/// extras only some objectives produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeSolve {
+    /// Flows and routed volumes on the *original* problem's edges (gadget
+    /// plumbing is already folded back for [`TeObjective::Unsplittable`]).
+    pub solution: TeSolution,
+    /// The optimal maximum link utilisation ([`TeObjective::MinMlu`]).
+    pub mlu: Option<f64>,
+    /// The optimal concurrency factor ([`TeObjective::MaxConcurrentFlow`]).
+    pub lambda: Option<f64>,
+    /// Links whose fake capacity slices the optimum leaves unused in both
+    /// directions — safely deletable ([`TeObjective::CapacityReduction`]).
+    /// Sorted ascending, deterministic across backends (the fake-edge
+    /// objective epsilon breaks co-optimal ties the same way everywhere).
+    pub reductions: Option<Vec<LinkId>>,
+}
+
+/// A TE objective plus the lowering knobs: builds both LP backends' inputs
+/// and translates their outputs back. Stateless — solvers own the simplex
+/// engines, the formulation owns the shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeFormulation {
+    /// The objective to lower.
+    pub objective: TeObjective,
+    /// Objective weight of the headline quantity (routed unit, `−mlu`,
+    /// `λ`) relative to one unit of edge cost. Must dwarf any plausible
+    /// per-unit cost so costs stay a lexicographic tie-breaker.
+    pub throughput_weight: f64,
+}
+
+impl Default for TeFormulation {
+    fn default() -> Self {
+        Self::new(TeObjective::MaxThroughput)
+    }
+}
+
+impl TeFormulation {
+    /// A formulation with the default throughput weight (`1e6`).
+    pub fn new(objective: TeObjective) -> Self {
+        Self { objective, throughput_weight: 1e6 }
+    }
+
+    /// Stable algorithm name for reports, memo keys and error contexts.
+    pub fn name(&self) -> &'static str {
+        self.objective.algorithm_name()
+    }
+
+    /// Problem-independent configuration checks: finite positive weight,
+    /// self-consistent traffic matrices. (Per-problem shape checks happen
+    /// in [`TeFormulation::lower`].)
+    pub fn validate(&self) -> Result<(), TeError> {
+        let fail = |detail: String| {
+            Err(TeError::InvalidConfig { algorithm: self.name(), detail })
+        };
+        if !self.throughput_weight.is_finite() || self.throughput_weight <= 0.0 {
+            return fail(format!(
+                "throughput_weight must be finite and positive, got {}",
+                self.throughput_weight
+            ));
+        }
+        if let TeObjective::MinMlu { traffic_matrices } = &self.objective {
+            for (i, tm) in traffic_matrices.iter().enumerate() {
+                if tm.len() != traffic_matrices[0].len() {
+                    return fail(format!(
+                        "traffic matrix {i} has {} commodities, matrix 0 has {}",
+                        tm.len(),
+                        traffic_matrices[0].len()
+                    ));
+                }
+                if let Some(v) = tm.iter().find(|v| !v.is_finite() || **v < 0.0) {
+                    return fail(format!("traffic matrix {i} has invalid volume {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A 64-bit FNV-1a fingerprint of everything that changes what a solve
+    /// *means*: objective discriminant, weight, and (for min-MLU) the full
+    /// traffic-matrix contents. The round engine folds this into its memo
+    /// key so cached baselines never leak across objectives.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(self.throughput_weight.to_bits());
+        match &self.objective {
+            TeObjective::MaxThroughput => fold(1),
+            TeObjective::MinMlu { traffic_matrices } => {
+                fold(2);
+                fold(traffic_matrices.len() as u64);
+                for tm in traffic_matrices {
+                    fold(tm.len() as u64);
+                    for v in tm {
+                        fold(v.to_bits());
+                    }
+                }
+            }
+            TeObjective::MaxConcurrentFlow => fold(3),
+            TeObjective::Unsplittable => fold(4),
+            TeObjective::CapacityReduction => fold(5),
+        }
+        h
+    }
+
+    /// Lowers the problem: resolves min-MLU envelopes, expands the Fig. 8
+    /// gadget for [`TeObjective::Unsplittable`], and returns a handle that
+    /// builds either backend's LP and translates its outcome back.
+    pub fn lower<'p>(&self, problem: &'p TeProblem) -> Result<LoweredTe<'p>, TeError> {
+        self.validate()?;
+        let kind = match &self.objective {
+            TeObjective::MaxThroughput => LoweredKind::Throughput { reduction: false },
+            TeObjective::CapacityReduction => LoweredKind::Throughput { reduction: true },
+            TeObjective::Unsplittable => LoweredKind::Throughput { reduction: false },
+            TeObjective::MinMlu { traffic_matrices } => {
+                let k = problem.commodities.len();
+                for (i, tm) in traffic_matrices.iter().enumerate() {
+                    if tm.len() != k {
+                        return Err(TeError::InvalidConfig {
+                            algorithm: self.name(),
+                            detail: format!(
+                                "traffic matrix {i} has {} volumes for {k} commodities",
+                                tm.len()
+                            ),
+                        });
+                    }
+                }
+                let envelopes = (0..k)
+                    .map(|ki| {
+                        traffic_matrices
+                            .iter()
+                            .map(|tm| tm[ki])
+                            .fold(f64::NEG_INFINITY, f64::max)
+                            .max(if traffic_matrices.is_empty() {
+                                problem.commodities[ki].demand
+                            } else {
+                                0.0
+                            })
+                    })
+                    .collect();
+                LoweredKind::MinMlu { envelopes }
+            }
+            TeObjective::MaxConcurrentFlow => LoweredKind::ConcurrentFlow,
+        };
+        let gadget = match self.objective {
+            TeObjective::Unsplittable => Some(GadgetLowering::build(problem)),
+            _ => None,
+        };
+        Ok(LoweredTe { problem, gadget, kind, weight: self.throughput_weight, name: self.name() })
+    }
+}
+
+/// Which LP shape a [`LoweredTe`] carries.
+#[derive(Debug, Clone)]
+enum LoweredKind {
+    /// Weighted max-flow (also the unsplittable gadget's inner shape and
+    /// the capacity-reduction readout).
+    Throughput {
+        /// Report deletable fake slices after extraction.
+        reduction: bool,
+    },
+    /// Scalar `mlu` column plus exact-envelope demand rows.
+    MinMlu {
+        /// `U_k`: the per-commodity max over traffic matrices.
+        envelopes: Vec<f64>,
+    },
+    /// Scalar `λ` column tied into every demand row.
+    ConcurrentFlow,
+}
+
+/// A problem lowered under one objective: builds the dense or sparse LP
+/// and translates the solver's outcome back to the original problem.
+#[derive(Debug)]
+pub struct LoweredTe<'p> {
+    problem: &'p TeProblem,
+    gadget: Option<GadgetLowering>,
+    kind: LoweredKind,
+    weight: f64,
+    name: &'static str,
+}
+
+impl LoweredTe<'_> {
+    /// The problem the LP actually routes on: the gadget expansion for
+    /// unsplittable, the original otherwise.
+    pub fn routing_problem(&self) -> &TeProblem {
+        match &self.gadget {
+            Some(g) => &g.inner,
+            None => self.problem,
+        }
+    }
+
+    /// Leading scalar (non-flow) variables: `mlu` or `λ`.
+    fn scalar_vars(&self) -> usize {
+        match self.kind {
+            LoweredKind::Throughput { .. } => 0,
+            LoweredKind::MinMlu { .. } | LoweredKind::ConcurrentFlow => 1,
+        }
+    }
+
+    /// Lowers to the dense tableau form: scalar variables first, then flow
+    /// variables commodity-major at `scalar + ki·m + ei`.
+    pub fn dense_lp(&self) -> LinearProgram {
+        let rp = self.routing_problem();
+        match &self.kind {
+            LoweredKind::Throughput { .. } => dense_throughput(rp, self.weight),
+            LoweredKind::MinMlu { envelopes } => dense_min_mlu(rp, envelopes, self.weight),
+            LoweredKind::ConcurrentFlow => dense_concurrent(rp, self.weight),
+        }
+    }
+
+    /// Lowers straight to sparse computational form: scalar variables
+    /// first, then flow variables edge-major at `scalar + ei·k + ki` (the
+    /// augmentation-stable order — fake edges append columns and capacity
+    /// rows strictly at the end, so the structural warm key survives
+    /// dirty-link updates; the `mlu` column is the one deliberate
+    /// exception, since it spans every capacity row).
+    pub fn sparse_lp(&self) -> SparseLp {
+        let rp = self.routing_problem();
+        match &self.kind {
+            LoweredKind::Throughput { .. } => sparse_throughput(rp, self.weight),
+            LoweredKind::MinMlu { envelopes } => sparse_min_mlu(rp, envelopes, self.weight),
+            LoweredKind::ConcurrentFlow => sparse_concurrent(rp, self.weight),
+        }
+    }
+
+    /// Translates a dense-backend outcome back to the original problem.
+    pub fn extract_dense(&self, outcome: LpOutcome) -> Result<TeSolve, TeError> {
+        self.extract_dense_as(outcome, self.name)
+    }
+
+    /// [`LoweredTe::extract_dense`] with an explicit algorithm name in
+    /// error contexts — for front-ends (the deprecated `ExactTe` shims)
+    /// that report under their own name.
+    pub fn extract_dense_as(
+        &self,
+        outcome: LpOutcome,
+        algorithm: &'static str,
+    ) -> Result<TeSolve, TeError> {
+        let rp = self.routing_problem();
+        let k = rp.commodities.len();
+        let m = rp.net.n_edges();
+        let point = match outcome {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Stalled => {
+                return Err(TeError::SolverTimeout {
+                    algorithm,
+                    detail: format!(
+                        "simplex exhausted its pivot budget ({k} commodities, {m} edges)"
+                    ),
+                })
+            }
+            other => {
+                return Err(TeError::SolverAbort {
+                    algorithm,
+                    detail: format!("LP not optimal: {other:?}"),
+                })
+            }
+        };
+        let offset = self.scalar_vars();
+        let (routed, inner_flows) = flows_from_point(&point.x, offset, rp);
+        let edge_flows = match &self.gadget {
+            Some(g) => g.map_back(&inner_flows, self.problem),
+            None => inner_flows,
+        };
+        let total = routed.iter().sum();
+        let solution = TeSolution { routed, edge_flows, total };
+        let (mlu, lambda, reductions) = match &self.kind {
+            LoweredKind::Throughput { reduction: false } => (None, None, None),
+            LoweredKind::Throughput { reduction: true } => {
+                (None, None, Some(deletable_links(self.problem, &solution.edge_flows)))
+            }
+            LoweredKind::MinMlu { .. } => (Some(point.x[0]), None, None),
+            LoweredKind::ConcurrentFlow => (None, Some(point.x[0]), None),
+        };
+        Ok(TeSolve { solution, mlu, lambda, reductions })
+    }
+
+    /// Translates a sparse-backend outcome: reorders the edge-major point
+    /// into the dense commodity-major layout, then extracts identically.
+    pub fn extract_sparse(&self, outcome: LpOutcome) -> Result<TeSolve, TeError> {
+        self.extract_sparse_as(outcome, self.name)
+    }
+
+    /// [`LoweredTe::extract_sparse`] with an explicit algorithm name in
+    /// error contexts.
+    pub fn extract_sparse_as(
+        &self,
+        outcome: LpOutcome,
+        algorithm: &'static str,
+    ) -> Result<TeSolve, TeError> {
+        let rp = self.routing_problem();
+        let k = rp.commodities.len();
+        let m = rp.net.n_edges();
+        self.extract_dense_as(remap_edge_major(outcome, self.scalar_vars(), k, m), algorithm)
+    }
+}
+
+/// Reads per-commodity routed volumes and aggregate edge flows out of an
+/// LP point whose flow variables sit commodity-major after `offset`
+/// scalar variables.
+fn flows_from_point(x: &[f64], offset: usize, rp: &TeProblem) -> (Vec<f64>, Vec<f64>) {
+    let k = rp.commodities.len();
+    let m = rp.net.n_edges();
+    let mut routed = vec![0.0; k];
+    let mut edge_flows = vec![0.0; m];
+    for (ki, c) in rp.commodities.iter().enumerate() {
+        let mut net_out = 0.0;
+        for (ei, e) in rp.net.edges().iter().enumerate() {
+            let f = x[offset + ki * m + ei];
+            edge_flows[ei] += f;
+            if e.from == c.source {
+                net_out += f;
+            }
+            if e.to == c.source {
+                net_out -= f;
+            }
+        }
+        routed[ki] = net_out.max(0.0);
+    }
+    (routed, edge_flows)
+}
+
+/// Reorders a sparse (scalar-prefix + edge-major) LP point into the dense
+/// (scalar-prefix + commodity-major) layout the shared extraction expects.
+fn remap_edge_major(outcome: LpOutcome, scalar: usize, k: usize, m: usize) -> LpOutcome {
+    match outcome {
+        LpOutcome::Optimal(s) => {
+            let mut x = vec![0.0; scalar + k * m];
+            x[..scalar].copy_from_slice(&s.x[..scalar]);
+            for ei in 0..m {
+                for ki in 0..k {
+                    x[scalar + ki * m + ei] = s.x[scalar + ei * k + ki];
+                }
+            }
+            LpOutcome::Optimal(Solution { x, objective: s.objective })
+        }
+        other => other,
+    }
+}
+
+/// Links whose every fake capacity slice carries (numerically) zero flow —
+/// the capacity-reduction readout. Sorted ascending by construction.
+fn deletable_links(problem: &TeProblem, edge_flows: &[f64]) -> Vec<LinkId> {
+    let mut used: BTreeMap<usize, bool> = BTreeMap::new();
+    for (ei, origin) in problem.origins.iter().enumerate() {
+        if let EdgeOrigin::Fake { link, .. } = origin {
+            let entry = used.entry(link.0).or_insert(false);
+            *entry |= edge_flows[ei] > REDUCTION_EPS;
+        }
+    }
+    used.into_iter().filter(|&(_, u)| !u).map(|(l, _)| LinkId(l)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dense lowerings (the tableau escape hatch; row order is free).
+// ---------------------------------------------------------------------------
+
+/// The original `build_lp` shape: flow variables at `ki·m + ei`, objective
+/// `net-outflow·weight − cost`, capacity rows then per-commodity
+/// conservation + demand-cap rows.
+fn dense_throughput(rp: &TeProblem, weight: f64) -> LinearProgram {
+    let net = &rp.net;
+    let k = rp.commodities.len();
+    let m = net.n_edges();
+    let mut b = LpBuilder::new();
+    for c in &rp.commodities {
+        for e in net.edges() {
+            b.add_var(outflow_of(e.from, e.to, c.source) * weight - e.cost);
+        }
+    }
+    for (ei, e) in net.edges().iter().enumerate() {
+        let terms: Vec<(usize, f64)> = (0..k).map(|ki| (ki * m + ei, 1.0)).collect();
+        b.add_constraint(&terms, Relation::Le, e.capacity);
+    }
+    for (ki, c) in rp.commodities.iter().enumerate() {
+        dense_conservation_rows(&mut b, rp, ki, 0);
+        let terms = dense_outflow_terms(rp, ki, 0);
+        b.add_constraint(&terms, Relation::Le, c.demand);
+    }
+    b.build()
+}
+
+/// TROD-style min-MLU: variable 0 is `mlu`, flows at `1 + ki·m + ei`;
+/// every edge gets `Σ flow − cap·mlu ≤ 0`, every commodity routes its
+/// envelope `U_k` exactly.
+fn dense_min_mlu(rp: &TeProblem, envelopes: &[f64], weight: f64) -> LinearProgram {
+    let k = rp.commodities.len();
+    let m = rp.net.n_edges();
+    let mut b = LpBuilder::new();
+    let mlu = b.add_var(-weight);
+    for _ in &rp.commodities {
+        for e in rp.net.edges() {
+            b.add_var(-e.cost);
+        }
+    }
+    for (ei, e) in rp.net.edges().iter().enumerate() {
+        let mut terms: Vec<(usize, f64)> = (0..k).map(|ki| (1 + ki * m + ei, 1.0)).collect();
+        terms.push((mlu, -e.capacity));
+        b.add_constraint(&terms, Relation::Le, 0.0);
+    }
+    for (ki, &envelope) in envelopes.iter().enumerate().take(k) {
+        dense_conservation_rows(&mut b, rp, ki, 1);
+        let terms = dense_outflow_terms(rp, ki, 1);
+        b.add_constraint(&terms, Relation::Eq, envelope);
+    }
+    b.build()
+}
+
+/// Max-concurrent-flow: variable 0 is `λ ≤ 1`, flows at `1 + ki·m + ei`;
+/// each commodity's net outflow is pinned to `λ·d_k`.
+fn dense_concurrent(rp: &TeProblem, weight: f64) -> LinearProgram {
+    let k = rp.commodities.len();
+    let m = rp.net.n_edges();
+    let mut b = LpBuilder::new();
+    let lambda = b.add_var(weight);
+    for _ in &rp.commodities {
+        for e in rp.net.edges() {
+            b.add_var(-e.cost);
+        }
+    }
+    b.add_constraint(&[(lambda, 1.0)], Relation::Le, 1.0);
+    for (ei, e) in rp.net.edges().iter().enumerate() {
+        let terms: Vec<(usize, f64)> = (0..k).map(|ki| (1 + ki * m + ei, 1.0)).collect();
+        b.add_constraint(&terms, Relation::Le, e.capacity);
+    }
+    for (ki, c) in rp.commodities.iter().enumerate() {
+        dense_conservation_rows(&mut b, rp, ki, 1);
+        let mut terms = dense_outflow_terms(rp, ki, 1);
+        terms.push((lambda, -c.demand));
+        b.add_constraint(&terms, Relation::Eq, 0.0);
+    }
+    b.build()
+}
+
+/// `+1/−1` net-outflow coefficient of an edge at a commodity's source.
+fn outflow_of(from: usize, to: usize, source: usize) -> f64 {
+    let mut v = 0.0;
+    if from == source {
+        v += 1.0;
+    }
+    if to == source {
+        v -= 1.0;
+    }
+    v
+}
+
+/// Adds the `inflow == outflow` equality at every non-terminal node of
+/// one commodity, with flow variables offset by `offset` scalars.
+fn dense_conservation_rows(b: &mut LpBuilder, rp: &TeProblem, ki: usize, offset: usize) {
+    let m = rp.net.n_edges();
+    let c = &rp.commodities[ki];
+    for node in 0..rp.net.n_nodes() {
+        if node == c.source || node == c.sink {
+            continue;
+        }
+        let mut terms = Vec::new();
+        for (ei, e) in rp.net.edges().iter().enumerate() {
+            if e.from == node {
+                terms.push((offset + ki * m + ei, 1.0));
+            }
+            if e.to == node {
+                terms.push((offset + ki * m + ei, -1.0));
+            }
+        }
+        if !terms.is_empty() {
+            b.add_constraint(&terms, Relation::Eq, 0.0);
+        }
+    }
+}
+
+/// Net-outflow terms of one commodity at its source.
+fn dense_outflow_terms(rp: &TeProblem, ki: usize, offset: usize) -> Vec<(usize, f64)> {
+    let m = rp.net.n_edges();
+    let c = &rp.commodities[ki];
+    let mut terms = Vec::new();
+    for (ei, e) in rp.net.edges().iter().enumerate() {
+        if e.from == c.source {
+            terms.push((offset + ki * m + ei, 1.0));
+        }
+        if e.to == c.source {
+            terms.push((offset + ki * m + ei, -1.0));
+        }
+    }
+    terms
+}
+
+// ---------------------------------------------------------------------------
+// Sparse lowerings (augmentation-stable layouts; see `sparse_lp`'s note).
+// ---------------------------------------------------------------------------
+
+/// Conservation-row map shared by every sparse lowering: one row per
+/// (commodity, non-terminal node), commodity-major, allocated for every
+/// such node so the row map never depends on the edge set. Returns the
+/// map (with `usize::MAX` for terminals) and the next free row index.
+fn sparse_conservation_rows(rp: &TeProblem) -> (Vec<usize>, usize) {
+    let n_nodes = rp.net.n_nodes();
+    let k = rp.commodities.len();
+    let mut cons_row = vec![usize::MAX; k * n_nodes];
+    let mut next_row = 0usize;
+    for (ki, c) in rp.commodities.iter().enumerate() {
+        for node in 0..n_nodes {
+            if node != c.source && node != c.sink {
+                cons_row[ki * n_nodes + node] = next_row;
+                next_row += 1;
+            }
+        }
+    }
+    (cons_row, next_row)
+}
+
+/// Accumulates an entry into a tiny per-column buffer, merging duplicates.
+fn push_entry(entries: &mut Vec<(usize, f64)>, row: usize, v: f64) {
+    if let Some(slot) = entries.iter_mut().find(|(r, _)| *r == row) {
+        slot.1 += v;
+    } else {
+        entries.push((row, v));
+    }
+}
+
+/// The deterministic fake-edge tie-break epsilon (see the module docs of
+/// [`crate::exact`] for the full rationale): prefers earlier-appended fake
+/// edges among cost-tied optima so translated upgrade/reduction sets are
+/// backend-independent.
+fn fake_tie_break(rp: &TeProblem, ei: usize) -> f64 {
+    match rp.origins.get(ei) {
+        Some(EdgeOrigin::Fake { .. }) => 1e-6 * ei as f64,
+        _ => 0.0,
+    }
+}
+
+/// Builds one flow column (conservation ± demand-outflow ± capacity
+/// entries, sorted, deduped, zero-free) and pushes it.
+#[allow(clippy::too_many_arguments)]
+fn push_flow_col(
+    b: &mut SparseLpBuilder,
+    rp: &TeProblem,
+    cons_row: &[usize],
+    ei: usize,
+    ki: usize,
+    demand_row: usize,
+    cap_row: Option<usize>,
+    upper: f64,
+    objective: f64,
+) {
+    let n_nodes = rp.net.n_nodes();
+    let e = rp.net.edge(ei);
+    let c = &rp.commodities[ki];
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(4);
+    let from_row = cons_row[ki * n_nodes + e.from];
+    if from_row != usize::MAX {
+        push_entry(&mut entries, from_row, 1.0);
+    }
+    let to_row = cons_row[ki * n_nodes + e.to];
+    if to_row != usize::MAX {
+        push_entry(&mut entries, to_row, -1.0);
+    }
+    let outflow = outflow_of(e.from, e.to, c.source);
+    if outflow != 0.0 {
+        push_entry(&mut entries, demand_row, outflow);
+    }
+    if let Some(cap_row) = cap_row {
+        push_entry(&mut entries, cap_row, 1.0);
+    }
+    entries.retain(|&(_, v)| v != 0.0);
+    entries.sort_unstable_by_key(|&(r, _)| r);
+    b.push_col(objective, upper, &entries);
+}
+
+/// The original `build_sparse_lp` shape (see [`crate::exact`]'s docs):
+/// edge-major columns, `[conservation][demand][capacity (k>1)]` rows,
+/// single-commodity capacities as column bounds.
+fn sparse_throughput(rp: &TeProblem, weight: f64) -> SparseLp {
+    let net = &rp.net;
+    let k = rp.commodities.len();
+    let m = net.n_edges();
+    let (cons_row, next_row) = sparse_conservation_rows(rp);
+    let demand_row = |ki: usize| next_row + ki;
+    let cap_base = next_row + k;
+    let n_rows = if k > 1 { cap_base + m } else { cap_base };
+
+    let mut b = SparseLpBuilder::new(n_rows);
+    for (ki, c) in rp.commodities.iter().enumerate() {
+        b.set_row(demand_row(ki), Relation::Le, c.demand);
+    }
+    if k > 1 {
+        for (ei, e) in net.edges().iter().enumerate() {
+            b.set_row(cap_base + ei, Relation::Le, e.capacity);
+        }
+    }
+    for r in cons_row.iter().filter(|&&r| r != usize::MAX) {
+        b.set_row(*r, Relation::Eq, 0.0);
+    }
+
+    for (ei, e) in net.edges().iter().enumerate() {
+        for (ki, c) in rp.commodities.iter().enumerate() {
+            let outflow = outflow_of(e.from, e.to, c.source);
+            let objective = outflow * weight - e.cost - fake_tie_break(rp, ei);
+            let cap_row = (k > 1).then_some(cap_base + ei);
+            push_flow_col(
+                &mut b,
+                rp,
+                &cons_row,
+                ei,
+                ki,
+                demand_row(ki),
+                cap_row,
+                e.capacity,
+                objective,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Sparse min-MLU: column 0 is `mlu` (entries `−cap_e` in every capacity
+/// row), then edge-major *unbounded* flow columns; rows are
+/// `[conservation][demand = U_k (Eq)][capacity ≤ 0 (always, all edges)]`.
+/// Traffic-matrix drift only moves demand-row rhs values, so it rides the
+/// fast-resolve warm path; capacity drift rewrites the `mlu` column's
+/// values and takes the structural warm plan instead. Augmentation grows
+/// the `mlu` column's pattern, so augmented rounds go cold by design.
+fn sparse_min_mlu(rp: &TeProblem, envelopes: &[f64], weight: f64) -> SparseLp {
+    let net = &rp.net;
+    let k = rp.commodities.len();
+    let m = net.n_edges();
+    let (cons_row, next_row) = sparse_conservation_rows(rp);
+    let demand_row = |ki: usize| next_row + ki;
+    let cap_base = next_row + k;
+    let n_rows = cap_base + m;
+
+    let mut b = SparseLpBuilder::new(n_rows);
+    for (ki, &envelope) in envelopes.iter().enumerate().take(k) {
+        b.set_row(demand_row(ki), Relation::Eq, envelope);
+    }
+    for ei in 0..m {
+        b.set_row(cap_base + ei, Relation::Le, 0.0);
+    }
+    for r in cons_row.iter().filter(|&&r| r != usize::MAX) {
+        b.set_row(*r, Relation::Eq, 0.0);
+    }
+
+    // Column 0: mlu. Capacity rows are contiguous and ascending.
+    let mlu_entries: Vec<(usize, f64)> = net
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.capacity != 0.0)
+        .map(|(ei, e)| (cap_base + ei, -e.capacity))
+        .collect();
+    b.push_col(-weight, f64::INFINITY, &mlu_entries);
+
+    for (ei, e) in net.edges().iter().enumerate() {
+        for ki in 0..k {
+            let objective = -e.cost - fake_tie_break(rp, ei);
+            push_flow_col(
+                &mut b,
+                rp,
+                &cons_row,
+                ei,
+                ki,
+                demand_row(ki),
+                Some(cap_base + ei),
+                f64::INFINITY,
+                objective,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Sparse max-concurrent-flow: column 0 is `λ` (upper bound `1`, entries
+/// `−d_k` in every demand row), then the usual edge-major flow columns;
+/// demand rows become `net outflow − λ·d_k = 0` equalities. The `λ`
+/// column's pattern touches only demand rows, so — like max-throughput —
+/// the layout is fully augmentation-stable.
+fn sparse_concurrent(rp: &TeProblem, weight: f64) -> SparseLp {
+    let net = &rp.net;
+    let k = rp.commodities.len();
+    let m = net.n_edges();
+    let (cons_row, next_row) = sparse_conservation_rows(rp);
+    let demand_row = |ki: usize| next_row + ki;
+    let cap_base = next_row + k;
+    let n_rows = if k > 1 { cap_base + m } else { cap_base };
+
+    let mut b = SparseLpBuilder::new(n_rows);
+    for ki in 0..k {
+        b.set_row(demand_row(ki), Relation::Eq, 0.0);
+    }
+    if k > 1 {
+        for (ei, e) in net.edges().iter().enumerate() {
+            b.set_row(cap_base + ei, Relation::Le, e.capacity);
+        }
+    }
+    for r in cons_row.iter().filter(|&&r| r != usize::MAX) {
+        b.set_row(*r, Relation::Eq, 0.0);
+    }
+
+    // Column 0: λ, bounded by 1.
+    let lambda_entries: Vec<(usize, f64)> = rp
+        .commodities
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.demand != 0.0)
+        .map(|(ki, c)| (demand_row(ki), -c.demand))
+        .collect();
+    b.push_col(weight, 1.0, &lambda_entries);
+
+    for (ei, e) in net.edges().iter().enumerate() {
+        for ki in 0..k {
+            let objective = -e.cost - fake_tie_break(rp, ei);
+            let cap_row = (k > 1).then_some(cap_base + ei);
+            push_flow_col(
+                &mut b,
+                rp,
+                &cons_row,
+                ei,
+                ki,
+                demand_row(ki),
+                cap_row,
+                e.capacity,
+                objective,
+            );
+        }
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 unsplittable gadget.
+// ---------------------------------------------------------------------------
+
+/// Where an original edge's flow is read back from the gadget solution.
+#[derive(Debug, Clone, Copy)]
+enum FlowReadback {
+    /// Copied straight from an inner edge.
+    Copy(usize),
+    /// The real member of a gadget group: `min(combined, capacity)`.
+    GroupReal(usize),
+    /// Fake rung `slot` of a gadget group: its share of the remainder.
+    GroupFake(usize, usize),
+}
+
+/// One split link direction: guard `u→w`, internal real `w→v`, internal
+/// fake rungs `w→v`.
+#[derive(Debug, Clone)]
+struct GadgetGroup {
+    /// Inner index of the zero-cost internal real edge.
+    real: usize,
+    /// Inner indices of the internal fake rungs, original-index order.
+    fakes: Vec<usize>,
+    /// Capacity of the original real edge.
+    real_cap: f64,
+    /// Capacities of the original fake rungs, same order as `fakes`.
+    fake_caps: Vec<f64>,
+}
+
+/// The Fig. 8 node-splitting expansion of an augmented problem.
+#[derive(Debug)]
+struct GadgetLowering {
+    inner: TeProblem,
+    groups: Vec<GadgetGroup>,
+    /// Per original edge: how to read its flow out of the inner solution.
+    readback: Vec<FlowReadback>,
+}
+
+impl GadgetLowering {
+    /// Splits every real edge that carries fake upgrade rungs through an
+    /// auxiliary node: a guard `u→w` at the *combined* capacity (current +
+    /// all rungs) with the real edge's cost, a zero-cost internal real
+    /// `w→v` at current capacity, and one internal fake `w→v` per rung at
+    /// its capacity and penalty. The guard caps the total so an upgrade
+    /// is priced against the whole link's traffic — the paper's
+    /// unsplittable-upgrade semantics — while edges without rungs copy
+    /// through unchanged. Deterministic: original edge order drives
+    /// construction, so the inner layout (and the LP tie-breaks) never
+    /// depend on map iteration order.
+    fn build(problem: &TeProblem) -> GadgetLowering {
+        // Fake rungs per (link, forward), in original edge order.
+        let mut rungs: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
+        for (ei, origin) in problem.origins.iter().enumerate() {
+            if let EdgeOrigin::Fake { link, forward } = origin {
+                rungs.entry((link.0, *forward)).or_default().push(ei);
+            }
+        }
+        // The real edge each rung group attaches to (first occurrence).
+        let mut real_of: BTreeMap<(usize, bool), usize> = BTreeMap::new();
+        for (ei, origin) in problem.origins.iter().enumerate() {
+            if let EdgeOrigin::Real { link, forward } = origin {
+                real_of.entry((link.0, *forward)).or_insert(ei);
+            }
+        }
+
+        let mut inner = FlowNetwork::new(problem.net.n_nodes());
+        let mut origins = Vec::new();
+        let mut groups: Vec<GadgetGroup> = Vec::new();
+        let mut readback = vec![FlowReadback::Copy(usize::MAX); problem.net.n_edges()];
+        for (ei, origin) in problem.origins.iter().enumerate() {
+            let e = problem.net.edge(ei);
+            match origin {
+                EdgeOrigin::Real { link, forward }
+                    if rungs.contains_key(&(link.0, *forward))
+                        && real_of[&(link.0, *forward)] == ei =>
+                {
+                    let fake_idx = &rungs[&(link.0, *forward)];
+                    let fake_caps: Vec<f64> =
+                        fake_idx.iter().map(|&fi| problem.net.edge(fi).capacity).collect();
+                    let combined = e.capacity + fake_caps.iter().sum::<f64>();
+                    let aux = inner.add_node();
+                    inner.add_edge(e.from, aux, combined, e.cost);
+                    origins.push(EdgeOrigin::Auxiliary);
+                    let real = inner.add_edge(aux, e.to, e.capacity, 0.0);
+                    origins.push(EdgeOrigin::Real { link: *link, forward: *forward });
+                    let mut fakes = Vec::with_capacity(fake_idx.len());
+                    for (slot, &fi) in fake_idx.iter().enumerate() {
+                        let f = problem.net.edge(fi);
+                        let inner_fake = inner.add_edge(aux, e.to, f.capacity, f.cost);
+                        origins.push(EdgeOrigin::Fake { link: *link, forward: *forward });
+                        fakes.push(inner_fake);
+                        readback[fi] = FlowReadback::GroupFake(groups.len(), slot);
+                    }
+                    readback[ei] = FlowReadback::GroupReal(groups.len());
+                    groups.push(GadgetGroup {
+                        real,
+                        fakes,
+                        real_cap: e.capacity,
+                        fake_caps,
+                    });
+                }
+                EdgeOrigin::Fake { link, forward } if real_of.contains_key(&(link.0, *forward)) => {
+                    // Represented inside its group; readback set above (or
+                    // below, if the real edge comes later — it never does
+                    // in `from_wan` + augmentation order, but the group
+                    // construction keys on the real edge either way).
+                }
+                _ => {
+                    let idx = inner.add_edge(e.from, e.to, e.capacity, e.cost);
+                    origins.push(*origin);
+                    readback[ei] = FlowReadback::Copy(idx);
+                }
+            }
+        }
+        let inner = TeProblem {
+            net: inner,
+            origins,
+            commodities: problem.commodities.clone(),
+            demands: problem.demands.clone(),
+        };
+        GadgetLowering { inner, groups, readback }
+    }
+
+    /// Folds inner-edge flows back onto the original edge set: each
+    /// group's combined flow fills the real edge up to its capacity, and
+    /// the remainder fills the fake rungs in ladder order (the guard edge
+    /// guarantees the remainder fits). Guard/aux flows vanish.
+    fn map_back(&self, inner_flows: &[f64], problem: &TeProblem) -> Vec<f64> {
+        let combined: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| {
+                inner_flows[g.real] + g.fakes.iter().map(|&fi| inner_flows[fi]).sum::<f64>()
+            })
+            .collect();
+        let mut flows = vec![0.0; problem.net.n_edges()];
+        for (ei, rb) in self.readback.iter().enumerate() {
+            flows[ei] = match *rb {
+                FlowReadback::Copy(idx) => {
+                    if idx == usize::MAX {
+                        0.0
+                    } else {
+                        inner_flows[idx]
+                    }
+                }
+                FlowReadback::GroupReal(gi) => combined[gi].min(self.groups[gi].real_cap),
+                FlowReadback::GroupFake(gi, slot) => {
+                    let g = &self.groups[gi];
+                    let mut leftover = (combined[gi] - g.real_cap).max(0.0);
+                    for s in 0..slot {
+                        leftover = (leftover - g.fake_caps[s]).max(0.0);
+                    }
+                    if slot + 1 == g.fake_caps.len() {
+                        // Last rung absorbs any numerical residue so the
+                        // folded flows conserve exactly.
+                        leftover
+                    } else {
+                        leftover.min(g.fake_caps[slot])
+                    }
+                }
+            };
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandMatrix, Priority};
+    use crate::solver::TeSolver;
+    use rwc_lp::LpBackend;
+    use rwc_topology::builders;
+    use rwc_util::units::Gbps;
+
+    fn fig7_two_commodities() -> TeProblem {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let c = wan.node_by_name("C").unwrap();
+        let d = wan.node_by_name("D").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(125.0), Priority::Elastic);
+        dm.add(c, d, Gbps(125.0), Priority::Elastic);
+        TeProblem::from_wan(&wan, &dm)
+    }
+
+    /// Adds a fake upgrade rung parallel to real edge `2·link + dir`.
+    fn add_fake(p: &mut TeProblem, link: usize, forward: bool, capacity: f64, cost: f64) {
+        let ei = 2 * link + usize::from(!forward);
+        let e = p.net.edge(ei);
+        p.net.add_edge(e.from, e.to, capacity, cost);
+        p.origins.push(EdgeOrigin::Fake { link: LinkId(link), forward });
+    }
+
+    fn solve_both(objective: TeObjective, p: &TeProblem) -> (TeSolve, TeSolve) {
+        let sparse = TeSolver::builder()
+            .objective(objective.clone())
+            .backend(LpBackend::Sparse)
+            .build()
+            .unwrap()
+            .solve_detailed(p)
+            .unwrap();
+        let dense = TeSolver::builder()
+            .objective(objective)
+            .backend(LpBackend::Dense)
+            .build()
+            .unwrap()
+            .solve_detailed(p)
+            .unwrap();
+        (sparse, dense)
+    }
+
+    #[test]
+    fn min_mlu_fig7_matches_hand_optimum() {
+        // One A→B envelope of 150 against A's outgoing capacity of 200
+        // (A-B 100 + A-C 100): splitting 100/50 leaves the bottleneck on
+        // the direct A-B link at 100/100?? No: the optimum balances at
+        // A-B 85.714.. vs paths through C. The true optimum is governed by
+        // the max-flow structure; assert the LP invariants instead of a
+        // brittle constant, plus sparse==dense.
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(150.0), Priority::Elastic);
+        let p = TeProblem::from_wan(&wan, &dm);
+        let objective = TeObjective::MinMlu { traffic_matrices: vec![vec![150.0]] };
+        let (s, d) = solve_both(objective, &p);
+        let mlu = s.mlu.unwrap();
+        assert!((mlu - d.mlu.unwrap()).abs() < 1e-6, "sparse {mlu} vs dense {:?}", d.mlu);
+        // The envelope is routed exactly.
+        assert!((s.solution.routed[0] - 150.0).abs() < 1e-6);
+        // Realised utilisation never exceeds the reported mlu.
+        let worst = s
+            .solution
+            .edge_flows
+            .iter()
+            .zip(p.net.edges())
+            .filter(|(_, e)| e.capacity > 0.0)
+            .map(|(f, e)| f / e.capacity)
+            .fold(0.0f64, f64::max);
+        assert!(worst <= mlu + 1e-6, "worst {worst} vs mlu {mlu}");
+        // 150 through a 200-capacity cut needs mlu ≥ 0.75; it is exactly
+        // 0.75 when the flow balances both A-exits.
+        assert!((mlu - 0.75).abs() < 1e-6, "mlu {mlu}");
+    }
+
+    #[test]
+    fn min_mlu_envelope_dominates_single_matrices() {
+        let p = fig7_two_commodities();
+        let tms = vec![vec![80.0, 20.0], vec![30.0, 90.0]];
+        let objective = TeObjective::MinMlu { traffic_matrices: tms.clone() };
+        let (s, d) = solve_both(objective, &p);
+        let envelope_mlu = s.mlu.unwrap();
+        assert!((envelope_mlu - d.mlu.unwrap()).abs() < 1e-6);
+        // Envelope routes max(80,30)=80 and max(20,90)=90.
+        assert!((s.solution.routed[0] - 80.0).abs() < 1e-6);
+        assert!((s.solution.routed[1] - 90.0).abs() < 1e-6);
+        // Each individual matrix fits within the envelope's mlu.
+        for tm in &tms {
+            let single = TeObjective::MinMlu { traffic_matrices: vec![tm.clone()] };
+            let (st, _) = solve_both(single, &p);
+            assert!(
+                st.mlu.unwrap() <= envelope_mlu + 1e-6,
+                "single-TM mlu {} above envelope {envelope_mlu}",
+                st.mlu.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_flow_shares_shortfall() {
+        let p = fig7_two_commodities();
+        let (s, d) = solve_both(TeObjective::MaxConcurrentFlow, &p);
+        let lambda = s.lambda.unwrap();
+        assert!((lambda - d.lambda.unwrap()).abs() < 1e-6);
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda {lambda}");
+        // Every commodity routes exactly λ·demand — that's the fairness.
+        for (ki, c) in p.commodities.iter().enumerate() {
+            assert!(
+                (s.solution.routed[ki] - lambda * c.demand).abs() < 1e-6,
+                "commodity {ki} routed {} at lambda {lambda}",
+                s.solution.routed[ki]
+            );
+        }
+        s.solution.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn concurrent_flow_hits_one_when_demands_fit() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(50.0), Priority::Elastic);
+        let p = TeProblem::from_wan(&wan, &dm);
+        let (s, _) = solve_both(TeObjective::MaxConcurrentFlow, &p);
+        assert!((s.lambda.unwrap() - 1.0).abs() < 1e-6);
+        assert!((s.solution.routed[0] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsplittable_gadget_respects_guard_capacity() {
+        // One link A–B (cap 100) with a fake 100-rung at penalty 1/unit:
+        // the splittable LP would route 200; the gadget agrees here (the
+        // guard is 200) — the *difference* shows when the gadget caps the
+        // combined flow below the sum of parallel edges. Build that case:
+        // real cap 100, rung 100, but guard-combined still 200 vs a
+        // 300-unit demand: both objectives route 200, flows must fold back
+        // onto the original edges and validate.
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(300.0), Priority::Elastic);
+        let mut p = TeProblem::from_wan(&wan, &dm);
+        add_fake(&mut p, 0, true, 100.0, 1.0);
+        let (s, d) = solve_both(TeObjective::Unsplittable, &p);
+        assert!((s.solution.total - d.solution.total).abs() < 1e-6);
+        s.solution.validate(&p).unwrap();
+        d.solution.validate(&p).unwrap();
+        // A's outgoing cut is 300 with the rung (A-B 100 + rung 100 + A-C
+        // 100): the whole demand routes, 100 of it on the fake rung.
+        assert!((s.solution.total - 300.0).abs() < 1e-6, "total {}", s.solution.total);
+        let fake_ei = p.net.n_edges() - 1;
+        assert!((s.solution.edge_flows[fake_ei] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsplittable_matches_max_throughput_without_fakes() {
+        // With no fake edges the gadget is the identity.
+        let p = fig7_two_commodities();
+        let (s, _) = solve_both(TeObjective::Unsplittable, &p);
+        let (t, _) = solve_both(TeObjective::MaxThroughput, &p);
+        assert!((s.solution.total - t.solution.total).abs() < 1e-6);
+        s.solution.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn capacity_reduction_reports_unused_slices() {
+        // Two links carry deletable slices; demand only needs one of them.
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(150.0), Priority::Elastic);
+        let mut p = TeProblem::from_wan(&wan, &dm);
+        // Slice on link 0 (A–B direct, forward) and on link 4 (C–D).
+        add_fake(&mut p, 0, true, 100.0, 0.5);
+        add_fake(&mut p, 4, true, 100.0, 0.5);
+        let (s, d) = solve_both(TeObjective::CapacityReduction, &p);
+        assert!((s.solution.total - d.solution.total).abs() < 1e-6);
+        let sr = s.reductions.unwrap();
+        let dr = d.reductions.unwrap();
+        assert_eq!(sr, dr, "reduction sets must be backend-independent");
+        // 150 fits through A's 200-capacity cut without either slice —
+        // costs push flow off the fakes, so both slices are deletable.
+        assert_eq!(sr, vec![LinkId(0), LinkId(4)]);
+        // Raise demand to 250: the A–B slice becomes load-bearing while
+        // the C–D slice stays idle.
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(250.0), Priority::Elastic);
+        let mut p2 = TeProblem::from_wan(&wan, &dm);
+        add_fake(&mut p2, 0, true, 100.0, 0.5);
+        add_fake(&mut p2, 4, true, 100.0, 0.5);
+        let (s2, d2) = solve_both(TeObjective::CapacityReduction, &p2);
+        assert_eq!(s2.reductions, d2.reductions);
+        assert_eq!(s2.reductions.unwrap(), vec![LinkId(4)]);
+    }
+
+    #[test]
+    fn every_objective_agrees_across_backends_on_fig7() {
+        let p = fig7_two_commodities();
+        let objectives = [
+            TeObjective::MaxThroughput,
+            TeObjective::MinMlu { traffic_matrices: vec![vec![60.0, 40.0], vec![20.0, 80.0]] },
+            TeObjective::MaxConcurrentFlow,
+            TeObjective::Unsplittable,
+            TeObjective::CapacityReduction,
+        ];
+        for objective in objectives {
+            let name = objective.algorithm_name();
+            let (s, d) = solve_both(objective, &p);
+            assert!(
+                (s.solution.total - d.solution.total).abs() < 1e-6,
+                "{name}: sparse {} vs dense {}",
+                s.solution.total,
+                d.solution.total
+            );
+            match (s.mlu, d.mlu) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{name}: mlu {a} vs {b}"),
+                (None, None) => {}
+                other => panic!("{name}: mlu mismatch {other:?}"),
+            }
+            match (s.lambda, d.lambda) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "{name}: lambda {a} vs {b}")
+                }
+                (None, None) => {}
+                other => panic!("{name}: lambda mismatch {other:?}"),
+            }
+            assert_eq!(s.reductions, d.reductions, "{name}: reduction sets differ");
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_objectives_and_traffic() {
+        let base = TeFormulation::default();
+        let mlu_a = TeFormulation::new(TeObjective::MinMlu {
+            traffic_matrices: vec![vec![1.0, 2.0]],
+        });
+        let mlu_b = TeFormulation::new(TeObjective::MinMlu {
+            traffic_matrices: vec![vec![1.0, 3.0]],
+        });
+        let fair = TeFormulation::new(TeObjective::MaxConcurrentFlow);
+        let prints = [
+            base.fingerprint(),
+            mlu_a.fingerprint(),
+            mlu_b.fingerprint(),
+            fair.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b, "fingerprint collision");
+            }
+        }
+        // Stable across calls.
+        assert_eq!(base.fingerprint(), TeFormulation::default().fingerprint());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ragged = TeFormulation::new(TeObjective::MinMlu {
+            traffic_matrices: vec![vec![1.0, 2.0], vec![1.0]],
+        });
+        assert!(matches!(ragged.validate(), Err(TeError::InvalidConfig { .. })));
+        let negative = TeFormulation::new(TeObjective::MinMlu {
+            traffic_matrices: vec![vec![-1.0]],
+        });
+        assert!(matches!(negative.validate(), Err(TeError::InvalidConfig { .. })));
+        let bad_weight =
+            TeFormulation { objective: TeObjective::MaxThroughput, throughput_weight: f64::NAN };
+        assert!(matches!(bad_weight.validate(), Err(TeError::InvalidConfig { .. })));
+        // Shape mismatch against a concrete problem surfaces at lower().
+        let p = fig7_two_commodities();
+        let wrong_k =
+            TeFormulation::new(TeObjective::MinMlu { traffic_matrices: vec![vec![1.0]] });
+        assert!(matches!(wrong_k.lower(&p), Err(TeError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn max_throughput_lowering_matches_legacy_builders() {
+        // The formulation's MaxThroughput shape must be *identical* to the
+        // PR-9 `build_lp`/`build_sparse_lp` output — warm-start keys and
+        // the committed perf baselines depend on it.
+        let mut p = fig7_two_commodities();
+        add_fake(&mut p, 0, true, 50.0, 2.0);
+        let lowered = TeFormulation::default().lower(&p).unwrap();
+        #[allow(deprecated)]
+        {
+            assert_eq!(lowered.dense_lp(), crate::exact::build_lp(&p, 1e6));
+            let a = lowered.sparse_lp();
+            let b = crate::exact::build_sparse_lp(&p, 1e6);
+            assert_eq!(a.objective, b.objective);
+            assert_eq!(a.rhs, b.rhs);
+            assert_eq!(a.upper, b.upper);
+        }
+    }
+}

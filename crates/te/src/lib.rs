@@ -14,8 +14,14 @@
 //!   groups with quantised progressive filling;
 //! - [`cspf`]: an MPLS-TE-like constrained-shortest-path-first baseline
 //!   (sequential, order-dependent);
-//! - [`exact`]: an LP-exact solver (via `rwc-lp`) for small networks and
-//!   for benchmarking the others' optimality gaps;
+//! - [`formulation`]: the TE objective zoo — max-throughput, TROD-style
+//!   min-MLU over traffic-matrix envelopes, max-concurrent-flow fairness,
+//!   the paper's Fig. 8 unsplittable gadget, and capacity reduction —
+//!   each lowered to both LP backends;
+//! - [`solver`]: the unified [`solver::TeSolver`] front-end (builder,
+//!   warm-start policy, watchdog, observer) over the whole zoo;
+//! - [`exact`]: the legacy LP-exact entry points, now deprecated shims
+//!   over [`formulation`]/[`solver`];
 //! - [`demand`]: demand matrices and a gravity-model generator;
 //! - [`problem`]: the topology→flow-network bridge all solvers share;
 //! - [`updates`]: a consistent-update planner for draining links whose
@@ -29,14 +35,18 @@ pub mod b4;
 pub mod cspf;
 pub mod demand;
 pub mod exact;
+pub mod formulation;
 pub mod metrics;
 pub mod problem;
+pub mod solver;
 pub mod srlg;
 pub mod swan;
 pub mod updates;
 
 pub use demand::{Demand, DemandMatrix, Priority};
-pub use problem::{TeProblem, TeSolution};
+pub use formulation::{LoweredTe, TeFormulation, TeObjective, TeSolve};
+pub use problem::{TeProblem, TeSolution, TeValidationError};
+pub use solver::{TeSolver, TeSolverBuilder, WarmStartPolicy};
 
 use std::fmt;
 
@@ -112,9 +122,17 @@ pub trait TeAlgorithm {
         }
     }
     /// Warm-start counters, for algorithms that keep solver state across
-    /// rounds (see [`exact::IncrementalExactTe`]). Stateless algorithms
-    /// return `None`.
+    /// rounds (see [`solver::TeSolver`]). Stateless algorithms return
+    /// `None`.
     fn warm_stats(&self) -> Option<rwc_lp::SolverStats> {
         None
+    }
+    /// Fingerprint of everything beyond the algorithm *name* that changes
+    /// what a solve means — objective, weights, backend. The round
+    /// engine's memo key folds this in so cached solutions never leak
+    /// across differently-configured solvers sharing a name. Algorithms
+    /// with exactly one configuration keep the default `0`.
+    fn solve_fingerprint(&self) -> u64 {
+        0
     }
 }

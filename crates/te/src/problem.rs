@@ -9,6 +9,7 @@ use crate::demand::{Demand, DemandMatrix, Priority};
 use rwc_flow::mcf::Commodity;
 use rwc_flow::network::FlowNetwork;
 use rwc_topology::wan::{LinkId, WanTopology};
+use std::fmt;
 
 /// Where a flow edge came from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,29 +100,113 @@ pub struct TeSolution {
     pub total: f64,
 }
 
+/// Why a [`TeSolution`] failed validation against its problem.
+///
+/// Typed so callers (and the `RwcError` hierarchy in `rwc-core`) can react
+/// per-violation — e.g. a capacity overrun after a drift round is a solver
+/// bug, while an edge-count mismatch means the solution is being checked
+/// against the wrong (augmented vs. unaugmented) problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TeValidationError {
+    /// `edge_flows` is not parallel to the problem's edge list.
+    EdgeCountMismatch {
+        /// Edge count of the problem's flow network.
+        expected: usize,
+        /// Length of the solution's `edge_flows`.
+        actual: usize,
+    },
+    /// An edge carries (beyond tolerance) negative flow.
+    NegativeFlow {
+        /// Offending edge index.
+        edge: usize,
+        /// The negative flow value.
+        flow: f64,
+    },
+    /// An edge carries more flow than its capacity (beyond tolerance).
+    CapacityExceeded {
+        /// Offending edge index.
+        edge: usize,
+        /// Flow on the edge.
+        flow: f64,
+        /// The edge's capacity.
+        capacity: f64,
+    },
+    /// A commodity routes more than it asked for (beyond tolerance).
+    DemandExceeded {
+        /// Offending commodity index.
+        commodity: usize,
+        /// Routed volume.
+        routed: f64,
+        /// The commodity's demand.
+        demand: f64,
+    },
+    /// The declared `total` disagrees with the sum of `routed`.
+    TotalMismatch {
+        /// The declared total.
+        total: f64,
+        /// What `routed` actually sums to.
+        routed_sum: f64,
+    },
+}
+
+impl fmt::Display for TeValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeValidationError::EdgeCountMismatch { expected, actual } => {
+                write!(f, "edge flow length mismatch: expected {expected}, got {actual}")
+            }
+            TeValidationError::NegativeFlow { edge, flow } => {
+                write!(f, "edge {edge}: negative flow {flow}")
+            }
+            TeValidationError::CapacityExceeded { edge, flow, capacity } => {
+                write!(f, "edge {edge}: {flow} exceeds capacity {capacity}")
+            }
+            TeValidationError::DemandExceeded { commodity, routed, demand } => {
+                write!(f, "commodity {commodity}: routed {routed} above demand {demand}")
+            }
+            TeValidationError::TotalMismatch { total, routed_sum } => {
+                write!(f, "total {total} but routed sums to {routed_sum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeValidationError {}
+
 impl TeSolution {
     /// Validates against the problem: capacities, demand caps, and (for the
     /// aggregate) per-node balance of total in/out adjusted for terminals.
-    pub fn validate(&self, problem: &TeProblem) -> Result<(), String> {
+    pub fn validate(&self, problem: &TeProblem) -> Result<(), TeValidationError> {
         if self.edge_flows.len() != problem.net.n_edges() {
-            return Err("edge flow length mismatch".into());
+            return Err(TeValidationError::EdgeCountMismatch {
+                expected: problem.net.n_edges(),
+                actual: self.edge_flows.len(),
+            });
         }
         for (i, (&f, e)) in self.edge_flows.iter().zip(problem.net.edges()).enumerate() {
             if f < -1e-6 {
-                return Err(format!("edge {i}: negative flow {f}"));
+                return Err(TeValidationError::NegativeFlow { edge: i, flow: f });
             }
             if f > e.capacity + 1e-6 {
-                return Err(format!("edge {i}: {f} exceeds capacity {}", e.capacity));
+                return Err(TeValidationError::CapacityExceeded {
+                    edge: i,
+                    flow: f,
+                    capacity: e.capacity,
+                });
             }
         }
         for (k, (&r, c)) in self.routed.iter().zip(&problem.commodities).enumerate() {
             if r > c.demand + 1e-6 {
-                return Err(format!("commodity {k}: routed {r} above demand {}", c.demand));
+                return Err(TeValidationError::DemandExceeded {
+                    commodity: k,
+                    routed: r,
+                    demand: c.demand,
+                });
             }
         }
         let declared: f64 = self.routed.iter().sum();
         if (declared - self.total).abs() > 1e-6 {
-            return Err(format!("total {} but routed sums to {declared}", self.total));
+            return Err(TeValidationError::TotalMismatch { total: self.total, routed_sum: declared });
         }
         Ok(())
     }
@@ -198,6 +283,47 @@ mod tests {
         sol.validate(&p).unwrap();
         assert!((sol.satisfaction(&p) - 1.0).abs() < 1e-12);
         let bad = TeSolution { routed: vec![200.0], edge_flows: vec![0.0; 10], total: 200.0 };
-        assert!(bad.validate(&p).is_err());
+        assert_eq!(
+            bad.validate(&p),
+            Err(TeValidationError::EdgeCountMismatch { expected: 8, actual: 10 })
+        );
+    }
+
+    #[test]
+    fn validation_errors_are_typed_per_violation() {
+        let wan = builders::fig7_example();
+        let a = wan.node_by_name("A").unwrap();
+        let b = wan.node_by_name("B").unwrap();
+        let mut dm = DemandMatrix::new();
+        dm.add(a, b, Gbps(50.0), Priority::Elastic);
+        let p = TeProblem::from_wan(&wan, &dm);
+        let m = p.net.n_edges();
+
+        let mut over = vec![0.0; m];
+        over[0] = 150.0; // edge 0 capacity is 100
+        let sol = TeSolution { routed: vec![50.0], edge_flows: over, total: 50.0 };
+        assert_eq!(
+            sol.validate(&p),
+            Err(TeValidationError::CapacityExceeded { edge: 0, flow: 150.0, capacity: 100.0 })
+        );
+
+        let mut neg = vec![0.0; m];
+        neg[3] = -1.0;
+        let sol = TeSolution { routed: vec![0.0], edge_flows: neg, total: 0.0 };
+        assert_eq!(sol.validate(&p), Err(TeValidationError::NegativeFlow { edge: 3, flow: -1.0 }));
+
+        let sol = TeSolution { routed: vec![60.0], edge_flows: vec![0.0; m], total: 60.0 };
+        assert_eq!(
+            sol.validate(&p),
+            Err(TeValidationError::DemandExceeded { commodity: 0, routed: 60.0, demand: 50.0 })
+        );
+
+        let sol = TeSolution { routed: vec![40.0], edge_flows: vec![0.0; m], total: 41.0 };
+        assert_eq!(
+            sol.validate(&p),
+            Err(TeValidationError::TotalMismatch { total: 41.0, routed_sum: 40.0 })
+        );
+        let msg = TeValidationError::TotalMismatch { total: 41.0, routed_sum: 40.0 }.to_string();
+        assert!(msg.contains("41") && msg.contains("40"), "{msg}");
     }
 }

@@ -5,10 +5,9 @@ use proptest::prelude::*;
 use rwc_te::b4::B4Te;
 use rwc_te::cspf::CspfTe;
 use rwc_te::demand::{DemandMatrix, Priority};
-use rwc_te::exact::ExactTe;
 use rwc_te::problem::TeProblem;
 use rwc_te::swan::SwanTe;
-use rwc_te::TeAlgorithm;
+use rwc_te::{TeAlgorithm, TeSolver};
 use rwc_topology::random::{waxman, WaxmanConfig};
 use rwc_topology::WanTopology;
 use rwc_util::units::Gbps;
@@ -29,7 +28,7 @@ proptest! {
     #[test]
     fn solver_hierarchy((wan, dm) in arb_case()) {
         let problem = TeProblem::from_wan(&wan, &dm);
-        let exact = ExactTe::default().solve(&problem);
+        let exact = TeSolver::builder().build().unwrap().solve(&problem);
         prop_assert!(exact.validate(&problem).is_ok(), "exact invalid");
         for algo in [
             Box::new(SwanTe::default()) as Box<dyn TeAlgorithm>,
@@ -81,9 +80,9 @@ proptest! {
     /// (Proptest found the counterexample that forced this split.)
     #[test]
     fn throughput_monotone_in_demand((wan, dm) in arb_case(), factor in 1.1f64..3.0) {
-        let exact_base = ExactTe::default().solve(&TeProblem::from_wan(&wan, &dm));
-        let exact_scaled =
-            ExactTe::default().solve(&TeProblem::from_wan(&wan, &dm.scaled(factor)));
+        let exact = TeSolver::builder().build().unwrap();
+        let exact_base = exact.solve(&TeProblem::from_wan(&wan, &dm));
+        let exact_scaled = exact.solve(&TeProblem::from_wan(&wan, &dm.scaled(factor)));
         prop_assert!(exact_scaled.total >= exact_base.total - 1e-4,
             "exact: {} -> {}", exact_base.total, exact_scaled.total);
         for algo in [

@@ -10,8 +10,7 @@
 //! upgrades + flows.
 
 use rwc::core::{augment, translate, AugmentConfig, PenaltyPolicy};
-use rwc::te::exact::ExactTe;
-use rwc::te::{DemandMatrix, Priority, TeAlgorithm};
+use rwc::te::{DemandMatrix, Priority, TeAlgorithm, TeSolver};
 use rwc::topology::builders;
 use rwc::topology::wan::LinkId;
 use rwc::util::units::{Db, Gbps};
@@ -47,7 +46,8 @@ fn main() {
     );
 
     // --- Unmodified TE on the augmented graph --------------------------
-    let solution = ExactTe::default().solve(&aug.problem);
+    let te = TeSolver::builder().build().expect("default TE solver");
+    let solution = te.solve(&aug.problem);
     println!("TE routed {:.0} of 250 Gbps", solution.total);
 
     // --- Translate back ------------------------------------------------

@@ -6,9 +6,8 @@ use rwc::core::network::DynamicCapacityNetwork;
 use rwc::core::{AugmentConfig, PenaltyPolicy};
 use rwc::te::b4::B4Te;
 use rwc::te::cspf::CspfTe;
-use rwc::te::exact::ExactTe;
 use rwc::te::swan::SwanTe;
-use rwc::te::{DemandMatrix, Priority, TeAlgorithm};
+use rwc::te::{DemandMatrix, Priority, TeAlgorithm, TeSolver};
 use rwc::topology::builders;
 use rwc::topology::wan::{LinkId, WanTopology};
 use rwc::util::time::{SimDuration, SimTime};
@@ -35,6 +34,10 @@ fn grown_demands(wan: &WanTopology) -> DemandMatrix {
     dm
 }
 
+fn exact() -> TeSolver {
+    TeSolver::builder().build().expect("default TE solver")
+}
+
 fn network(wan: WanTopology) -> DynamicCapacityNetwork {
     DynamicCapacityNetwork::new(
         wan,
@@ -49,7 +52,7 @@ fn exact_te_fully_routes_and_upgrades_once() {
     let wan = fig7_wan();
     let demands = grown_demands(&wan);
     let mut net = network(wan);
-    let round = net.te_round(&demands, &ExactTe::default(), SimTime::EPOCH);
+    let round = net.te_round(&demands, &exact(), SimTime::EPOCH);
     assert!((round.throughput - 250.0).abs() < 1e-6, "throughput={}", round.throughput);
     assert_eq!(round.translation.upgrades.len(), 1, "{:?}", round.translation.upgrades);
     // Static links could not have carried both demands fully.
@@ -62,7 +65,7 @@ fn every_te_algorithm_benefits_from_augmentation() {
         ("swan", Box::new(SwanTe::default())),
         ("b4", Box::new(B4Te::default())),
         ("cspf", Box::new(CspfTe::default())),
-        ("exact", Box::new(ExactTe::default())),
+        ("exact", Box::new(exact())),
     ];
     for (name, algo) in algorithms {
         let wan = fig7_wan();
@@ -88,12 +91,12 @@ fn applied_upgrades_persist_into_next_round() {
     let wan = fig7_wan();
     let demands = grown_demands(&wan);
     let mut net = network(wan);
-    let first = net.te_round(&demands, &ExactTe::default(), SimTime::EPOCH);
+    let first = net.te_round(&demands, &exact(), SimTime::EPOCH);
     assert!(first.translation.requires_changes());
     // Same demands again: capacity is already there, so no new upgrades.
     let second = net.te_round(
         &demands,
-        &ExactTe::default(),
+        &exact(),
         SimTime::EPOCH + SimDuration::from_minutes(15),
     );
     assert!(!second.translation.requires_changes(), "{:?}", second.translation.upgrades);
@@ -105,7 +108,7 @@ fn snr_collapse_walks_down_then_te_adapts() {
     let wan = fig7_wan();
     let demands = grown_demands(&wan);
     let mut net = network(wan);
-    let healthy = net.te_round(&demands, &ExactTe::default(), SimTime::EPOCH);
+    let healthy = net.te_round(&demands, &exact(), SimTime::EPOCH);
     // Link 0 collapses to 4 dB: crawl at 50 G instead of failing.
     let sweep =
         net.ingest(&[(LinkId(0), Some(Db(4.0)))], SimTime::EPOCH + SimDuration::from_hours(1));
@@ -113,7 +116,7 @@ fn snr_collapse_walks_down_then_te_adapts() {
     assert_eq!(net.wan().link(LinkId(0)).modulation, rwc::optics::Modulation::DpBpsk50);
     let degraded = net.te_round(
         &demands,
-        &ExactTe::default(),
+        &exact(),
         SimTime::EPOCH + SimDuration::from_hours(1) + SimDuration::from_minutes(1),
     );
     // The network reroutes around the crawling link (possibly upgrading
@@ -131,7 +134,7 @@ fn consistent_update_plan_accompanies_upgrades() {
     let wan = fig7_wan();
     let demands = grown_demands(&wan);
     let mut net = network(wan);
-    let round = net.te_round(&demands, &ExactTe::default(), SimTime::EPOCH);
+    let round = net.te_round(&demands, &exact(), SimTime::EPOCH);
     let plan = round.update_plan.expect("upgrades need an update plan");
     // Hitless (efficient BVT): the interim state keeps the links alive at
     // the lower rate, so interim throughput stays close to final.
